@@ -1,0 +1,102 @@
+(* Benchmark harness.
+
+   `dune exec bench/main.exe`            -- all experiment tables + micro suite
+   `dune exec bench/main.exe -- fig3`    -- one experiment
+                  (fig3 fig12 thm4 thm5 thm6 matrix perf micro all)
+
+   The experiment tables regenerate every figure of the paper (DESIGN.md
+   section 4); the Bechamel micro suite is experiment E8 (cost of the
+   analyses themselves). *)
+
+open Bechamel
+open Toolkit
+open Dfr_topology
+open Dfr_network
+open Dfr_routing
+open Dfr_core
+
+(* --------------------------- E8: micro benchmarks ------------------- *)
+
+let cube3 = Net.wormhole (Topology.hypercube 3) ~vcs:2
+let cube4 = Net.wormhole (Topology.hypercube 4) ~vcs:2
+let mesh44 = Net.store_and_forward (Topology.mesh [| 4; 4 |]) ~classes:2
+let space3 = State_space.build cube3 Hypercube_wormhole.efa
+let relaxed2 =
+  State_space.build (Net.wormhole (Topology.hypercube 2) ~vcs:2)
+    Hypercube_wormhole.efa_relaxed
+let bwg_relaxed2 = Bwg.build relaxed2
+let relaxed2_cycles = fst (Bwg.cycles bwg_relaxed2)
+
+let micro_tests =
+  [
+    Test.make ~name:"state-space/efa-3cube"
+      (Staged.stage (fun () -> State_space.build cube3 Hypercube_wormhole.efa));
+    Test.make ~name:"bwg-build/efa-3cube"
+      (Staged.stage (fun () -> Bwg.build space3));
+    Test.make ~name:"checker/efa-3cube"
+      (Staged.stage (fun () -> Checker.verdict cube3 Hypercube_wormhole.efa));
+    Test.make ~name:"checker/efa-4cube"
+      (Staged.stage (fun () -> Checker.verdict cube4 Hypercube_wormhole.efa));
+    Test.make ~name:"checker/two-buffer-4x4"
+      (Staged.stage (fun () -> Checker.verdict mesh44 Mesh_saf.two_buffer));
+    Test.make ~name:"knot/efa-relaxed-2cube"
+      (Staged.stage (fun () -> Deadlock_config.find relaxed2));
+    Test.make ~name:"cycles/efa-relaxed-2cube"
+      (Staged.stage (fun () -> Bwg.cycles bwg_relaxed2));
+    Test.make ~name:"classify/efa-relaxed-2cube"
+      (Staged.stage (fun () ->
+           Cycle_class.first_true_cycle bwg_relaxed2 relaxed2_cycles));
+    Test.make ~name:"adaptiveness/efa-sweep-10"
+      (Staged.stage (fun () ->
+           Dfr_adaptiveness.Hypercube_adaptiveness.sweep
+             Dfr_adaptiveness.Hypercube_adaptiveness.efa_rule ~max_n:10));
+  ]
+
+let run_micro () =
+  Printf.printf "\n=== E8: micro benchmarks (Bechamel, monotonic clock) ===\n%!";
+  let test = Test.make_grouped ~name:"dfr" ~fmt:"%s/%s" micro_tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ ns ] ->
+        if ns > 1e6 then Printf.printf "%-40s %12.3f ms/run\n" name (ns /. 1e6)
+        else Printf.printf "%-40s %12.1f ns/run\n" name ns
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* --------------------------------------------------------------------- *)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match which with
+  | "fig3" -> Experiments.fig3 ()
+  | "fig12" -> Experiments.fig12 ()
+  | "thm4" -> Experiments.thm4 ()
+  | "thm5" -> Experiments.thm5 ()
+  | "thm6" -> Experiments.thm6 ()
+  | "matrix" -> Experiments.matrix ()
+  | "perf" -> Experiments.perf ()
+  | "ablations" -> Experiments.ablations ()
+  | "perf-router" -> Experiments.perf_router ()
+  | "mesh-adaptiveness" -> Experiments.mesh_adaptiveness ()
+  | "turns" -> Experiments.turn_tables ()
+  | "parallel" -> Experiments.parallel_bwg ()
+  | "micro" -> run_micro ()
+  | "all" ->
+    Experiments.all ();
+    run_micro ()
+  | other ->
+    Printf.eprintf
+      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro all)\n"
+      other;
+    exit 1

@@ -1,0 +1,366 @@
+(* dfcheck: command-line front end for the buffer-waiting-graph toolkit.
+
+   Subcommands:
+     list          catalogue of routing algorithms
+     check         deadlock-freedom verdict for an algorithm on a network
+     bwg           export the buffer waiting graph as Graphviz DOT
+     adaptiveness  Figure 3: degree of adaptiveness vs hypercube dimension
+     matrix        verdict matrix: algorithms x proof techniques (E6)
+     simulate      flit-level simulation with a synthetic workload *)
+
+open Cmdliner
+open Dfr_topology
+open Dfr_network
+open Dfr_routing
+open Dfr_core
+open Dfr_sim
+
+(* ------------------------------------------------------------------ *)
+(* shared argument parsing                                             *)
+
+let parse_topology s =
+  let fail msg = Error (`Msg msg) in
+  match String.split_on_char ':' s with
+  | [ "hypercube"; d ] -> (
+    match int_of_string_opt d with
+    | Some d when d >= 1 && d <= 10 -> Ok (Topology.hypercube d)
+    | _ -> fail "hypercube dimension must be in 1..10")
+  | [ "ring"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 3 -> Ok (Topology.ring k)
+    | _ -> fail "ring size must be >= 3")
+  | [ kind; dims ] when kind = "mesh" || kind = "torus" -> (
+    let parts = String.split_on_char 'x' dims in
+    let radices = List.filter_map int_of_string_opt parts in
+    if List.length radices <> List.length parts || radices = [] then
+      fail "bad dimension list, expected e.g. mesh:4x4"
+    else
+      try
+        let arr = Array.of_list radices in
+        Ok (if kind = "mesh" then Topology.mesh arr else Topology.torus arr)
+      with Invalid_argument m -> fail m)
+  | _ -> fail "expected hypercube:N, mesh:AxB, torus:AxB or ring:N"
+
+let topology_conv =
+  Arg.conv ((fun s -> parse_topology s), fun fmt t -> Format.fprintf fmt "%s" (Topology.name t))
+
+let topo_arg =
+  let doc =
+    "Topology: hypercube:N, mesh:AxBx..., torus:AxBx... or ring:N.  Defaults \
+     to a small topology fitting the algorithm."
+  in
+  Arg.(value & opt (some topology_conv) None & info [ "t"; "topology" ] ~doc)
+
+let algo_arg =
+  let doc = "Routing algorithm (see `dfcheck list')." in
+  Arg.(required & opt (some string) None & info [ "a"; "algorithm" ] ~doc)
+
+let lookup name =
+  match Registry.find name with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (Printf.sprintf "unknown algorithm %S; known: %s" name
+         (String.concat ", " (Registry.names ())))
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Registry.entry) ->
+        Printf.printf "%-24s %-10s %s\n" e.Registry.name
+          (match e.Registry.expected_deadlock_free with
+          | Some true -> "[free]"
+          | Some false -> "[deadlock]"
+          | None -> "[?]")
+          e.Registry.description)
+      Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the routing algorithms in the catalogue")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
+let check_run name topo replay certificate json domains =
+  match lookup name with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok e ->
+    let net = Registry.network_for e topo in
+    let report = Checker.check ~domains net e.Registry.algo in
+    if json then print_endline (Report_json.to_string net e.Registry.algo report)
+    else if certificate then Certificate.print net e.Registry.algo report
+    else
+      Format.printf "%s on %s:@.  %a@." e.Registry.name (Net.name net)
+        (Checker.pp_verdict net) report.Checker.verdict;
+    (match report.Checker.verdict with
+    | Checker.Deadlock_possible failure when replay ->
+      (match Scenario.replay net e.Registry.algo failure with
+      | Some true -> Format.printf "  replay: deadlock confirmed in simulation@."
+      | Some false -> Format.printf "  replay: configuration drained (not confirmed)@."
+      | None -> Format.printf "  replay: nothing to replay for this failure@.")
+    | _ -> ());
+    (match report.Checker.verdict with Checker.Unknown _ -> 2 | _ -> 0)
+
+let check_cmd =
+  let replay =
+    Arg.(value & flag & info [ "replay" ] ~doc:"Replay a deadlock verdict in the simulator.")
+  in
+  let certificate =
+    Arg.(value & flag
+         & info [ "certificate" ] ~doc:"Print a full proof certificate.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ]
+             ~doc:"Build the BWG in parallel with this many OCaml domains.")
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Decide deadlock freedom with the BWG checker")
+    Term.(const check_run $ algo_arg $ topo_arg $ replay $ certificate $ json
+          $ domains)
+
+(* ------------------------------------------------------------------ *)
+(* bwg: DOT export                                                     *)
+
+let bwg_run name topo output =
+  match lookup name with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok e ->
+    let net = Registry.network_for e topo in
+    let space = State_space.build net e.Registry.algo in
+    let bwg = Bwg.build space in
+    let dot = Bwg.to_dot bwg in
+    (match output with
+    | None -> print_string dot
+    | Some file ->
+      let oc = open_out file in
+      output_string oc dot;
+      close_out oc;
+      Printf.printf "wrote %s (%d vertices, %d edges)\n" file
+        (Dfr_graph.Digraph.num_vertices (Bwg.graph bwg))
+        (Dfr_graph.Digraph.num_edges (Bwg.graph bwg)));
+    0
+
+let bwg_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output DOT file.")
+  in
+  Cmd.v (Cmd.info "bwg" ~doc:"Export the buffer waiting graph as Graphviz DOT")
+    Term.(const bwg_run $ algo_arg $ topo_arg $ output)
+
+(* ------------------------------------------------------------------ *)
+(* adaptiveness (Figure 3)                                             *)
+
+let adaptiveness_run max_n =
+  let algos = [ "ecube"; "duato"; "efa" ] in
+  Printf.printf "# Degree of adaptiveness (Figure 3), buffer-level paths\n";
+  Printf.printf "%-12s" "dimension";
+  List.iter (fun a -> Printf.printf " %12s" a) algos;
+  print_newline ();
+  let sweeps =
+    List.map
+      (fun a ->
+        match Dfr_adaptiveness.Hypercube_adaptiveness.rule_of_name a with
+        | Some r -> Dfr_adaptiveness.Hypercube_adaptiveness.sweep r ~max_n
+        | None -> assert false)
+      algos
+  in
+  for n = 2 to max_n do
+    Printf.printf "%-12d" n;
+    List.iter (fun s -> Printf.printf " %11.2f%%" (100.0 *. s.(n))) sweeps;
+    print_newline ()
+  done;
+  0
+
+let adaptiveness_cmd =
+  let max_n =
+    Arg.(value & opt int 12 & info [ "max-dim" ] ~doc:"Largest hypercube dimension.")
+  in
+  Cmd.v
+    (Cmd.info "adaptiveness" ~doc:"Reproduce Figure 3 (degree of adaptiveness)")
+    Term.(const adaptiveness_run $ max_n)
+
+(* ------------------------------------------------------------------ *)
+(* matrix: proof techniques side by side (E6)                          *)
+
+let matrix_run topo =
+  Printf.printf "%-24s %-12s %-14s %-12s %s\n" "algorithm" "dally-seitz"
+    "duato-cond" "bwg(paper)" "network";
+  List.iter
+    (fun (e : Registry.entry) ->
+      let net = Registry.network_for e topo in
+      let space = State_space.build net e.Registry.algo in
+      let ds = if Cdg.deadlock_free space then "certified" else "-" in
+      let dc = if Duato_condition.deadlock_free space then "certified" else "-" in
+      let bwg =
+        match Checker.verdict net e.Registry.algo with
+        | Checker.Deadlock_free _ -> "certified"
+        | Checker.Deadlock_possible _ -> "deadlock"
+        | Checker.Unknown _ -> "unknown"
+      in
+      Printf.printf "%-24s %-12s %-14s %-12s %s\n" e.Registry.name ds dc bwg
+        (Net.name net))
+    Registry.all;
+  0
+
+let matrix_cmd =
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:"Verdict matrix: every algorithm under three proof techniques")
+    Term.(const matrix_run $ topo_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let parse_pattern = function
+  | "uniform" -> Ok Traffic.Uniform
+  | "transpose" -> Ok Traffic.Transpose
+  | "complement" -> Ok Traffic.Bit_complement
+  | "shuffle" -> Ok Traffic.Shuffle
+  | s when String.length s > 8 && String.sub s 0 8 = "hotspot:" -> (
+    match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+    | Some h -> Ok (Traffic.Hotspot h)
+    | None -> Error (`Msg "hotspot:N"))
+  | _ -> Error (`Msg "expected uniform|transpose|complement|shuffle|hotspot:N")
+
+let pattern_conv = Arg.conv (parse_pattern, fun fmt _ -> Format.fprintf fmt "<pattern>")
+
+let simulate_run name topo pattern rate length horizon seed router =
+  match lookup name with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok e ->
+    let net = Registry.network_for e topo in
+    let t =
+      match Net.topology net with
+      | Some t -> t
+      | None -> failwith "simulate: custom networks not supported"
+    in
+    let traffic = Traffic.generate t ~pattern ~rate ~length ~horizon ~seed in
+    Printf.printf "workload: %d packets over %d cycles\n" (Traffic.count traffic) horizon;
+    (match Net.switching net with
+    | Net.Wormhole when router ->
+      Format.printf "%a@." Router_sim.pp_outcome
+        (Router_sim.run net e.Registry.algo traffic)
+    | Net.Wormhole ->
+      Format.printf "%a@." Wormhole_sim.pp_outcome
+        (Wormhole_sim.run net e.Registry.algo traffic)
+    | Net.Store_and_forward | Net.Virtual_cut_through ->
+      Format.printf "%a@." Saf_sim.pp_outcome
+        (Saf_sim.run net e.Registry.algo traffic));
+    0
+
+let simulate_cmd =
+  let pattern =
+    Arg.(value & opt pattern_conv Traffic.Uniform & info [ "p"; "pattern" ] ~doc:"Traffic pattern.")
+  in
+  let rate =
+    Arg.(value & opt float 0.05 & info [ "r"; "rate" ] ~doc:"Packets per node per cycle.")
+  in
+  let length = Arg.(value & opt int 8 & info [ "l"; "length" ] ~doc:"Packet length in flits.") in
+  let horizon =
+    Arg.(value & opt int 2000 & info [ "horizon" ] ~doc:"Injection horizon in cycles.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let router =
+    Arg.(value & flag
+         & info [ "router" ]
+             ~doc:"Use the pipelined credit-based router model instead of \
+                   the plain flit simulator.")
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run the flit-level simulator on a workload")
+    Term.(const simulate_run $ algo_arg $ topo_arg $ pattern $ rate $ length
+          $ horizon $ seed $ router)
+
+(* ------------------------------------------------------------------ *)
+(* audit: the whole catalogue, optionally as JSON                      *)
+
+let audit_run json =
+  let reports =
+    List.map
+      (fun (e : Registry.entry) ->
+        let net = Registry.network_for e None in
+        (e, net, Checker.check net e.Registry.algo))
+      Registry.all
+  in
+  if json then begin
+    let items =
+      List.map
+        (fun ((e : Registry.entry), net, report) ->
+          Dfr_util.Json.Obj
+            [
+              ("name", Dfr_util.Json.String e.Registry.name);
+              ( "expected",
+                match e.Registry.expected_deadlock_free with
+                | Some b -> Dfr_util.Json.Bool b
+                | None -> Dfr_util.Json.Null );
+              ("report", Report_json.of_report net e.Registry.algo report);
+            ])
+        reports
+    in
+    print_endline (Dfr_util.Json.to_string_pretty (Dfr_util.Json.List items))
+  end
+  else
+    List.iter
+      (fun ((e : Registry.entry), net, report) ->
+        let ok =
+          match (e.Registry.expected_deadlock_free, report.Checker.verdict) with
+          | Some true, Checker.Deadlock_free _ -> "ok"
+          | Some false, Checker.Deadlock_possible _ -> "ok"
+          | None, _ -> "?"
+          | _ -> "MISMATCH"
+        in
+        Format.printf "%-10s %-24s %a@." ok e.Registry.name
+          (Checker.pp_verdict net) report.Checker.verdict)
+      reports;
+  let mismatches =
+    List.filter
+      (fun ((e : Registry.entry), _, report) ->
+        match (e.Registry.expected_deadlock_free, report.Checker.verdict) with
+        | Some true, Checker.Deadlock_free _ | Some false, Checker.Deadlock_possible _
+        | None, _ ->
+          false
+        | _ -> true)
+      reports
+  in
+  if mismatches = [] then 0 else 1
+
+let audit_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the audit as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Check the entire catalogue against its expected verdicts")
+    Term.(const audit_run $ json)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "dfcheck" ~version:"1.0.0"
+      ~doc:"Deadlock-freedom analysis of interconnection-network routing"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            list_cmd;
+            check_cmd;
+            bwg_cmd;
+            adaptiveness_cmd;
+            matrix_cmd;
+            simulate_cmd;
+            audit_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adaptiveness_report.mli:

@@ -1,0 +1,1 @@
+examples/deadlock_demo.ml: Certificate Checker Dfr_core Dfr_network Dfr_routing Dfr_sim Dfr_topology Format Hypercube_wormhole List Net Printf Scenario Topology Traffic Wormhole_sim

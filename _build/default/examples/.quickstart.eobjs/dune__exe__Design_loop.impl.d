@@ -1,0 +1,1 @@
+examples/design_loop.ml: Algo Buf Certificate Checker Dfr_core Dfr_network Dfr_routing Dfr_sim Dfr_topology Format List Net Topology

@@ -1,0 +1,1 @@
+examples/irregular_network.ml: Algo Array Buf Certificate Checker Dfr_core Dfr_graph Dfr_network Dfr_routing Dfr_sim Format List Liveness Net Printf State_space Updown

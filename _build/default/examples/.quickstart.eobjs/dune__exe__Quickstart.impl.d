@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algo Checker Dfr_core Dfr_network Dfr_routing Dfr_topology Format Hypercube_wormhole Mesh_saf Net Topology Unix

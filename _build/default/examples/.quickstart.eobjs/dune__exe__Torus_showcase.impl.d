@@ -1,0 +1,1 @@
+examples/torus_showcase.ml: Algo Certificate Checker Dfr_core Dfr_network Dfr_routing Dfr_topology Format List Net Topology Torus_wormhole

@@ -1,0 +1,26 @@
+(* Quickstart: verify deadlock freedom of the paper's Enhanced Fully
+   Adaptive hypercube algorithm, then watch its Theorem 6 relaxation fail.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Dfr_topology
+open Dfr_network
+open Dfr_routing
+open Dfr_core
+
+let check_and_print net algo =
+  let t0 = Unix.gettimeofday () in
+  let report = Checker.check net algo in
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "%-14s on %-24s [%.2fs]: %a@." algo.Algo.name (Net.name net) dt
+    (Checker.pp_verdict net) report.Checker.verdict
+
+let () =
+  let cube = Net.wormhole (Topology.hypercube 3) ~vcs:2 in
+  check_and_print cube Hypercube_wormhole.ecube;
+  check_and_print cube Hypercube_wormhole.duato;
+  check_and_print cube Hypercube_wormhole.efa;
+  check_and_print cube Hypercube_wormhole.efa_relaxed;
+  check_and_print cube Hypercube_wormhole.unrestricted;
+  let mesh = Net.store_and_forward (Topology.mesh [| 3; 3 |]) ~classes:2 in
+  check_and_print mesh Mesh_saf.two_buffer

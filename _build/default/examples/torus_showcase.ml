@@ -1,0 +1,34 @@
+(* "Any network topology": the conclusion's universality claim, exercised
+   on wrap-around networks where naive routing famously deadlocks on the
+   ring cycle.
+
+   Run with: dune exec examples/torus_showcase.exe *)
+
+open Dfr_topology
+open Dfr_network
+open Dfr_routing
+open Dfr_core
+
+let verdict net algo =
+  Format.printf "  %-14s %a@." algo.Algo.name (Checker.pp_verdict net)
+    (Checker.verdict net algo)
+
+let () =
+  List.iter
+    (fun k ->
+      let topo = Topology.ring k in
+      Format.printf "%s:@." (Topology.name topo);
+      verdict (Net.wormhole topo ~vcs:1) Torus_wormhole.unrestricted;
+      verdict (Net.wormhole topo ~vcs:2) Torus_wormhole.dateline;
+      verdict (Net.wormhole topo ~vcs:3) Torus_wormhole.duato_torus)
+    [ 4; 6; 8 ];
+  let topo = Topology.torus [| 4; 4 |] in
+  Format.printf "%s:@." (Topology.name topo);
+  verdict (Net.wormhole topo ~vcs:1) Torus_wormhole.unrestricted;
+  verdict (Net.wormhole topo ~vcs:2) Torus_wormhole.dateline;
+  verdict (Net.wormhole topo ~vcs:3) Torus_wormhole.duato_torus;
+  (* the wrap-around knot, spelled out on a small ring *)
+  let net = Net.wormhole (Topology.ring 4) ~vcs:1 in
+  print_newline ();
+  let report = Checker.check net Torus_wormhole.unrestricted in
+  Certificate.print net Torus_wormhole.unrestricted report

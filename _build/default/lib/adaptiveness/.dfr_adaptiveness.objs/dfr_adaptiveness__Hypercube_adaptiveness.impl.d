@@ -1,0 +1,1 @@
+lib/adaptiveness/hypercube_adaptiveness.ml: Array Bitset Combinatorics Dfr_util Hashtbl List

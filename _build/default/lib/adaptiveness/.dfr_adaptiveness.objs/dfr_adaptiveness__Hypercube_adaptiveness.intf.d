@@ -1,0 +1,1 @@
+lib/adaptiveness/hypercube_adaptiveness.mli:

@@ -1,0 +1,1 @@
+lib/adaptiveness/mesh_adaptiveness.ml: Algo Buf Dfr_core Dfr_network Dfr_routing Dfr_topology List Net Option Path_count State_space Topology

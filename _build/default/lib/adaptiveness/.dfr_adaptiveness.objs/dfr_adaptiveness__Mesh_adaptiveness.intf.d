@@ -1,0 +1,1 @@
+lib/adaptiveness/mesh_adaptiveness.mli: Algo Dfr_network Dfr_routing Net

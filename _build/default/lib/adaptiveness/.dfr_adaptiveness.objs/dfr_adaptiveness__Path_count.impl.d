@@ -1,0 +1,1 @@
+lib/adaptiveness/path_count.ml: Buf Dfr_core Dfr_network Hashtbl List Net State_space

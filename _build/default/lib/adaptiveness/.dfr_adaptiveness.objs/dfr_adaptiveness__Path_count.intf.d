@@ -1,0 +1,1 @@
+lib/adaptiveness/path_count.mli: Dfr_core State_space

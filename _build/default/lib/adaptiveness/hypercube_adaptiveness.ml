@@ -1,0 +1,82 @@
+open Dfr_util
+
+type rule = signs:int -> remaining:int -> (int * int) list
+
+let lowest_bit mask = Bitset.min_elt mask
+
+let b2_all remaining = Bitset.fold (fun i acc -> (i, 1) :: acc) remaining []
+
+let ecube_rule ~signs:_ ~remaining = [ (lowest_bit remaining, 0) ]
+
+let duato_rule ~signs:_ ~remaining =
+  (lowest_bit remaining, 0) :: b2_all remaining
+
+let efa_rule ~signs ~remaining =
+  let l = lowest_bit remaining in
+  let b1 =
+    if Bitset.mem l signs then Bitset.fold (fun i acc -> (i, 0) :: acc) remaining []
+    else [ (l, 0) ]
+  in
+  b1 @ b2_all remaining
+
+let efa_relaxed_rule ~signs:_ ~remaining =
+  Bitset.fold (fun i acc -> (i, 0) :: (i, 1) :: acc) remaining []
+
+let rule_of_name = function
+  | "ecube" -> Some ecube_rule
+  | "duato" -> Some duato_rule
+  | "efa" -> Some efa_rule
+  | "efa-relaxed" | "unrestricted" -> Some efa_relaxed_rule
+  | _ -> None
+
+type counter = { rule : rule; memo : (int * int, int) Hashtbl.t }
+
+let counter rule = { rule; memo = Hashtbl.create 4096 }
+
+let rec count_paths t ~signs ~remaining =
+  if remaining = 0 then 1
+  else
+    let signs = signs land remaining in
+    let key = (remaining, signs) in
+    match Hashtbl.find_opt t.memo key with
+    | Some v -> v
+    | None ->
+      let moves = t.rule ~signs ~remaining in
+      let total =
+        List.fold_left
+          (fun acc (dim, _vc) ->
+            acc + count_paths t ~signs ~remaining:(Bitset.remove dim remaining))
+          0 moves
+      in
+      Hashtbl.replace t.memo key total;
+      total
+
+let total_paths ~k = Combinatorics.factorial k * Combinatorics.pow2 k
+
+let ratio_at t ~signs ~k =
+  let remaining = Bitset.full k in
+  float_of_int (count_paths t ~signs ~remaining) /. float_of_int (total_paths ~k)
+
+let mean_ratio_at_distance t ~k =
+  let acc = ref 0.0 in
+  for signs = 0 to Combinatorics.pow2 k - 1 do
+    acc := !acc +. ratio_at t ~signs ~k
+  done;
+  !acc /. float_of_int (Combinatorics.pow2 k)
+
+let degree_of_adaptiveness t ~n =
+  (* sum over distances k of (#pairs at distance k) * mean ratio, divided
+     by the number of ordered pairs *)
+  let pairs_total = float_of_int (Combinatorics.pow2 n * (Combinatorics.pow2 n - 1)) in
+  let acc = ref 0.0 in
+  for k = 1 to n do
+    let pairs_at_k =
+      float_of_int (Combinatorics.binomial n k * Combinatorics.pow2 n)
+    in
+    acc := !acc +. (pairs_at_k *. mean_ratio_at_distance t ~k)
+  done;
+  !acc /. pairs_total
+
+let sweep rule ~max_n =
+  let t = counter rule in
+  Array.init (max_n + 1) (fun n -> if n = 0 then 0.0 else degree_of_adaptiveness t ~n)

@@ -1,0 +1,57 @@
+(** Degree of adaptiveness for hypercube routing algorithms (Figure 3).
+
+    Following Glass & Ni [16] as used in §6.2, the degree of adaptiveness
+    is the number of paths the routing algorithm permits divided by the
+    total number of paths, averaged over all source-destination pairs.
+    Because both Duato's algorithm and EFA permit every minimal {e
+    physical} path (they are fully adaptive), Figure 3 is only consistent
+    with counting {e buffer-level} paths: a path is a sequence of virtual
+    channels, so a pair at Hamming distance [k] has [k! * 2^k] paths in a
+    two-virtual-channel cube.  Under this reading the paper's stated
+    anchors hold (12-D: Duato about 16 %, EFA above 50 %, e-cube near 0).
+
+    Routing rules are expressed over bitmasks: [remaining] is the set of
+    dimensions still to correct and [signs] the set whose needed direction
+    is negative.  The dynamic program memoizes on (remaining, signs
+    restricted to remaining), so a full 12-D sweep is about [3^12]
+    states. *)
+
+type rule = signs:int -> remaining:int -> (int * int) list
+(** Permitted (dimension, virtual channel) moves of a packet; [vc 0] is
+    the paper's [B1], [vc 1] is [B2].  Dimensions are relabeled
+    [0 .. k-1]. *)
+
+val ecube_rule : rule
+val duato_rule : rule
+val efa_rule : rule
+val efa_relaxed_rule : rule
+(** Also the unrestricted relation: every needed move on either channel. *)
+
+val rule_of_name : string -> rule option
+(** ["ecube" | "duato" | "efa" | "efa-relaxed" | "unrestricted"]. *)
+
+type counter
+(** Memoized path counter for one rule. *)
+
+val counter : rule -> counter
+
+val count_paths : counter -> signs:int -> remaining:int -> int
+(** Number of permitted buffer-level paths for a packet that must correct
+    [remaining] with directions [signs]. *)
+
+val total_paths : k:int -> int
+(** [k! * 2^k]. *)
+
+val ratio_at : counter -> signs:int -> k:int -> float
+(** Permitted / total for one sign pattern at distance [k]. *)
+
+val mean_ratio_at_distance : counter -> k:int -> float
+(** Average of {!ratio_at} over all [2^k] sign patterns. *)
+
+val degree_of_adaptiveness : counter -> n:int -> float
+(** Figure 3's y-axis: the average over all source-destination pairs of an
+    [n]-cube. *)
+
+val sweep : rule -> max_n:int -> float array
+(** [sweep r ~max_n].(n) is the degree of adaptiveness for the [n]-cube
+    (index 0 unused, kept 0.). *)

@@ -1,0 +1,33 @@
+open Dfr_topology
+open Dfr_network
+open Dfr_routing
+open Dfr_core
+
+let unrestricted_relation =
+  Algo.make ~name:"all-channels" ~wait:Algo.Any_wait
+    ~route:(fun net b ~dest ->
+      let topo = Net.topology_exn net in
+      let head = Buf.head_node b in
+      List.concat_map
+        (fun (dim, dir) ->
+          List.init (Net.vcs net) (fun vc ->
+              Buf.id (Net.channel net ~src:head ~dim ~dir ~vc)))
+        (Topology.minimal_moves topo ~src:head ~dst:dest))
+    ()
+
+let degree net algo =
+  let baseline = State_space.build net unrestricted_relation in
+  Path_count.degree_of_adaptiveness ~baseline (State_space.build net algo)
+
+let sweep_square entries ~sizes =
+  List.map
+    (fun (name, vcs, algo) ->
+      let values =
+        List.map
+          (fun k ->
+            let net = Net.wormhole (Topology.mesh [| k; k |]) ~vcs in
+            Option.value (degree net algo) ~default:nan)
+          sizes
+      in
+      (name, values))
+    entries

@@ -1,0 +1,22 @@
+(** Degree of adaptiveness for mesh/torus algorithms.
+
+    Extends Figure 3's metric beyond hypercubes: the ratio of permitted to
+    possible buffer-level paths, averaged over all pairs, computed with the
+    generic {!Path_count} engine against an automatically built
+    unrestricted baseline (every minimal move on every virtual channel of
+    the same network). *)
+
+open Dfr_network
+open Dfr_routing
+
+val unrestricted_relation : Algo.t
+(** Every minimal move on every virtual channel, any-wait; the denominator
+    of the metric.  Works on any wormhole network with a topology. *)
+
+val degree : Net.t -> Algo.t -> float option
+(** [None] if some pair's count diverges (nonminimal relation). *)
+
+val sweep_square :
+  (string * int * Algo.t) list -> sizes:int list -> (string * float list) list
+(** [(name, vcs, algo)] entries measured on square k x k meshes for each
+    [k] in [sizes]. *)

@@ -1,0 +1,53 @@
+open Dfr_network
+open Dfr_core
+
+exception Cyclic
+
+(* Memoized DAG path count from [start] in the per-destination move graph;
+   colors detect cycles (gray = on the current stack). *)
+let count_from space ~dest ~start =
+  let net = State_space.net space in
+  let memo = Hashtbl.create 64 in
+  let gray = Hashtbl.create 16 in
+  let rec count b =
+    match Hashtbl.find_opt memo b with
+    | Some v -> v
+    | None ->
+      if Hashtbl.mem gray b then raise Cyclic;
+      Hashtbl.replace gray b ();
+      let v =
+        if Buf.head_node (Net.buffer net b) = dest then 1
+        else
+          List.fold_left
+            (fun acc o -> acc + count o)
+            0
+            (State_space.outputs space ~buf:b ~dest)
+      in
+      Hashtbl.remove gray b;
+      Hashtbl.replace memo b v;
+      v
+  in
+  try Some (count start) with Cyclic -> None
+
+let pair_paths space ~src ~dest =
+  if src = dest then Some 0
+  else
+    let inj = Buf.id (Net.injection (State_space.net space) src) in
+    count_from space ~dest ~start:inj
+
+let degree_of_adaptiveness ~baseline space =
+  let n = State_space.num_nodes space in
+  let acc = ref 0.0 in
+  let pairs = ref 0 in
+  let ok = ref true in
+  for src = 0 to n - 1 do
+    for dest = 0 to n - 1 do
+      if src <> dest && !ok then
+        match (pair_paths space ~src ~dest, pair_paths baseline ~src ~dest) with
+        | Some p, Some t when t > 0 ->
+          acc := !acc +. (float_of_int p /. float_of_int t);
+          incr pairs
+        | _ -> ok := false
+    done
+  done;
+  if !ok && !pairs > 0 then Some (!acc /. float_of_int !pairs) else None

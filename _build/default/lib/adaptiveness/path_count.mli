@@ -1,0 +1,21 @@
+(** Generic buffer-level path counting on any network/algorithm pair.
+
+    Counts the distinct chains of transit buffers a packet can traverse
+    from source to destination under the routing relation.  Used to
+    cross-validate the closed-form hypercube dynamic program and to
+    measure adaptiveness of mesh/torus algorithms for which no closed form
+    is derived. *)
+
+open Dfr_core
+
+val pair_paths : State_space.t -> src:int -> dest:int -> int option
+(** Number of routing paths from [src]'s injection buffer to arrival at
+    [dest]; [None] when the per-destination move graph reachable from the
+    source is cyclic (nonminimal algorithms can revisit buffers, making
+    the count infinite). *)
+
+val degree_of_adaptiveness :
+  baseline:State_space.t -> State_space.t -> float option
+(** Mean over all ordered pairs of [pair_paths algo / pair_paths baseline];
+    [None] if any count diverges or a baseline count is zero.  The
+    baseline is normally the unrestricted relation on the same network. *)

@@ -1,0 +1,1 @@
+lib/core/bwg.ml: Array Dfr_graph Dfr_network Domain Fun Hashtbl List Net Option State_space

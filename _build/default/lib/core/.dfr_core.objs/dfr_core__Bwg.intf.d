@@ -1,0 +1,1 @@
+lib/core/bwg.mli: Dfr_graph State_space

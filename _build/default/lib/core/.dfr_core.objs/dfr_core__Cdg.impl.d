@@ -1,0 +1,1 @@
+lib/core/cdg.ml: Buf Dfr_graph Dfr_network List Net State_space

@@ -1,0 +1,1 @@
+lib/core/cdg.mli: Dfr_graph State_space

@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Algo Buf Buffer Bwg Checker Cycle_class Dfr_graph Dfr_network Dfr_routing List Liveness Net Printf Reduction State_space String

@@ -1,0 +1,1 @@
+lib/core/certificate.mli: Algo Checker Dfr_network Dfr_routing Net

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Algo Bwg Cycle_class Deadlock_config Dfr_network Dfr_routing Format List Net Reduction State_space

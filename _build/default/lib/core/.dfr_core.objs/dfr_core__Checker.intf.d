@@ -1,0 +1,1 @@
+lib/core/checker.mli: Algo Bwg Cycle_class Deadlock_config Dfr_graph Dfr_network Dfr_routing Format Net Reduction State_space

@@ -1,0 +1,1 @@
+lib/core/cycle_class.ml: Bwg Dfr_graph Dfr_network Format Hashtbl List Net State_space String

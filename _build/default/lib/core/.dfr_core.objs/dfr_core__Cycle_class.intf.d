@@ -1,0 +1,1 @@
+lib/core/cycle_class.mli: Bwg Dfr_network Format

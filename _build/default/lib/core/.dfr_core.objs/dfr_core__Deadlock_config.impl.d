@@ -1,0 +1,1 @@
+lib/core/deadlock_config.ml: Array Buf Dfr_network Format Hashtbl List Net State_space

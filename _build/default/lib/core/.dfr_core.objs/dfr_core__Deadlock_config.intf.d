@@ -1,0 +1,1 @@
+lib/core/deadlock_config.mli: Dfr_network Format State_space

@@ -1,0 +1,1 @@
+lib/core/duato_condition.ml: Array Dfr_graph Hashtbl List State_space

@@ -1,0 +1,1 @@
+lib/core/duato_condition.mli: Dfr_graph State_space

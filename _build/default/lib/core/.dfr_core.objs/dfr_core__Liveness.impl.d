@@ -1,0 +1,1 @@
+lib/core/liveness.ml: Buf Dfr_graph Dfr_network Dfr_topology Format List Net State_space String Topology

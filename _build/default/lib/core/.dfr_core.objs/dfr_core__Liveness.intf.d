@@ -1,0 +1,1 @@
+lib/core/liveness.mli: Dfr_network Format Net State_space

@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Bwg Cycle_class Dfr_graph Dfr_network Hashtbl List Net Option State_space

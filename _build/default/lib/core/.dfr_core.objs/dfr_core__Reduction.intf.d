@@ -1,0 +1,1 @@
+lib/core/reduction.mli: Bwg Cycle_class Dfr_graph State_space

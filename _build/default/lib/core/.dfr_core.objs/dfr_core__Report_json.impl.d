@@ -1,0 +1,1 @@
+lib/core/report_json.ml: Algo Bwg Checker Cycle_class Dfr_graph Dfr_network Dfr_routing Dfr_util Json List Net Reduction

@@ -1,0 +1,1 @@
+lib/core/report_json.mli: Algo Checker Dfr_network Dfr_routing Dfr_util Net

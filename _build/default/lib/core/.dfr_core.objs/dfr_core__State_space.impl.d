@@ -1,0 +1,1 @@
+lib/core/state_space.ml: Algo Array Buf Dfr_graph Dfr_network Dfr_routing List Net Option Printf Queue

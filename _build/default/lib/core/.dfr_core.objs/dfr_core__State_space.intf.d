@@ -1,0 +1,1 @@
+lib/core/state_space.mli: Algo Dfr_graph Dfr_network Dfr_routing Net

@@ -1,0 +1,1 @@
+lib/core/turns.ml: Buf Dfr_network Dfr_topology Format Fun List Net State_space Topology

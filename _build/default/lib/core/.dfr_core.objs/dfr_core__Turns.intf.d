@@ -1,0 +1,1 @@
+lib/core/turns.mli: Dfr_topology Format State_space Topology

@@ -1,0 +1,125 @@
+open Dfr_network
+
+type wait_sets = buf:int -> dest:int -> int list
+type witness = { dest : int; head : int }
+
+type t = {
+  space : State_space.t;
+  graph : Dfr_graph.Digraph.t;
+  witnesses : (int * int, witness list) Hashtbl.t;
+  wait_sets : wait_sets;
+  witness_cap : int;
+}
+
+let space t = t.space
+let graph t = t.graph
+let wait_sets t = t.wait_sets
+
+let witnesses t q1 q2 =
+  match Hashtbl.find_opt t.witnesses (q1, q2) with
+  | Some ws -> List.rev ws
+  | None -> []
+
+(* Buffers reachable from [start] (inclusive) in the per-destination move
+   graph: the possible positions of the blocked header of a packet that
+   still occupies [start]. *)
+let continuation_heads g start =
+  let seen = Hashtbl.create 16 in
+  let rec dfs v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      List.iter dfs (Dfr_graph.Digraph.succ g v)
+    end
+  in
+  dfs start;
+  Hashtbl.fold (fun v () acc -> v :: acc) seen []
+
+(* Waiting edges contributed by one destination's traffic: pure with
+   respect to everything except the pre-built move graph, so destinations
+   can be processed by separate domains. *)
+let edges_for_dest space ~wait_sets ~wormhole dest =
+  let g = State_space.move_graph space ~dest in
+  let acc = ref [] in
+  let emit q1 head =
+    List.iter (fun w -> acc := (q1, w, { dest; head }) :: !acc) (wait_sets ~buf:head ~dest)
+  in
+  let per_buffer q1 =
+    if wormhole then List.iter (emit q1) (continuation_heads g q1)
+    else emit q1 q1
+  in
+  List.iter per_buffer (State_space.reachable_with space ~dest);
+  !acc
+
+let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1) space =
+  let wait_sets =
+    match wait_sets with
+    | Some w -> w
+    | None -> fun ~buf ~dest -> State_space.waits space ~buf ~dest
+  in
+  let net = State_space.net space in
+  let num_nodes = State_space.num_nodes space in
+  let graph = Dfr_graph.Digraph.create (State_space.num_buffers space) in
+  let witnesses = Hashtbl.create 256 in
+  let add_edge q1 q2 w =
+    Dfr_graph.Digraph.add_edge graph q1 q2;
+    let key = (q1, q2) in
+    let existing = Option.value (Hashtbl.find_opt witnesses key) ~default:[] in
+    if List.length existing < witness_cap then
+      Hashtbl.replace witnesses key (w :: existing)
+  in
+  let wormhole = indirect && Net.switching net = Net.Wormhole in
+  let dests = List.init num_nodes Fun.id in
+  let edge_lists =
+    if domains <= 1 || num_nodes <= 1 then
+      List.map (edges_for_dest space ~wait_sets ~wormhole) dests
+    else begin
+      (* the lazily cached move graphs are not safe to build concurrently:
+         materialize them first, then fan the per-destination closures out
+         over OCaml 5 domains *)
+      List.iter (fun dest -> ignore (State_space.move_graph space ~dest)) dests;
+      let n_dom = min domains num_nodes in
+      let chunks = Array.make n_dom [] in
+      List.iteri (fun i d -> chunks.(i mod n_dom) <- d :: chunks.(i mod n_dom)) dests;
+      let workers =
+        Array.map
+          (fun chunk ->
+            Domain.spawn (fun () ->
+                List.map (edges_for_dest space ~wait_sets ~wormhole) chunk))
+          chunks
+      in
+      Array.to_list workers |> List.concat_map Domain.join
+    end
+  in
+  (* merge sequentially: destinations ascending, witnesses in emit order,
+     so the result is identical to the serial construction *)
+  List.iter (fun edges -> List.iter (fun (q, w, wit) -> add_edge q w wit) (List.rev edges))
+    (List.sort
+       (fun a b ->
+         match (a, b) with
+         | (_, _, wa) :: _, (_, _, wb) :: _ -> compare wa.dest wb.dest
+         | [], _ -> -1
+         | _, [] -> 1)
+       edge_lists);
+  { space; graph; witnesses; wait_sets; witness_cap }
+
+let is_acyclic t = Dfr_graph.Traversal.is_acyclic t.graph
+let topological_order t = Dfr_graph.Traversal.topological_sort t.graph
+
+let cycles ?limits t = Dfr_graph.Cycles.enumerate_checked ?limits t.graph
+
+let unconnected_states t =
+  let acc = ref [] in
+  State_space.iter_reachable t.space (fun ~buf ~dest ->
+      if
+        (not (State_space.arrived t.space ~buf ~dest))
+        && t.wait_sets ~buf ~dest = []
+      then acc := (buf, dest) :: !acc);
+  List.rev !acc
+
+let is_wait_connected t = unconnected_states t = []
+
+let to_dot t =
+  let net = State_space.net t.space in
+  Dfr_graph.Dot.to_string ~name:"bwg"
+    ~vertex_label:(fun v -> Net.describe_buffer net v)
+    t.graph

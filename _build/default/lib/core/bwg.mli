@@ -1,0 +1,72 @@
+(** The Buffer Waiting Graph (§3-§4 of the paper).
+
+    Vertices are the network's buffers.  There is an edge [(q1, q2)] when a
+    packet that occupies [q1] can wait for [q2]:
+
+    - for store-and-forward and virtual cut-through, a blocked packet sits
+      in exactly one buffer, so [q2] must be in the waiting set of the
+      state [(q1, dest)] itself;
+    - for wormhole routing the packet may occupy the whole chain of buffers
+      from [q1] to the buffer its header blocks in, so the edge relation is
+      closed under permitted route continuations ("the packet length is
+      sufficient to fill the buffers from q1 to q2").
+
+    Every edge carries witnesses [(dest, head)] recording which traffic
+    creates it; the cycle classifier reconstructs the occupied paths from
+    them. *)
+
+type wait_sets = buf:int -> dest:int -> int list
+(** The waiting rule the graph is built from — the algorithm's full [waits]
+    by default, or a reduced BWG' candidate. *)
+
+type witness = { dest : int; head : int }
+(** A packet destined [dest] can sit with [q1] occupied and its header
+    blocked in buffer [head], whose waiting set contains the edge target. *)
+
+type t
+
+val build :
+  ?wait_sets:wait_sets ->
+  ?witness_cap:int ->
+  ?indirect:bool ->
+  ?domains:int ->
+  State_space.t ->
+  t
+(** [witness_cap] bounds the witnesses retained per edge (default 32).
+    [domains] (default 1) fans the per-destination continuation closures
+    out over OCaml 5 domains; the per-destination work is independent, the
+    merge is deterministic, and the result is identical to the serial
+    build (tested).
+    [indirect] (default [true]) controls the wormhole continuation
+    closure; building with [~indirect:false] keeps only the direct "waits
+    of the occupied buffer's own state" edges.  That is {e unsound} for
+    wormhole networks — a packet spans a chain of buffers — and exists
+    purely for the ablation experiment showing the closure is what catches
+    Duato's incoherent example. *)
+
+val space : t -> State_space.t
+val graph : t -> Dfr_graph.Digraph.t
+val wait_sets : t -> wait_sets
+
+val witnesses : t -> int -> int -> witness list
+(** Witnesses of edge [q1 -> q2] ([[]] if absent). *)
+
+val is_acyclic : t -> bool
+
+val topological_order : t -> int list option
+(** A linear buffer ordering proving acyclicity (Theorem 1's certificate),
+    if one exists. *)
+
+val cycles : ?limits:Dfr_graph.Cycles.limits -> t -> int list list * bool
+(** Elementary cycles and whether enumeration was exhaustive (false = the
+    cap was hit and cycles may be missing). *)
+
+val unconnected_states : t -> (int * int) list
+(** Reachable, unarrived, non-delivery states whose waiting set under
+    [wait_sets] is empty.  The algorithm is wait-connected for this graph
+    iff the list is empty (§3: every loss-less algorithm must be). *)
+
+val is_wait_connected : t -> bool
+
+val to_dot : t -> string
+(** DOT rendering with paper-style buffer labels (transit buffers only). *)

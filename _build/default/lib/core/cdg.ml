@@ -1,0 +1,13 @@
+open Dfr_network
+
+let build space =
+  let net = State_space.net space in
+  let g = Dfr_graph.Digraph.create (State_space.num_buffers space) in
+  State_space.iter_reachable space (fun ~buf ~dest ->
+      if Buf.is_transit (Net.buffer net buf) then
+        List.iter
+          (fun o -> Dfr_graph.Digraph.add_edge g buf o)
+          (State_space.outputs space ~buf ~dest));
+  g
+
+let deadlock_free space = Dfr_graph.Traversal.is_acyclic (build space)

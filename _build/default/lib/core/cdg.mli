@@ -1,0 +1,18 @@
+(** Dally-Seitz channel dependency graph (baseline proof technique).
+
+    The classical sufficient condition [8]: deadlock freedom follows from
+    an acyclic ordering of {e usage} dependencies — an edge [b -> b']
+    whenever some reachable packet may move from [b] to [b'].  The paper's
+    point is that this is needlessly strong for adaptive routing: usage of
+    a buffer the packet never {e waits on} cannot deadlock.  The E6 verdict
+    matrix contrasts this test with the BWG checker. *)
+
+val build : State_space.t -> Dfr_graph.Digraph.t
+(** Union over all destinations of the reachable move edges between
+    transit buffers (injection edges excluded, as in the original
+    formulation). *)
+
+val deadlock_free : State_space.t -> bool
+(** CDG acyclicity: [true] certifies deadlock freedom; [false] is merely
+    "this technique cannot tell" (the condition is only sufficient for
+    adaptive algorithms). *)

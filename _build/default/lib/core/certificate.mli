@@ -1,0 +1,15 @@
+(** Human-readable proof certificates.
+
+    Renders a {!Checker.report} as a self-contained document: which theorem
+    decided the question, the evidence (buffer ordering / classified
+    cycles / removed wait entries / witness packets), and enough network
+    statistics to audit it.  The CLI's [check --certificate] prints this;
+    designers can archive it next to their router RTL. *)
+
+open Dfr_network
+open Dfr_routing
+
+val render : Net.t -> Algo.t -> Checker.report -> string
+
+val print : Net.t -> Algo.t -> Checker.report -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,173 @@
+open Dfr_network
+open Dfr_routing
+
+type proof =
+  | Acyclic_bwg
+  | No_true_cycles of { cycles_examined : int }
+  | Reduced_bwg of {
+      via_hint : bool;
+      removed : Reduction.removed list;
+      full_bwg_cycles : int;
+    }
+
+type failure =
+  | Stuck_states of (int * int) list
+  | Not_wait_connected of (int * int) list
+  | Knot of Deadlock_config.t
+  | True_cycle of { cycle : int list; packets : Cycle_class.packet list }
+  | No_reduction of { cycle : int list; packets : Cycle_class.packet list }
+
+type verdict =
+  | Deadlock_free of proof
+  | Deadlock_possible of failure
+  | Unknown of string
+
+type report = {
+  verdict : verdict;
+  space : State_space.t;
+  bwg : Bwg.t;
+  bwg_cycles : int option;
+}
+
+(* Classify every cycle, shortest first; short-circuit on the first True
+   one (short cycles are both the likeliest witnesses and the cheapest to
+   classify). *)
+let scan_cycles ?class_limits bwg cycles =
+  let cycles =
+    List.sort (fun a b -> compare (List.length a) (List.length b)) cycles
+  in
+  let rec go uncertain examined = function
+    | [] -> `All_false (examined, uncertain)
+    | c :: rest -> (
+      match Cycle_class.classify ?limits:class_limits bwg c with
+      | Cycle_class.True_cycle packets -> `True (c, packets)
+      | Cycle_class.False_resource_cycle { exhaustive } ->
+        go (uncertain || not exhaustive) (examined + 1) rest)
+  in
+  go false 0 cycles
+
+let check ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) net algo =
+  let space = State_space.build net algo in
+  let bwg = Bwg.build ~domains space in
+  let n_cycles = ref None in
+  let finish verdict = { verdict; space; bwg; bwg_cycles = !n_cycles } in
+  match State_space.stuck_states space with
+  | _ :: _ as stuck -> finish (Deadlock_possible (Stuck_states stuck))
+  | [] -> (
+    match Bwg.unconnected_states bwg with
+    | _ :: _ as states -> finish (Deadlock_possible (Not_wait_connected states))
+    | [] ->
+      if Bwg.is_acyclic bwg then finish (Deadlock_free Acyclic_bwg)
+      else (
+        (* Cheap polynomial knot test: a set of mutually blocking
+           single-buffer packets survives in every BWG', so it is a
+           deadlock under either waiting discipline (Theorems 2-3,
+           necessity). *)
+        match Deadlock_config.find space with
+        | Some config -> finish (Deadlock_possible (Knot config))
+        | None -> (
+          let cycles, cycles_exhaustive = Bwg.cycles ?limits:cycle_limits bwg in
+          n_cycles := Some (List.length cycles);
+          match scan_cycles ?class_limits bwg cycles with
+          | `True (cycle, packets) -> (
+            match algo.Algo.wait with
+            | Algo.Specific_wait ->
+              (* Theorem 2 necessity: the witness is a deadlock. *)
+              finish (Deadlock_possible (True_cycle { cycle; packets }))
+            | Algo.Any_wait -> (
+              (* Theorem 3: look for a BWG'. *)
+              match Reduction.verify_hint ?cycle_limits ?class_limits space with
+              | Some (Reduction.Reduced (_, removed)) ->
+                finish
+                  (Deadlock_free
+                     (Reduced_bwg
+                        {
+                          via_hint = true;
+                          removed;
+                          full_bwg_cycles = List.length cycles;
+                        }))
+              | _ -> (
+                match
+                  Reduction.search ?cycle_limits ?class_limits
+                    ?budget:reduction_budget space
+                with
+                | Reduction.Reduced (_, removed) ->
+                  finish
+                    (Deadlock_free
+                       (Reduced_bwg
+                          {
+                            via_hint = false;
+                            removed;
+                            full_bwg_cycles = List.length cycles;
+                          }))
+                | Reduction.Impossible ->
+                  if cycles_exhaustive then
+                    finish (Deadlock_possible (No_reduction { cycle; packets }))
+                  else
+                    finish (Unknown "cycle enumeration truncated during reduction")
+                | Reduction.Gave_up reason -> finish (Unknown reason))))
+          | `All_false (examined, uncertain) ->
+            if uncertain || not cycles_exhaustive then
+              finish
+                (Unknown
+                   (if cycles_exhaustive then "cycle classification hit its caps"
+                    else "cycle enumeration truncated"))
+            else
+              (* Theorems 2 and 3 sufficiency with BWG' = BWG: only False
+                 Resource Cycles remain. *)
+              finish (Deadlock_free (No_true_cycles { cycles_examined = examined })))))
+
+let verdict ?cycle_limits ?class_limits ?reduction_budget ?domains net algo =
+  (check ?cycle_limits ?class_limits ?reduction_budget ?domains net algo).verdict
+
+let is_deadlock_free = function
+  | Deadlock_free _ -> Some true
+  | Deadlock_possible _ -> Some false
+  | Unknown _ -> None
+
+let pp_states net fmt states =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    (fun fmt (b, d) -> Format.fprintf fmt "%s->n%d" (Net.describe_buffer net b) d)
+    fmt states
+
+let pp_cycle net fmt cycle =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " -> ")
+    (fun fmt b -> Format.pp_print_string fmt (Net.describe_buffer net b))
+    fmt cycle
+
+let pp_verdict net fmt = function
+  | Deadlock_free Acyclic_bwg ->
+    Format.fprintf fmt "deadlock-free (Theorem 1: wait-connected, acyclic BWG)"
+  | Deadlock_free (No_true_cycles { cycles_examined }) ->
+    Format.fprintf fmt
+      "deadlock-free (Theorem 2/3: %d BWG cycle(s), all False Resource Cycles)"
+      cycles_examined
+  | Deadlock_free (Reduced_bwg { via_hint; removed; full_bwg_cycles }) ->
+    Format.fprintf fmt
+      "deadlock-free (Theorem 3: BWG' %s, %d wait entr%s removed, full BWG had %d cycle(s))"
+      (if via_hint then "verified from hint" else "found by search")
+      (List.length removed)
+      (if List.length removed = 1 then "y" else "ies")
+      full_bwg_cycles
+  | Deadlock_possible (Stuck_states states) ->
+    Format.fprintf fmt "broken: states with no permitted output: %a" (pp_states net)
+      states
+  | Deadlock_possible (Not_wait_connected states) ->
+    Format.fprintf fmt "deadlock: not wait-connected at %a" (pp_states net) states
+  | Deadlock_possible (Knot config) ->
+    Format.fprintf fmt
+      "deadlock: %d mutually blocking packets (knot configuration)"
+      (List.length config)
+  | Deadlock_possible (True_cycle { cycle; packets }) ->
+    Format.fprintf fmt "@[<v>deadlock: True Cycle %a@,%a@]" (pp_cycle net) cycle
+      (Format.pp_print_list (Cycle_class.pp_packet net))
+      packets
+  | Deadlock_possible (No_reduction { cycle; packets }) ->
+    Format.fprintf fmt
+      "@[<v>deadlock: no wait-connected BWG' exists; e.g. True Cycle %a@,%a@]"
+      (pp_cycle net) cycle
+      (Format.pp_print_list (Cycle_class.pp_packet net))
+      packets
+  | Unknown reason -> Format.fprintf fmt "unknown (%s)" reason

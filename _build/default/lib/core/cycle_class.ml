@@ -1,0 +1,153 @@
+open Dfr_network
+
+type packet = { dest : int; path : int list; waits_for : int }
+type verdict = True_cycle of packet list | False_resource_cycle of { exhaustive : bool }
+
+type limits = {
+  max_paths_per_edge : int;
+  max_path_length : int;
+  max_assignments : int;
+}
+
+let default_limits =
+  { max_paths_per_edge = 64; max_path_length = 24; max_assignments = 100_000 }
+
+(* Simple paths from [start] to [target] in the per-destination move graph:
+   the candidate chains of buffers a single blocked packet can occupy.
+   Returns the paths found and whether enumeration was exhaustive. *)
+let simple_paths ~limits g ~start ~target =
+  let found = ref [] in
+  let count = ref 0 in
+  let exhaustive = ref true in
+  let on_path = Hashtbl.create 16 in
+  let rec dfs v acc len =
+    if !count < limits.max_paths_per_edge then begin
+      let acc = v :: acc in
+      Hashtbl.replace on_path v ();
+      if v = target then begin
+        incr count;
+        found := List.rev acc :: !found
+      end
+      else if len >= limits.max_path_length then exhaustive := false
+      else
+        List.iter
+          (fun w -> if not (Hashtbl.mem on_path w) then dfs w acc (len + 1))
+          (Dfr_graph.Digraph.succ g v);
+      Hashtbl.remove on_path v
+    end
+    else exhaustive := false
+  in
+  dfs start [] 1;
+  (List.rev !found, !exhaustive)
+
+(* Candidate realizations of one BWG edge q -> w: a destination and an
+   occupied path from q to a head buffer whose waiting set contains w. *)
+let edge_candidates ~limits bwg q w =
+  let space = Bwg.space bwg in
+  let wormhole =
+    Net.switching (State_space.net space) = Net.Wormhole
+  in
+  let exhaustive = ref true in
+  let candidates = ref [] in
+  let seen = Hashtbl.create 16 in
+  let add dest path =
+    let key = (dest, path) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      candidates := { dest; path; waits_for = w } :: !candidates
+    end
+  in
+  let per_witness (wit : Bwg.witness) =
+    if wormhole then begin
+      let g = State_space.move_graph space ~dest:wit.Bwg.dest in
+      let paths, ex = simple_paths ~limits g ~start:q ~target:wit.Bwg.head in
+      if not ex then exhaustive := false;
+      List.iter (add wit.Bwg.dest) paths
+    end
+    else add wit.Bwg.dest [ q ]
+  in
+  List.iter per_witness (Bwg.witnesses bwg q w);
+  (List.rev !candidates, !exhaustive)
+
+exception Found of packet list
+
+let classify ?(limits = default_limits) bwg cycle =
+  let g = Bwg.graph bwg in
+  let edges =
+    match cycle with
+    | [] -> invalid_arg "Cycle_class.classify: empty cycle"
+    | first :: _ ->
+      let rec pair = function
+        | [ last ] -> [ (last, first) ]
+        | a :: (b :: _ as rest) -> (a, b) :: pair rest
+        | [] -> assert false
+      in
+      pair cycle
+  in
+  List.iter
+    (fun (q, w) ->
+      if not (Dfr_graph.Digraph.mem_edge g q w) then
+        invalid_arg "Cycle_class.classify: not a BWG cycle")
+    edges;
+  let exhaustive = ref true in
+  let candidates =
+    List.map
+      (fun (q, w) ->
+        let cands, ex = edge_candidates ~limits bwg q w in
+        if not ex then exhaustive := false;
+        cands)
+      edges
+  in
+  match cycle with
+  | [ _ ] -> (
+    (* A single packet waiting on a buffer it occupies: every realizable
+       self-loop is the paper's n = 1 deadlock, hence True. *)
+    match candidates with
+    | [ c :: _ ] -> True_cycle [ c ]
+    | _ -> False_resource_cycle { exhaustive = !exhaustive })
+  | _ ->
+    (* Search for one candidate per edge with pairwise-disjoint occupied
+       paths (no buffer simultaneously held by two packets). *)
+    let budget = ref limits.max_assignments in
+    let occupied = Hashtbl.create 64 in
+    let order =
+      (* fewest candidates first: fail fast *)
+      List.sort
+        (fun a b -> compare (List.length a) (List.length b))
+        candidates
+    in
+    let rec assign chosen = function
+      | [] -> raise (Found (List.rev chosen))
+      | cands :: rest ->
+        let try_candidate c =
+          if !budget <= 0 then exhaustive := false
+          else begin
+            decr budget;
+            if List.for_all (fun b -> not (Hashtbl.mem occupied b)) c.path then begin
+              List.iter (fun b -> Hashtbl.replace occupied b ()) c.path;
+              assign (c :: chosen) rest;
+              List.iter (fun b -> Hashtbl.remove occupied b) c.path
+            end
+          end
+        in
+        List.iter try_candidate cands
+    in
+    (try
+       assign [] order;
+       False_resource_cycle { exhaustive = !exhaustive }
+     with Found packets -> True_cycle packets)
+
+let first_true_cycle ?limits bwg cycles =
+  let rec go = function
+    | [] -> None
+    | c :: rest -> (
+      match classify ?limits bwg c with
+      | True_cycle packets -> Some (c, packets)
+      | False_resource_cycle _ -> go rest)
+  in
+  go cycles
+
+let pp_packet net fmt p =
+  Format.fprintf fmt "@[<h>packet->n%d occupies [%s] waits %s@]" p.dest
+    (String.concat "; " (List.map (Net.describe_buffer net) p.path))
+    (Net.describe_buffer net p.waits_for)

@@ -1,0 +1,49 @@
+(** Classification of BWG cycles into True Cycles and False Resource
+    Cycles (§5 of the paper).
+
+    A cycle is {e True} when a set of packets can create every waiting
+    dependency on it without any buffer being occupied by two packets at
+    once; the classifier searches for such a set directly, so a [True_cycle]
+    verdict comes with the witness packets — which are exactly the deadlock
+    configuration of Theorem 2's necessity proof.  A cycle whose every
+    realization needs a simultaneously shared buffer is a {e False Resource
+    Cycle} and can be ignored.
+
+    A self-loop realized by a single packet is the paper's [n = 1] deadlock:
+    the packet waits on a buffer it occupies itself (Duato's incoherent
+    example, Figure 2).
+
+    The search is worst-case exponential — as the paper notes every general
+    procedure is — so verdicts carry an [exhaustive] flag; a
+    non-exhaustive [False_resource_cycle] means "no realization found
+    within the caps", not a proof. *)
+
+type packet = {
+  dest : int;
+  path : int list;  (** occupied buffers, tail first, header's buffer last *)
+  waits_for : int;
+}
+
+type verdict =
+  | True_cycle of packet list
+  | False_resource_cycle of { exhaustive : bool }
+
+type limits = {
+  max_paths_per_edge : int;  (** candidate occupied paths per cycle edge *)
+  max_path_length : int;
+  max_assignments : int;  (** backtracking budget *)
+}
+
+val default_limits : limits
+(** 64 paths per edge, length 24, 100_000 assignments. *)
+
+val classify : ?limits:limits -> Bwg.t -> int list -> verdict
+(** [classify bwg cycle] where [cycle] is a vertex list as returned by
+    {!Bwg.cycles}.  Raises [Invalid_argument] if some consecutive pair is
+    not a BWG edge. *)
+
+val first_true_cycle :
+  ?limits:limits -> Bwg.t -> int list list -> (int list * packet list) option
+(** First cycle in the list that classifies as True, with its witness. *)
+
+val pp_packet : Dfr_network.Net.t -> Format.formatter -> packet -> unit

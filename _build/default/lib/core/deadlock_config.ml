@@ -1,0 +1,80 @@
+open Dfr_network
+
+type t = (int * int) list
+
+(* Start from every reachable, unarrived transit state and repeatedly
+   discard states with an output outside the currently occupied buffer
+   set; the survivors (if any) are mutually blocking. *)
+let find space =
+  let num_nodes = State_space.num_nodes space in
+  let net = State_space.net space in
+  let alive = Hashtbl.create 256 in
+  let per_buffer = Array.make (State_space.num_buffers space) 0 in
+  State_space.iter_reachable space (fun ~buf ~dest ->
+      if
+        Buf.is_transit (Net.buffer net buf)
+        && (not (State_space.arrived space ~buf ~dest))
+        && State_space.outputs space ~buf ~dest <> []
+      then begin
+        Hashtbl.replace alive ((buf * num_nodes) + dest) ();
+        per_buffer.(buf) <- per_buffer.(buf) + 1
+      end);
+  let occupied buf = per_buffer.(buf) > 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let drop = ref [] in
+    Hashtbl.iter
+      (fun key () ->
+        let buf = key / num_nodes and dest = key mod num_nodes in
+        let outs = State_space.outputs space ~buf ~dest in
+        if not (List.for_all occupied outs) then drop := key :: !drop)
+      alive;
+    List.iter
+      (fun key ->
+        if Hashtbl.mem alive key then begin
+          Hashtbl.remove alive key;
+          per_buffer.(key / num_nodes) <- per_buffer.(key / num_nodes) - 1;
+          changed := true
+        end)
+      !drop
+  done;
+  if Hashtbl.length alive = 0 then None
+  else begin
+    (* one packet per occupied buffer: pick the first surviving dest *)
+    let chosen = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun key () ->
+        let buf = key / num_nodes and dest = key mod num_nodes in
+        if not (Hashtbl.mem chosen buf) then Hashtbl.replace chosen buf dest)
+      alive;
+    let config = Hashtbl.fold (fun buf dest acc -> (buf, dest) :: acc) chosen [] in
+    Some (List.sort compare config)
+  end
+
+let verify space config =
+  let net = State_space.net space in
+  let bufs = List.map fst config in
+  let distinct =
+    List.length (List.sort_uniq compare bufs) = List.length bufs
+  in
+  distinct && config <> []
+  && List.for_all
+       (fun (buf, dest) ->
+         Buf.is_transit (Net.buffer net buf)
+         && State_space.is_reachable space ~buf ~dest
+         && (not (State_space.arrived space ~buf ~dest))
+         && State_space.outputs space ~buf ~dest <> []
+         && List.for_all
+              (fun o -> List.mem o bufs)
+              (State_space.outputs space ~buf ~dest))
+       config
+
+let pp net fmt config =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (buf, dest) ->
+      Format.fprintf fmt "%s holds a packet for n%d@," (Net.describe_buffer net buf)
+        dest)
+    config;
+  Format.fprintf fmt "@]"

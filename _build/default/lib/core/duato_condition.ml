@@ -1,0 +1,50 @@
+let escape_channels space =
+  let escape = Array.make (State_space.num_buffers space) false in
+  State_space.iter_reachable space (fun ~buf ~dest ->
+      List.iter (fun w -> escape.(w) <- true) (State_space.waits space ~buf ~dest));
+  escape
+
+let extended_dependency_graph space =
+  let escape = escape_channels space in
+  let n = State_space.num_buffers space in
+  let g = Dfr_graph.Digraph.create n in
+  for dest = 0 to State_space.num_nodes space - 1 do
+    let moves = State_space.move_graph space ~dest in
+    (* From escape channel c1, walk through adaptive buffers only and record
+       every escape channel usable along the way. *)
+    let from_escape c1 =
+      let seen = Hashtbl.create 16 in
+      let rec walk v =
+        List.iter
+          (fun w ->
+            if escape.(w) then Dfr_graph.Digraph.add_edge g c1 w
+            else if not (Hashtbl.mem seen w) then begin
+              Hashtbl.replace seen w ();
+              walk w
+            end)
+          (Dfr_graph.Digraph.succ moves v)
+      in
+      walk c1
+    in
+    List.iter
+      (fun b -> if escape.(b) then from_escape b)
+      (State_space.reachable_with space ~dest)
+  done;
+  g
+
+type result = { certified : bool; connected : bool; acyclic : bool }
+
+let analyze space =
+  let connected =
+    let ok = ref true in
+    State_space.iter_reachable space (fun ~buf ~dest ->
+        if
+          (not (State_space.arrived space ~buf ~dest))
+          && State_space.waits space ~buf ~dest = []
+        then ok := false);
+    !ok
+  in
+  let acyclic = Dfr_graph.Traversal.is_acyclic (extended_dependency_graph space) in
+  { certified = connected && acyclic; connected; acyclic }
+
+let deadlock_free space = (analyze space).certified

@@ -1,0 +1,36 @@
+(** Duato's escape-channel condition (baseline proof technique [9, 11]).
+
+    Duato's methodology splits the routing relation into an adaptive part
+    and an {e escape} subfunction and requires the escape channels' {e
+    extended} channel dependency graph to be acyclic: an edge [c1 -> c2]
+    (both escape channels) whenever a packet can use [c1] and later use
+    [c2] having traversed only adaptive (non-escape) buffers in between.
+
+    We instantiate the escape subfunction with the algorithm's waiting
+    rule — the natural reading in the paper's buffer-centric model — and
+    require it to supply an escape everywhere (Duato's connectivity
+    premise).
+
+    The crucial difference from the BWG: this graph tracks {e usage} of
+    escape channels, the BWG only {e waiting}.  The paper's EFA algorithm
+    routes partially adaptively on its [B1] (escape) channels, which
+    creates usage cycles among them for hypercubes of dimension >= 3 even
+    though no waiting cycle exists — so this test rejects EFA while
+    Theorem 1 certifies it.  That separation is experiment E6. *)
+
+val escape_channels : State_space.t -> bool array
+(** Buffers appearing in some reachable waiting set. *)
+
+val extended_dependency_graph : State_space.t -> Dfr_graph.Digraph.t
+(** Direct and indirect dependencies between escape channels. *)
+
+type result = {
+  certified : bool;
+  connected : bool;  (** escape subfunction defined at every blocked state *)
+  acyclic : bool;  (** extended dependency graph acyclic *)
+}
+
+val analyze : State_space.t -> result
+val deadlock_free : State_space.t -> bool
+(** [true] certifies deadlock freedom; [false] means the technique cannot
+    tell. *)

@@ -1,0 +1,52 @@
+open Dfr_topology
+open Dfr_network
+
+type result = {
+  livelock_free : bool;
+  offending_dest : int option;
+  cycle : int list option;
+}
+
+let analyze space =
+  let rec scan dest =
+    if dest >= State_space.num_nodes space then
+      { livelock_free = true; offending_dest = None; cycle = None }
+    else
+      let g = State_space.move_graph space ~dest in
+      match Dfr_graph.Traversal.find_cycle g with
+      | Some cycle ->
+        { livelock_free = false; offending_dest = Some dest; cycle = Some cycle }
+      | None -> scan (dest + 1)
+  in
+  scan 0
+
+let livelock_free space = (analyze space).livelock_free
+
+let is_minimal space =
+  match Net.topology (State_space.net space) with
+  | None -> false
+  | Some topo ->
+    let ok = ref true in
+    State_space.iter_reachable space (fun ~buf ~dest ->
+        if not (State_space.arrived space ~buf ~dest) then begin
+          let here = Buf.head_node (Net.buffer (State_space.net space) buf) in
+          let d = Topology.distance topo here dest in
+          List.iter
+            (fun o ->
+              let next = Buf.head_node (Net.buffer (State_space.net space) o) in
+              (* same-node transfers (injection entry, buffer-class change)
+                 are distance-neutral and allowed *)
+              if next <> here && Topology.distance topo next dest <> d - 1 then
+                ok := false)
+            (State_space.outputs space ~buf ~dest)
+        end);
+    !ok
+
+let pp_result net fmt r =
+  if r.livelock_free then Format.pp_print_string fmt "livelock-free"
+  else
+    match (r.offending_dest, r.cycle) with
+    | Some dest, Some cycle ->
+      Format.fprintf fmt "possible livelock toward n%d: %s" dest
+        (String.concat " -> " (List.map (Net.describe_buffer net) cycle))
+    | _ -> Format.pp_print_string fmt "possible livelock"

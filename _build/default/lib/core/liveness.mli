@@ -1,0 +1,28 @@
+(** Livelock analysis.
+
+    §2 of the paper: "livelock freedom and deadlock freedom are independent
+    issues" — the BWG machinery deliberately says nothing about progress.
+    This module covers the gap: a routing relation is livelock-free when no
+    packet can revisit a buffer, i.e. every per-destination move graph
+    restricted to the reachable states is acyclic; minimal algorithms
+    satisfy the stronger property that every hop strictly decreases the
+    distance to the destination. *)
+
+open Dfr_network
+
+type result = {
+  livelock_free : bool;
+  offending_dest : int option;
+      (** a destination whose move graph has a cycle, when not free *)
+  cycle : int list option;  (** a buffer cycle witnessing it *)
+}
+
+val analyze : State_space.t -> result
+
+val livelock_free : State_space.t -> bool
+
+val is_minimal : State_space.t -> bool
+(** Every permitted move strictly decreases the topological distance to the
+    destination.  Always false for {!Net.custom} networks (no metric). *)
+
+val pp_result : Net.t -> Format.formatter -> result -> unit

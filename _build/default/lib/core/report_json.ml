@@ -1,0 +1,105 @@
+open Dfr_network
+open Dfr_routing
+open Dfr_util
+
+let buffer_name net b = Json.String (Net.describe_buffer net b)
+
+let state_json net (b, d) =
+  Json.Obj [ ("buffer", buffer_name net b); ("dest", Json.Int d) ]
+
+let packet_json net (p : Cycle_class.packet) =
+  Json.Obj
+    [
+      ("dest", Json.Int p.Cycle_class.dest);
+      ("occupies", Json.List (List.map (buffer_name net) p.Cycle_class.path));
+      ("waits_for", buffer_name net p.Cycle_class.waits_for);
+    ]
+
+let verdict_json net = function
+  | Checker.Deadlock_free proof ->
+    let detail =
+      match proof with
+      | Checker.Acyclic_bwg -> [ ("theorem", Json.Int 1) ]
+      | Checker.No_true_cycles { cycles_examined } ->
+        [ ("theorem", Json.Int 2); ("false_cycles", Json.Int cycles_examined) ]
+      | Checker.Reduced_bwg { via_hint; removed; full_bwg_cycles } ->
+        [
+          ("theorem", Json.Int 3);
+          ("via_hint", Json.Bool via_hint);
+          ("full_bwg_cycles", Json.Int full_bwg_cycles);
+          ( "removed_waits",
+            Json.List
+              (List.map
+                 (fun (r : Reduction.removed) ->
+                   Json.Obj
+                     [
+                       ("head", buffer_name net r.Reduction.head);
+                       ("dest", Json.Int r.Reduction.dest);
+                       ("target", buffer_name net r.Reduction.target);
+                     ])
+                 removed) );
+        ]
+    in
+    Json.Obj (("result", Json.String "deadlock-free") :: detail)
+  | Checker.Deadlock_possible failure ->
+    let detail =
+      match failure with
+      | Checker.Stuck_states states ->
+        [
+          ("kind", Json.String "stuck-states");
+          ("states", Json.List (List.map (state_json net) states));
+        ]
+      | Checker.Not_wait_connected states ->
+        [
+          ("kind", Json.String "not-wait-connected");
+          ("states", Json.List (List.map (state_json net) states));
+        ]
+      | Checker.Knot config ->
+        [
+          ("kind", Json.String "knot");
+          ("packets", Json.List (List.map (state_json net) config));
+        ]
+      | Checker.True_cycle { cycle; packets } ->
+        [
+          ("kind", Json.String "true-cycle");
+          ("cycle", Json.List (List.map (buffer_name net) cycle));
+          ("packets", Json.List (List.map (packet_json net) packets));
+        ]
+      | Checker.No_reduction { cycle; packets } ->
+        [
+          ("kind", Json.String "no-reduction");
+          ("cycle", Json.List (List.map (buffer_name net) cycle));
+          ("packets", Json.List (List.map (packet_json net) packets));
+        ]
+    in
+    Json.Obj (("result", Json.String "deadlock") :: detail)
+  | Checker.Unknown reason ->
+    Json.Obj [ ("result", Json.String "unknown"); ("reason", Json.String reason) ]
+
+let of_report net algo (report : Checker.report) =
+  let g = Bwg.graph report.Checker.bwg in
+  Json.Obj
+    [
+      ("algorithm", Json.String algo.Algo.name);
+      ( "waiting",
+        Json.String
+          (match algo.Algo.wait with
+          | Algo.Specific_wait -> "specific"
+          | Algo.Any_wait -> "any") );
+      ("network", Json.String (Net.name net));
+      ("nodes", Json.Int (Net.num_nodes net));
+      ("buffers", Json.Int (Net.num_buffers net));
+      ( "bwg",
+        Json.Obj
+          [
+            ("vertices", Json.Int (Dfr_graph.Digraph.num_vertices g));
+            ("edges", Json.Int (Dfr_graph.Digraph.num_edges g));
+            ( "cycles",
+              match report.Checker.bwg_cycles with
+              | Some n -> Json.Int n
+              | None -> Json.Null );
+          ] );
+      ("verdict", verdict_json net report.Checker.verdict);
+    ]
+
+let to_string net algo report = Json.to_string_pretty (of_report net algo report)

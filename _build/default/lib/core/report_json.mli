@@ -1,0 +1,10 @@
+(** Machine-readable checker reports (JSON), for scripting around the CLI
+    and archiving verdicts in CI. *)
+
+open Dfr_network
+open Dfr_routing
+
+val of_report : Net.t -> Algo.t -> Checker.report -> Dfr_util.Json.t
+
+val to_string : Net.t -> Algo.t -> Checker.report -> string
+(** Pretty-printed {!of_report}. *)

@@ -1,0 +1,129 @@
+open Dfr_network
+open Dfr_routing
+
+type t = {
+  net : Net.t;
+  algo : Algo.t;
+  num_buffers : int;
+  num_nodes : int;
+  reachable : bool array; (* buf * num_nodes + dest *)
+  outputs : int list array; (* only meaningful for reachable states *)
+  waits : int list array;
+  reduced : int list array option;
+  move_graphs : Dfr_graph.Digraph.t option array; (* per dest, lazy *)
+}
+
+let index t ~buf ~dest = (buf * t.num_nodes) + dest
+let net t = t.net
+let algo t = t.algo
+let num_buffers t = t.num_buffers
+let num_nodes t = t.num_nodes
+
+let is_reachable t ~buf ~dest = t.reachable.(index t ~buf ~dest)
+
+let arrived t ~buf ~dest = Buf.head_node (Net.buffer t.net buf) = dest
+
+let outputs t ~buf ~dest =
+  if is_reachable t ~buf ~dest then t.outputs.(index t ~buf ~dest) else []
+
+let waits t ~buf ~dest =
+  if is_reachable t ~buf ~dest then t.waits.(index t ~buf ~dest) else []
+
+let reduced_waits t =
+  Option.map
+    (fun arr ~buf ~dest ->
+      if is_reachable t ~buf ~dest then arr.(index t ~buf ~dest) else [])
+    t.reduced
+
+let build net algo =
+  (match Algo.validate algo net with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("State_space.build: " ^ msg));
+  let num_buffers = Net.num_buffers net in
+  let num_nodes = Net.num_nodes net in
+  let size = num_buffers * num_nodes in
+  let reachable = Array.make size false in
+  let outputs = Array.make size [] in
+  let waits = Array.make size [] in
+  let reduced = Option.map (fun _ -> Array.make size []) algo.Algo.reduced_waits in
+  let idx buf dest = (buf * num_nodes) + dest in
+  let queue = Queue.create () in
+  let visit buf dest =
+    let i = idx buf dest in
+    if not reachable.(i) then begin
+      reachable.(i) <- true;
+      Queue.add (buf, dest) queue
+    end
+  in
+  for src = 0 to num_nodes - 1 do
+    for dest = 0 to num_nodes - 1 do
+      if src <> dest then visit (Buf.id (Net.injection net src)) dest
+    done
+  done;
+  while not (Queue.is_empty queue) do
+    let buf, dest = Queue.pop queue in
+    let b = Net.buffer net buf in
+    if Buf.head_node b <> dest then begin
+      let i = idx buf dest in
+      let outs =
+        List.filter
+          (fun o -> Buf.is_transit (Net.buffer net o))
+          (algo.Algo.route net b ~dest)
+      in
+      outputs.(i) <- outs;
+      waits.(i) <- algo.Algo.waits net b ~dest;
+      (match (reduced, algo.Algo.reduced_waits) with
+      | Some arr, Some rw -> arr.(i) <- rw net b ~dest
+      | _ -> ());
+      List.iter (fun o -> visit o dest) outs
+    end
+  done;
+  {
+    net;
+    algo;
+    num_buffers;
+    num_nodes;
+    reachable;
+    outputs;
+    waits;
+    reduced;
+    move_graphs = Array.make num_nodes None;
+  }
+
+let iter_reachable t f =
+  for buf = 0 to t.num_buffers - 1 do
+    for dest = 0 to t.num_nodes - 1 do
+      if t.reachable.(index t ~buf ~dest) then f ~buf ~dest
+    done
+  done
+
+let move_graph t ~dest =
+  match t.move_graphs.(dest) with
+  | Some g -> g
+  | None ->
+    let g = Dfr_graph.Digraph.create t.num_buffers in
+    for buf = 0 to t.num_buffers - 1 do
+      if t.reachable.(index t ~buf ~dest) then
+        List.iter
+          (fun o -> Dfr_graph.Digraph.add_edge g buf o)
+          t.outputs.(index t ~buf ~dest)
+    done;
+    t.move_graphs.(dest) <- Some g;
+    g
+
+let reachable_with t ~dest =
+  let acc = ref [] in
+  for buf = t.num_buffers - 1 downto 0 do
+    if t.reachable.(index t ~buf ~dest) then acc := buf :: !acc
+  done;
+  !acc
+
+let stuck_states t =
+  let acc = ref [] in
+  iter_reachable t (fun ~buf ~dest ->
+      if (not (arrived t ~buf ~dest)) && t.outputs.(index t ~buf ~dest) = [] then
+        acc := (buf, dest) :: !acc);
+  List.rev !acc
+
+let describe_state t (buf, dest) =
+  Printf.sprintf "%s->n%d" (Net.describe_buffer t.net buf) dest

@@ -1,0 +1,54 @@
+(** The reachable routing states of an algorithm on a network.
+
+    A state is a pair (buffer, destination): "some packet destined for
+    [dest] occupies [buf]".  States are seeded at the injection buffers and
+    closed under the routing relation; everything downstream — the buffer
+    waiting graph, wait-connectivity, cycle classification, the baseline
+    proof techniques and the adaptiveness counters — works on this state
+    space, which is what keeps the analysis exact: dependencies that no
+    packet can actually create (because the state is unreachable) never
+    enter the BWG. *)
+
+open Dfr_network
+open Dfr_routing
+
+type t
+
+val build : Net.t -> Algo.t -> t
+(** Raises [Invalid_argument] when [Algo.validate] rejects the pair. *)
+
+val net : t -> Net.t
+val algo : t -> Algo.t
+val num_buffers : t -> int
+val num_nodes : t -> int
+
+val is_reachable : t -> buf:int -> dest:int -> bool
+
+val outputs : t -> buf:int -> dest:int -> int list
+(** Permitted transit outputs of a reachable state; [[]] when the head is
+    at the destination (the packet proceeds to delivery) or the state is
+    unreachable. *)
+
+val waits : t -> buf:int -> dest:int -> int list
+(** Waiting buffers of a reachable state (same conventions). *)
+
+val reduced_waits : t -> (buf:int -> dest:int -> int list) option
+(** The algorithm's BWG' hint filtered to reachable states, if any. *)
+
+val arrived : t -> buf:int -> dest:int -> bool
+(** The head of a packet in this state is at its destination. *)
+
+val iter_reachable : t -> (buf:int -> dest:int -> unit) -> unit
+
+val move_graph : t -> dest:int -> Dfr_graph.Digraph.t
+(** Buffer-to-buffer moves available to packets destined for [dest]
+    (restricted to reachable states; cached). *)
+
+val reachable_with : t -> dest:int -> int list
+(** Buffers some [dest]-bound packet can occupy, ascending. *)
+
+val stuck_states : t -> (int * int) list
+(** Reachable states that are neither arrived nor have any output: the
+    routing relation dead-ends there (a malformed algorithm). *)
+
+val describe_state : t -> int * int -> string

@@ -1,0 +1,66 @@
+open Dfr_topology
+open Dfr_network
+
+type turn = {
+  from_dim : int;
+  from_dir : Topology.direction;
+  to_dim : int;
+  to_dir : Topology.direction;
+}
+
+let all_turns ~dims =
+  let dirs = [ Topology.Plus; Topology.Minus ] in
+  List.concat_map
+    (fun from_dim ->
+      List.concat_map
+        (fun to_dim ->
+          if to_dim = from_dim then []
+          else
+            List.concat_map
+              (fun from_dir ->
+                List.map
+                  (fun to_dir -> { from_dim; from_dir; to_dim; to_dir })
+                  dirs)
+              dirs)
+        (List.init dims Fun.id))
+    (List.init dims Fun.id)
+
+let matches_filter net turn ~node b outputs =
+  match Buf.kind (Net.buffer net b) with
+  | Buf.Channel { dim; dir; dst; _ }
+    when dim = turn.from_dim && dir = turn.from_dir
+         && (match node with None -> true | Some n -> dst = n) ->
+    List.exists
+      (fun o ->
+        match Buf.kind (Net.buffer net o) with
+        | Buf.Channel { dim = d2; dir = r2; _ } ->
+          d2 = turn.to_dim && r2 = turn.to_dir
+        | _ -> false)
+      outputs
+  | _ -> false
+
+let search space ~node turn =
+  let net = State_space.net space in
+  let found = ref false in
+  State_space.iter_reachable space (fun ~buf ~dest ->
+      if not !found then
+        if
+          matches_filter net turn ~node buf
+            (State_space.outputs space ~buf ~dest)
+        then found := true);
+  !found
+
+let permitted space turn = search space ~node:None turn
+let permitted_at space ~node turn = search space ~node:(Some node) turn
+
+let turn_set space =
+  let dims =
+    match Net.topology (State_space.net space) with
+    | Some topo -> Topology.dimensions topo
+    | None -> invalid_arg "Turns.turn_set: custom network"
+  in
+  List.map (fun t -> (t, permitted space t)) (all_turns ~dims)
+
+let pp_turn fmt t =
+  Format.fprintf fmt "%d%a -> %d%a" t.from_dim Topology.pp_direction t.from_dir
+    t.to_dim Topology.pp_direction t.to_dir

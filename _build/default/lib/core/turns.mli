@@ -1,0 +1,36 @@
+(** Turn extraction: which physical turns a routing relation actually
+    permits.
+
+    The turn model (Glass & Ni, cited as [15, 16]) characterizes 2-D mesh
+    algorithms by the set of 90-degree turns they allow; each cycle sense
+    needs all four of its turns, so breaking one turn per sense suffices.
+    This module recovers the turn set of {e any} algorithm from its
+    reachable state space — a designer can check that an implementation
+    matches the turn-model spec it claims, and the test suite validates our
+    turn-model encodings against the published sets. *)
+
+open Dfr_topology
+
+type turn = {
+  from_dim : int;
+  from_dir : Topology.direction;
+  to_dim : int;
+  to_dir : Topology.direction;
+}
+
+val all_turns : dims:int -> turn list
+(** Every ordered pair of distinct dimensions with directions —
+    [4 * dims * (dims - 1)] turns; for 2-D meshes, the classical eight. *)
+
+val permitted : State_space.t -> turn -> bool
+(** Some reachable packet can take this turn somewhere in the network. *)
+
+val permitted_at : State_space.t -> node:int -> turn -> bool
+(** Some reachable packet can take this turn at this node (needed for
+    position-dependent schemes like odd-even). *)
+
+val turn_set : State_space.t -> (turn * bool) list
+(** [all_turns] paired with {!permitted}. *)
+
+val pp_turn : Format.formatter -> turn -> unit
+(** e.g. ["0+ -> 1-"] for an east-to-south turn. *)

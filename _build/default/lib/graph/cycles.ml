@@ -1,0 +1,96 @@
+type limits = { max_cycles : int; max_length : int }
+
+let default_limits = { max_cycles = 10_000; max_length = 64 }
+
+exception Done
+
+(* Johnson's algorithm restricted to one SCC at a time.  [least] is the
+   root vertex of the current round: only vertices >= least participate and
+   every reported cycle starts at [least]. *)
+let enumerate_with ?(limits = default_limits) g ~on_truncate =
+  let n = Digraph.num_vertices g in
+  let result = ref [] in
+  let found = ref 0 in
+  let blocked = Array.make n false in
+  let block_map = Array.make n [] in
+  let stack = ref [] in
+  let rec unblock v =
+    if blocked.(v) then begin
+      blocked.(v) <- false;
+      let ws = block_map.(v) in
+      block_map.(v) <- [];
+      List.iter unblock ws
+    end
+  in
+  let emit () =
+    result := List.rev !stack :: !result;
+    incr found;
+    if !found >= limits.max_cycles then begin
+      on_truncate ();
+      raise Done
+    end
+  in
+  (* circuit over the subgraph [allowed] *)
+  let rec circuit g allowed least v =
+    let closed = ref false in
+    blocked.(v) <- true;
+    stack := v :: !stack;
+    let explore w =
+      if allowed.(w) then
+        if w = least then begin
+          if List.length !stack <= limits.max_length then emit ();
+          closed := true
+        end
+        else if not blocked.(w) && List.length !stack < limits.max_length then
+          if circuit g allowed least w then closed := true
+    in
+    List.iter explore (Digraph.succ g v);
+    if !closed then unblock v
+    else
+      List.iter
+        (fun w ->
+          if allowed.(w) && not (List.mem v block_map.(w)) then
+            block_map.(w) <- v :: block_map.(w))
+        (Digraph.succ g v);
+    stack := List.tl !stack;
+    !closed
+  in
+  (try
+     for least = 0 to n - 1 do
+       (* SCC of the subgraph induced by vertices >= least that contains
+          [least] *)
+       let sub = Digraph.induced g ~keep:(fun v -> v >= least) in
+       let scc = Scc.compute sub in
+       let c = scc.Scc.component.(least) in
+       let allowed = Array.make n false in
+       Array.iteri
+         (fun v cv -> if v >= least && cv = c then allowed.(v) <- true)
+         scc.Scc.component;
+       let in_scc_with_edge =
+         List.exists (fun w -> allowed.(w)) (Digraph.succ sub least)
+       in
+       if in_scc_with_edge || Digraph.mem_edge g least least then begin
+         for v = 0 to n - 1 do
+           blocked.(v) <- false;
+           block_map.(v) <- []
+         done;
+         ignore (circuit g allowed least least)
+       end
+     done
+   with Done -> ());
+  List.rev !result
+
+let enumerate ?limits g =
+  enumerate_with ?limits g ~on_truncate:(fun () -> ())
+
+let enumerate_checked ?limits g =
+  let hit = ref false in
+  let cs = enumerate_with ?limits g ~on_truncate:(fun () -> hit := true) in
+  (cs, not !hit)
+
+let truncated ?limits g =
+  let hit = ref false in
+  ignore (enumerate_with ?limits g ~on_truncate:(fun () -> hit := true));
+  !hit
+
+let count_bounded ?limits g = List.length (enumerate ?limits g)

@@ -1,0 +1,32 @@
+(** Enumeration of elementary cycles (Johnson's algorithm) with caps.
+
+    The BWG cycle classifier needs the actual cycles, not just their
+    existence, and the paper notes that every general deadlock-freedom
+    procedure is worst-case exponential; the caps keep enumeration bounded
+    on adversarial inputs while remaining exhaustive on the networks the
+    test-suite and benches exercise. *)
+
+type limits = {
+  max_cycles : int;  (** stop after this many cycles *)
+  max_length : int;  (** ignore cycles longer than this many vertices *)
+}
+
+val default_limits : limits
+(** 10_000 cycles, length 64. *)
+
+val enumerate : ?limits:limits -> Digraph.t -> int list list
+(** All elementary cycles up to the caps.  Each cycle is the vertex list
+    [v1; ...; vk] with edges [vi -> vi+1] and [vk -> v1]; self loops give
+    singletons.  Cycles are reported rooted at their smallest vertex. *)
+
+val enumerate_checked : ?limits:limits -> Digraph.t -> int list list * bool
+(** Like {!enumerate}, also reporting whether enumeration was exhaustive
+    ([false] when the cycle cap stopped it early; length-capped cycles are
+    silently skipped either way). *)
+
+val truncated : ?limits:limits -> Digraph.t -> bool
+(** Whether [enumerate] with the same limits stopped early (so the returned
+    list may be incomplete). *)
+
+val count_bounded : ?limits:limits -> Digraph.t -> int
+(** Number of cycles found under the caps. *)

@@ -1,0 +1,82 @@
+(* Invariant: no duplicate entries within adj.(u); adj lists hold the most
+   recently inserted successor first. *)
+type t = { n : int; adj : int list array; mutable m : int }
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  { n; adj = Array.make n []; m = 0 }
+
+let num_vertices g = g.n
+let num_edges g = g.m
+
+let check g u =
+  if u < 0 || u >= g.n then invalid_arg "Digraph: vertex out of range"
+
+let mem_edge g u v =
+  check g u;
+  check g v;
+  List.mem v g.adj.(u)
+
+let add_edge g u v =
+  if not (mem_edge g u v) then begin
+    g.adj.(u) <- v :: g.adj.(u);
+    g.m <- g.m + 1
+  end
+
+let remove_edge g u v =
+  check g u;
+  check g v;
+  if List.mem v g.adj.(u) then begin
+    g.adj.(u) <- List.filter (fun w -> w <> v) g.adj.(u);
+    g.m <- g.m - 1
+  end
+
+let succ g u =
+  check g u;
+  List.rev g.adj.(u)
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> f u v) (List.rev g.adj.(u))
+  done
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun u v -> acc := f u v !acc) g;
+  !acc
+
+let edges g = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) g [])
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+let copy g = { n = g.n; adj = Array.copy g.adj; m = g.m }
+
+let transpose g =
+  let t = create g.n in
+  iter_edges (fun u v -> add_edge t v u) g;
+  t
+
+let induced g ~keep =
+  let h = create g.n in
+  iter_edges (fun u v -> if keep u && keep v then add_edge h u v) g;
+  h
+
+let out_degree g u =
+  check g u;
+  List.length g.adj.(u)
+
+let equal a b =
+  a.n = b.n && a.m = b.m
+  && begin
+    let ok = ref true in
+    iter_edges (fun u v -> if not (mem_edge b u v) then ok := false) a;
+    !ok
+  end
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>digraph (%d vertices, %d edges)" g.n g.m;
+  iter_edges (fun u v -> Format.fprintf fmt "@,  %d -> %d" u v) g;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+(** Mutable directed graphs over integer vertices [0, n).
+
+    This is the graph substrate for the whole toolkit (the sealed build
+    environment has no [ocamlgraph]).  Vertices are dense integers so the
+    buffer-waiting-graph engine can use buffer identifiers directly. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a graph with vertices [0 .. n-1] and no edges. *)
+
+val num_vertices : t -> int
+
+val num_edges : t -> int
+(** Number of distinct edges. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] inserts edge [u -> v]; duplicate insertions are
+    ignored.  Self loops are allowed.  Raises [Invalid_argument] when a
+    vertex is out of range. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Removes the edge if present; no-op otherwise. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val succ : t -> int -> int list
+(** Successors of a vertex, in insertion order. *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val edges : t -> (int * int) list
+
+val of_edges : int -> (int * int) list -> t
+val copy : t -> t
+val transpose : t -> t
+
+val induced : t -> keep:(int -> bool) -> t
+(** [induced g ~keep] is a same-vertex-set graph retaining only edges whose
+    endpoints both satisfy [keep]. *)
+
+val out_degree : t -> int -> int
+
+val equal : t -> t -> bool
+(** Same vertex count and same edge set (order-insensitive). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attrs_to_string = function
+  | [] -> ""
+  | attrs ->
+    let body =
+      String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) attrs)
+    in
+    Printf.sprintf " [%s]" body
+
+let to_string ?(name = "g") ?(vertex_label = string_of_int)
+    ?(vertex_attrs = fun _ -> []) ?(edge_attrs = fun _ _ -> []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  for v = 0 to Digraph.num_vertices g - 1 do
+    let attrs = ("label", vertex_label v) :: vertex_attrs v in
+    Buffer.add_string buf (Printf.sprintf "  n%d%s;\n" v (attrs_to_string attrs))
+  done;
+  Digraph.iter_edges
+    (fun u v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d%s;\n" u v (attrs_to_string (edge_attrs u v))))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?name ?vertex_label ?vertex_attrs ?edge_attrs file g =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string ?name ?vertex_label ?vertex_attrs ?edge_attrs g))

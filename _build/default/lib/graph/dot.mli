@@ -1,0 +1,18 @@
+(** Graphviz DOT export, for inspecting buffer waiting graphs by eye. *)
+
+val to_string :
+  ?name:string ->
+  ?vertex_label:(int -> string) ->
+  ?vertex_attrs:(int -> (string * string) list) ->
+  ?edge_attrs:(int -> int -> (string * string) list) ->
+  Digraph.t ->
+  string
+
+val to_file :
+  ?name:string ->
+  ?vertex_label:(int -> string) ->
+  ?vertex_attrs:(int -> (string * string) list) ->
+  ?edge_attrs:(int -> int -> (string * string) list) ->
+  string ->
+  Digraph.t ->
+  unit

@@ -1,0 +1,87 @@
+type result = { count : int; component : int array }
+
+(* Iterative Tarjan: an explicit work stack holds (vertex, remaining
+   successors) frames so deep graphs cannot overflow the OCaml stack. *)
+let compute g =
+  let n = Digraph.num_vertices g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let visit root =
+    let work = ref [ (root, ref (Digraph.succ g root)) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | (v, succs) :: rest -> (
+        match !succs with
+        | w :: ws ->
+          succs := ws;
+          if index.(w) = -1 then begin
+            index.(w) <- !next_index;
+            lowlink.(w) <- !next_index;
+            incr next_index;
+            stack := w :: !stack;
+            on_stack.(w) <- true;
+            work := (w, ref (Digraph.succ g w)) :: !work
+          end
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+          work := rest;
+          (match rest with
+          | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          | [] -> ());
+          if lowlink.(v) = index.(v) then begin
+            let rec pop () =
+              match !stack with
+              | [] -> assert false
+              | w :: tl ->
+                stack := tl;
+                on_stack.(w) <- false;
+                component.(w) <- !next_comp;
+                if w <> v then pop ()
+            in
+            pop ();
+            incr next_comp
+          end)
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  { count = !next_comp; component }
+
+let members r =
+  let buckets = Array.make r.count [] in
+  Array.iteri (fun v c -> buckets.(c) <- v :: buckets.(c)) r.component;
+  buckets
+
+let condensation g r =
+  let c = Digraph.create r.count in
+  Digraph.iter_edges
+    (fun u v ->
+      let cu = r.component.(u) and cv = r.component.(v) in
+      if cu <> cv then Digraph.add_edge c cu cv)
+    g;
+  c
+
+let nontrivial g r =
+  let size = Array.make r.count 0 in
+  Array.iter (fun c -> size.(c) <- size.(c) + 1) r.component;
+  let has_self = Array.make r.count false in
+  Digraph.iter_edges
+    (fun u v -> if u = v then has_self.(r.component.(u)) <- true)
+    g;
+  let keep = ref [] in
+  for c = r.count - 1 downto 0 do
+    if size.(c) >= 2 || has_self.(c) then keep := c :: !keep
+  done;
+  !keep

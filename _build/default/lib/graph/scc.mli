@@ -1,0 +1,23 @@
+(** Strongly connected components (Tarjan, iterative). *)
+
+type result = {
+  count : int;  (** number of components *)
+  component : int array;
+      (** [component.(v)] is the component index of vertex [v]; indices are
+          a reverse topological numbering of the condensation (every edge
+          between distinct components goes from a higher index to a lower
+          one). *)
+}
+
+val compute : Digraph.t -> result
+
+val members : result -> int list array
+(** Vertices of each component. *)
+
+val condensation : Digraph.t -> result -> Digraph.t
+(** Component graph: one vertex per component, edges between distinct
+    components only. *)
+
+val nontrivial : Digraph.t -> result -> int list
+(** Components that can host a cycle: size >= 2, or a single vertex with a
+    self loop. *)

@@ -1,0 +1,114 @@
+let reachable g sources =
+  let n = Digraph.num_vertices g in
+  let seen = Array.make n false in
+  let rec visit stack =
+    match stack with
+    | [] -> ()
+    | u :: rest ->
+      let push acc v = if seen.(v) then acc else (seen.(v) <- true; v :: acc) in
+      visit (List.fold_left push rest (Digraph.succ g u))
+  in
+  let init = List.filter (fun s -> not seen.(s) && (seen.(s) <- true; true)) sources in
+  visit init;
+  seen
+
+let bfs_distances g src =
+  let n = Digraph.num_vertices g in
+  let dist = Array.make n max_int in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let du = dist.(u) in
+    let relax v =
+      if dist.(v) = max_int then begin
+        dist.(v) <- du + 1;
+        Queue.add v q
+      end
+    in
+    List.iter relax (Digraph.succ g u)
+  done;
+  dist
+
+let topological_sort g =
+  let n = Digraph.num_vertices g in
+  let indeg = Array.make n 0 in
+  Digraph.iter_edges (fun _ v -> indeg.(v) <- indeg.(v) + 1) g;
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v q
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    incr count;
+    order := u :: !order;
+    let drop v =
+      indeg.(v) <- indeg.(v) - 1;
+      if indeg.(v) = 0 then Queue.add v q
+    in
+    List.iter drop (Digraph.succ g u)
+  done;
+  if !count = n then Some (List.rev !order) else None
+
+let is_acyclic g = topological_sort g <> None
+
+let find_cycle g =
+  let n = Digraph.num_vertices g in
+  (* colors: 0 unvisited, 1 on current DFS path, 2 done *)
+  let color = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let result = ref None in
+  let rec dfs u =
+    color.(u) <- 1;
+    let try_edge v =
+      if !result = None then
+        match color.(v) with
+        | 0 ->
+          parent.(v) <- u;
+          dfs v
+        | 1 ->
+          (* walk the parent chain from u back to v *)
+          let rec collect acc w = if w = v then w :: acc else collect (w :: acc) parent.(w) in
+          result := Some (collect [] u)
+        | _ -> ()
+    in
+    List.iter try_edge (Digraph.succ g u);
+    if !result = None then color.(u) <- 2
+  in
+  let rec scan v =
+    if v >= n || !result <> None then ()
+    else begin
+      if color.(v) = 0 then dfs v;
+      scan (v + 1)
+    end
+  in
+  scan 0;
+  !result
+
+let path g src dst =
+  let n = Digraph.num_vertices g in
+  let prev = Array.make n (-1) in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(src) <- true;
+  Queue.add src q;
+  let found = ref (src = dst) in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let relax v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        prev.(v) <- u;
+        if v = dst then found := true else Queue.add v q
+      end
+    in
+    List.iter relax (Digraph.succ g u)
+  done;
+  if not !found then None
+  else begin
+    let rec build acc v = if v = src then v :: acc else build (v :: acc) prev.(v) in
+    Some (build [] dst)
+  end

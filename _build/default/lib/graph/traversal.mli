@@ -1,0 +1,24 @@
+(** Reachability, breadth-first distances and topological sorting. *)
+
+val reachable : Digraph.t -> int list -> bool array
+(** [reachable g sources] marks every vertex reachable from any source
+    (sources themselves included). *)
+
+val bfs_distances : Digraph.t -> int -> int array
+(** Hop distances from a single source; [max_int] for unreachable
+    vertices. *)
+
+val topological_sort : Digraph.t -> int list option
+(** Kahn's algorithm.  [Some order] lists all vertices with every edge
+    pointing forward; [None] when the graph has a (possibly self-loop)
+    cycle. *)
+
+val is_acyclic : Digraph.t -> bool
+
+val find_cycle : Digraph.t -> int list option
+(** Some elementary cycle [v1; ...; vk] (edges [vi -> vi+1] and
+    [vk -> v1]), or [None] for acyclic graphs.  A self loop yields a
+    singleton list. *)
+
+val path : Digraph.t -> int -> int -> int list option
+(** A shortest path [src; ...; dst] if one exists. *)

@@ -1,0 +1,1 @@
+lib/network/buf.ml: Char Dfr_topology Format Printf Topology

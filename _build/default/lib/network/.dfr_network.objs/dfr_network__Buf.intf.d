@@ -1,0 +1,1 @@
+lib/network/buf.mli: Dfr_topology Format Topology

@@ -1,0 +1,1 @@
+lib/network/net.ml: Array Buf Char Dfr_topology Hashtbl List Printf Topology

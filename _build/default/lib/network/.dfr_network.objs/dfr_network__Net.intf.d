@@ -1,0 +1,1 @@
+lib/network/net.mli: Buf Dfr_topology Topology

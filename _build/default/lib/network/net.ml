@@ -1,0 +1,167 @@
+open Dfr_topology
+
+type switching = Store_and_forward | Virtual_cut_through | Wormhole
+
+type channel_key = { k_src : int; k_dim : int; k_plus : bool; k_vc : int }
+
+type t = {
+  name : string;
+  switching : switching;
+  num_nodes : int;
+  buffers : Buf.t array;
+  injection : int array; (* node -> buffer id *)
+  delivery : int array;
+  channel_index : (channel_key, int) Hashtbl.t;
+  custom_index : (int * int * int, int) Hashtbl.t; (* (src, dst, vc) -> id *)
+  node_buffer_index : (int * int, int) Hashtbl.t; (* (node, cls) -> id *)
+  outgoing : int list array; (* node -> channel buffer ids from that node *)
+  topology : Topology.t option;
+  vcs : int;
+}
+
+let name t = t.name
+let switching t = t.switching
+let num_nodes t = t.num_nodes
+let num_buffers t = Array.length t.buffers
+let topology t = t.topology
+
+let topology_exn t =
+  match t.topology with
+  | Some topo -> topo
+  | None -> invalid_arg "Net.topology_exn: custom network"
+
+let buffer t id = t.buffers.(id)
+let buffers t = t.buffers
+let injection t node = t.buffers.(t.injection.(node))
+let delivery t node = t.buffers.(t.delivery.(node))
+
+let channel t ~src ~dim ~dir ~vc =
+  let key = { k_src = src; k_dim = dim; k_plus = (dir = Topology.Plus); k_vc = vc } in
+  t.buffers.(Hashtbl.find t.channel_index key)
+
+let node_buffer t ~node ~cls = t.buffers.(Hashtbl.find t.node_buffer_index (node, cls))
+let find_custom_channel t ~src ~dst ~vc = t.buffers.(Hashtbl.find t.custom_index (src, dst, vc))
+let channels_from t node = List.rev_map (fun id -> t.buffers.(id)) t.outgoing.(node) |> List.rev
+
+let transit_buffers t =
+  Array.to_list t.buffers |> List.filter Buf.is_transit
+
+let vcs t = t.vcs
+let describe_buffer t id =
+  match t.topology with
+  | Some topo -> Buf.describe topo t.buffers.(id)
+  | None ->
+    let b = t.buffers.(id) in
+    (match Buf.kind b with
+    | Buf.Injection n -> Printf.sprintf "inj@n%d" n
+    | Buf.Delivery n -> Printf.sprintf "del@n%d" n
+    | Buf.Channel { src; dst; vc; _ } -> Printf.sprintf "q[%d->%d]%d" src dst (vc + 1)
+    | Buf.Node_buffer { node; cls } ->
+      Printf.sprintf "%c@n%d" (Char.chr (Char.code 'A' + cls)) node)
+
+type builder = {
+  mutable acc : Buf.t list; (* reversed *)
+  mutable next : int;
+}
+
+let new_builder () = { acc = []; next = 0 }
+
+let push b kind =
+  let id = b.next in
+  b.next <- id + 1;
+  b.acc <- { Buf.id; kind } :: b.acc;
+  id
+
+let finish b = Array.of_list (List.rev b.acc)
+
+let base ~name ~switching ~num_nodes ~topology ~vcs fill =
+  let bld = new_builder () in
+  let injection = Array.init num_nodes (fun n -> push bld (Buf.Injection n)) in
+  let delivery = Array.init num_nodes (fun n -> push bld (Buf.Delivery n)) in
+  let channel_index = Hashtbl.create 64 in
+  let custom_index = Hashtbl.create 64 in
+  let node_buffer_index = Hashtbl.create 64 in
+  let outgoing = Array.make num_nodes [] in
+  fill bld ~channel_index ~custom_index ~node_buffer_index ~outgoing;
+  Array.iteri (fun n ids -> outgoing.(n) <- List.rev ids) outgoing;
+  {
+    name;
+    switching;
+    num_nodes;
+    buffers = finish bld;
+    injection;
+    delivery;
+    channel_index;
+    custom_index;
+    node_buffer_index;
+    outgoing;
+    topology;
+    vcs;
+  }
+
+let wormhole topo ~vcs =
+  if vcs < 1 then invalid_arg "Net.wormhole: vcs must be >= 1";
+  let num_nodes = Topology.num_nodes topo in
+  let fill bld ~channel_index ~custom_index:_ ~node_buffer_index:_ ~outgoing =
+    for src = 0 to num_nodes - 1 do
+      let add_channel (dim, dir, dst) =
+        for vc = 0 to vcs - 1 do
+          let id = push bld (Buf.Channel { src; dst; dim; dir; vc }) in
+          let key =
+            { k_src = src; k_dim = dim; k_plus = (dir = Topology.Plus); k_vc = vc }
+          in
+          Hashtbl.replace channel_index key id;
+          outgoing.(src) <- id :: outgoing.(src)
+        done
+      in
+      List.iter add_channel (Topology.neighbors topo src)
+    done
+  in
+  base
+    ~name:(Printf.sprintf "wormhole(%s,%dvc)" (Topology.name topo) vcs)
+    ~switching:Wormhole ~num_nodes ~topology:(Some topo) ~vcs fill
+
+let packet_buffered switching tag topo ~classes =
+  if classes < 1 then invalid_arg "Net: classes must be >= 1";
+  let num_nodes = Topology.num_nodes topo in
+  let fill bld ~channel_index:_ ~custom_index:_ ~node_buffer_index ~outgoing:_ =
+    for node = 0 to num_nodes - 1 do
+      for cls = 0 to classes - 1 do
+        let id = push bld (Buf.Node_buffer { node; cls }) in
+        Hashtbl.replace node_buffer_index (node, cls) id
+      done
+    done
+  in
+  base
+    ~name:(Printf.sprintf "%s(%s,%dbuf)" tag (Topology.name topo) classes)
+    ~switching ~num_nodes ~topology:(Some topo) ~vcs:classes fill
+
+let store_and_forward topo ~classes =
+  packet_buffered Store_and_forward "saf" topo ~classes
+
+let virtual_cut_through topo ~classes =
+  packet_buffered Virtual_cut_through "vct" topo ~classes
+
+let custom ~name ~switching ~num_nodes ~channels =
+  if num_nodes < 1 then invalid_arg "Net.custom: num_nodes must be >= 1";
+  let max_vc =
+    List.fold_left (fun acc (_, _, vc) -> max acc (vc + 1)) 1 channels
+  in
+  let fill bld ~channel_index:_ ~custom_index ~node_buffer_index ~outgoing =
+    List.iteri
+      (fun i (src, dst, vc) ->
+        if src < 0 || src >= num_nodes || dst < 0 || dst >= num_nodes then
+          invalid_arg "Net.custom: channel endpoint out of range";
+        match switching with
+        | Wormhole ->
+          let id = push bld (Buf.Channel { src; dst; dim = i; dir = Topology.Plus; vc }) in
+          Hashtbl.replace custom_index (src, dst, vc) id;
+          outgoing.(src) <- id :: outgoing.(src)
+        | Store_and_forward | Virtual_cut_through ->
+          (* buffer classes stand in for channels on packet-buffered custom
+             networks: one buffer at [dst] per incoming channel *)
+          let id = push bld (Buf.Node_buffer { node = dst; cls = vc }) in
+          Hashtbl.replace node_buffer_index (dst, vc) id)
+      channels
+  in
+  base ~name ~switching ~num_nodes ~topology:None ~vcs:max_vc fill

@@ -1,0 +1,1 @@
+lib/routing/algo.ml: Array Buf Dfr_network List Net Option Printf String

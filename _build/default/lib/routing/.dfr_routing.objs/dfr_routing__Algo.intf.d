@@ -1,0 +1,1 @@
+lib/routing/algo.mli: Buf Dfr_network Net

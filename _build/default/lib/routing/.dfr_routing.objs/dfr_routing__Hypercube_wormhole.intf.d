@@ -1,0 +1,1 @@
+lib/routing/hypercube_wormhole.mli: Algo

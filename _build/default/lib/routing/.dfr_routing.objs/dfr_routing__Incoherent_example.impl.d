@@ -1,0 +1,1 @@
+lib/routing/incoherent_example.ml: Algo Buf Dfr_network List Net

@@ -1,0 +1,1 @@
+lib/routing/incoherent_example.mli: Algo Dfr_network

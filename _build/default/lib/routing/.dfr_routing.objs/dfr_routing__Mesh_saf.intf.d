@@ -1,0 +1,1 @@
+lib/routing/mesh_saf.mli: Algo Dfr_topology

@@ -1,0 +1,1 @@
+lib/routing/mesh_wormhole.ml: Algo Buf Dfr_network Dfr_topology List Net Topology

@@ -1,0 +1,1 @@
+lib/routing/mesh_wormhole.mli: Algo

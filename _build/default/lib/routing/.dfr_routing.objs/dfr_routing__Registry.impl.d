@@ -1,0 +1,1 @@
+lib/routing/registry.ml: Algo Dfr_network Dfr_topology Hypercube_wormhole Incoherent_example List Mesh_saf Mesh_wormhole Net Topology Torus_wormhole

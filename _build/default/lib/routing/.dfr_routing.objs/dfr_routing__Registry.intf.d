@@ -1,0 +1,1 @@
+lib/routing/registry.mli: Algo Dfr_network Dfr_topology Net Topology

@@ -1,0 +1,1 @@
+lib/routing/torus_wormhole.ml: Algo Buf Dfr_network Dfr_topology List Net Topology

@@ -1,0 +1,1 @@
+lib/routing/torus_wormhole.mli: Algo

@@ -1,0 +1,1 @@
+lib/routing/updown.ml: Algo Array Buf Dfr_network Dfr_util Fun List Net Printf Prng Queue

@@ -1,0 +1,86 @@
+open Dfr_network
+
+type wait_discipline = Specific_wait | Any_wait
+
+type t = {
+  name : string;
+  wait : wait_discipline;
+  route : Net.t -> Buf.t -> dest:int -> int list;
+  waits : Net.t -> Buf.t -> dest:int -> int list;
+  reduced_waits : (Net.t -> Buf.t -> dest:int -> int list) option;
+}
+
+let make ~name ~wait ~route ?waits ?reduced_waits () =
+  let waits = Option.value waits ~default:route in
+  { name; wait; route; waits; reduced_waits }
+
+let wait_everywhere t =
+  {
+    t with
+    name = t.name ^ "+wait-everywhere";
+    wait = Any_wait;
+    waits = t.route;
+    reduced_waits = None;
+  }
+
+let rec has_dup = function
+  | [] -> false
+  | x :: rest -> List.mem x rest || has_dup rest
+
+let validate t net =
+  let problems = ref [] in
+  let report fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let check_state b dest =
+    let outputs = t.route net b ~dest in
+    let waits = t.waits net b ~dest in
+    let head = Buf.head_node b in
+    if has_dup outputs then
+      report "duplicate outputs for %s dest %d" (Net.describe_buffer net (Buf.id b)) dest;
+    let check_out id =
+      let out = Net.buffer net id in
+      if Buf.is_injection out then
+        report "output %s is an injection buffer" (Net.describe_buffer net id);
+      if Buf.is_delivery out && Buf.head_node out <> dest then
+        report "output %s is a foreign delivery buffer" (Net.describe_buffer net id);
+      match Buf.kind out with
+      | Buf.Channel { src; _ } when src <> head ->
+        report "output %s not adjacent to head node %d" (Net.describe_buffer net id) head
+      | _ -> ()
+    in
+    List.iter check_out outputs;
+    List.iter
+      (fun w ->
+        if not (List.mem w outputs) then
+          report "wait buffer %s not in outputs (%s dest %d)"
+            (Net.describe_buffer net w)
+            (Net.describe_buffer net (Buf.id b))
+            dest)
+      waits;
+    match t.reduced_waits with
+    | None -> ()
+    | Some rw ->
+      List.iter
+        (fun w ->
+          if not (List.mem w waits) then
+            report "reduced wait %s not in waits (%s dest %d)"
+              (Net.describe_buffer net w)
+              (Net.describe_buffer net (Buf.id b))
+              dest)
+        (rw net b ~dest)
+  in
+  let consider b =
+    match Buf.kind b with
+    | Buf.Delivery _ -> ()
+    | Buf.Injection n ->
+      for dest = 0 to Net.num_nodes net - 1 do
+        if dest <> n then check_state b dest
+      done
+    | Buf.Channel _ | Buf.Node_buffer _ ->
+      for dest = 0 to Net.num_nodes net - 1 do
+        if dest <> Buf.head_node b then check_state b dest
+      done
+  in
+  Array.iter consider (Net.buffers net);
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))

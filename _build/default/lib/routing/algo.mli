@@ -1,0 +1,58 @@
+(** Routing algorithms in the paper's two-part formulation.
+
+    An algorithm is a {e routing relation} — the set of output buffers a
+    packet may move to, given only local information (the buffer it
+    occupies, hence the node its head is at and for wormhole the input
+    channel, plus the destination) — together with a {e waiting rule}: the
+    buffers the packet may block on when every permitted output is busy.
+
+    The waiting rule is the paper's key refinement: a buffer may be {e
+    usable} when free yet never {e waited on} (Duato's incoherent example
+    uses exactly this freedom), and only waiting dependencies can deadlock.
+
+    [wait] distinguishes the two cases of §4: [Specific_wait] algorithms
+    commit a blocked packet to a single waiting buffer (Theorem 2);
+    [Any_wait] algorithms let it take whichever waiting buffer frees first
+    (Theorem 3). *)
+
+open Dfr_network
+
+type wait_discipline = Specific_wait | Any_wait
+
+type t = {
+  name : string;
+  wait : wait_discipline;
+  route : Net.t -> Buf.t -> dest:int -> int list;
+      (** Permitted output buffer ids.  Never called when the head is at
+          the destination (delivery is handled by the engine) and never
+          with a delivery buffer. *)
+  waits : Net.t -> Buf.t -> dest:int -> int list;
+      (** Waiting buffers; must be a subset of [route].  For
+          [Specific_wait] the packet commits to one member; for [Any_wait]
+          it waits on all members simultaneously. *)
+  reduced_waits : (Net.t -> Buf.t -> dest:int -> int list) option;
+      (** Optional declarative BWG' hint for Theorem 3: a subset of [waits]
+          that the designer claims is still wait-connected and
+          cycle-free.  The checker verifies the claim, never trusts it. *)
+}
+
+val make :
+  name:string ->
+  wait:wait_discipline ->
+  route:(Net.t -> Buf.t -> dest:int -> int list) ->
+  ?waits:(Net.t -> Buf.t -> dest:int -> int list) ->
+  ?reduced_waits:(Net.t -> Buf.t -> dest:int -> int list) ->
+  unit ->
+  t
+(** [waits] defaults to the full [route] set (wait on any permitted
+    output). *)
+
+val wait_everywhere : t -> t
+(** Same relation, but waiting on every permitted output ([Any_wait],
+    hint discarded).  Used by ablation experiments. *)
+
+val validate : t -> Net.t -> (unit, string) result
+(** Checks the structural contract on every (transit or injection buffer,
+    destination) pair: waits ⊆ route, reduced waits ⊆ waits, no output is a
+    delivery buffer of another node, no output repeats, and every output
+    buffer is adjacent (its source endpoint is the packet's head node). *)

@@ -1,0 +1,106 @@
+open Dfr_topology
+open Dfr_network
+
+let check_net net =
+  (match Net.switching net with
+  | Net.Wormhole -> ()
+  | _ -> invalid_arg "Hypercube_wormhole: wormhole network required");
+  if Net.vcs net < 2 then
+    invalid_arg "Hypercube_wormhole: two virtual channels required";
+  let topo = Net.topology_exn net in
+  for dim = 0 to Topology.dimensions topo - 1 do
+    if Topology.radix topo dim <> 2 then
+      invalid_arg "Hypercube_wormhole: hypercube topology required"
+  done;
+  topo
+
+(* Moves the packet still has to make, lowest dimension first. *)
+let needed net ~head ~dest =
+  let topo = check_net net in
+  Topology.minimal_moves topo ~src:head ~dst:dest
+
+let chan net head (dim, dir) vc = Buf.id (Net.channel net ~src:head ~dim ~dir ~vc)
+
+let lowest = function
+  | [] -> invalid_arg "Hypercube_wormhole: routing at destination"
+  | move :: _ -> move (* minimal_moves lists dimensions in increasing order *)
+
+let b2_all net head moves = List.map (fun m -> chan net head m 1) moves
+
+let ecube_route net b ~dest =
+  let head = Buf.head_node b in
+  [ chan net head (lowest (needed net ~head ~dest)) 0 ]
+
+let ecube =
+  Algo.make ~name:"ecube" ~wait:Algo.Specific_wait ~route:ecube_route ()
+
+let duato_route net b ~dest =
+  let head = Buf.head_node b in
+  let moves = needed net ~head ~dest in
+  chan net head (lowest moves) 0 :: b2_all net head moves
+
+let duato_waits net b ~dest =
+  let head = Buf.head_node b in
+  [ chan net head (lowest (needed net ~head ~dest)) 0 ]
+
+let duato =
+  Algo.make ~name:"duato" ~wait:Algo.Specific_wait ~route:duato_route
+    ~waits:duato_waits ()
+
+let efa_route net b ~dest =
+  let head = Buf.head_node b in
+  let moves = needed net ~head ~dest in
+  let _, dir_l = lowest moves in
+  let b1 =
+    match dir_l with
+    | Topology.Minus -> List.map (fun m -> chan net head m 0) moves
+    | Topology.Plus -> [ chan net head (lowest moves) 0 ]
+  in
+  b1 @ b2_all net head moves
+
+let efa_waits net b ~dest =
+  let head = Buf.head_node b in
+  [ chan net head (lowest (needed net ~head ~dest)) 0 ]
+
+let efa =
+  Algo.make ~name:"efa" ~wait:Algo.Specific_wait ~route:efa_route
+    ~waits:efa_waits ()
+
+let efa_relaxed_route net b ~dest =
+  let head = Buf.head_node b in
+  let moves = needed net ~head ~dest in
+  List.map (fun m -> chan net head m 0) moves @ b2_all net head moves
+
+let efa_relaxed =
+  Algo.make ~name:"efa-relaxed" ~wait:Algo.Specific_wait
+    ~route:efa_relaxed_route ~waits:efa_waits ()
+
+let efa_relaxed_pair ~l ~i =
+  if l >= i then invalid_arg "Hypercube_wormhole.efa_relaxed_pair: need l < i";
+  let route net b ~dest =
+    let head = Buf.head_node b in
+    let moves = needed net ~head ~dest in
+    let low_dim, dir_l = lowest moves in
+    let extra =
+      (* the single relaxed case: lowest needed dimension is l, positive,
+         and dimension i is also needed *)
+      if low_dim = l && dir_l = Topology.Plus then
+        List.filter_map
+          (fun (dim, dir) -> if dim = i then Some (chan net head (dim, dir) 0) else None)
+          moves
+      else []
+    in
+    extra @ efa_route net b ~dest
+  in
+  Algo.make
+    ~name:(Printf.sprintf "efa-relaxed-%d-%d" l i)
+    ~wait:Algo.Specific_wait ~route ~waits:efa_waits ()
+
+let unrestricted_route net b ~dest =
+  let head = Buf.head_node b in
+  let moves = needed net ~head ~dest in
+  List.map (fun m -> chan net head m 0) moves @ b2_all net head moves
+
+let unrestricted =
+  Algo.make ~name:"unrestricted-hypercube" ~wait:Algo.Any_wait
+    ~route:unrestricted_route ()

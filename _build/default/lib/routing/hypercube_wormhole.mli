@@ -1,0 +1,40 @@
+(** Wormhole routing algorithms for binary hypercubes with two virtual
+    channels per directed channel (the paper's [B1]/[B2] buffer sets,
+    [vc = 0] and [vc = 1]).
+
+    All algorithms are minimal.  Build the network with
+    [Net.wormhole (Topology.hypercube n) ~vcs:2]; the route functions raise
+    [Invalid_argument] on any other network shape. *)
+
+val ecube : Algo.t
+(** Nonadaptive dimension-order routing (lowest dimension first) on the
+    [B1] channels. *)
+
+val duato : Algo.t
+(** The fully adaptive algorithm of Duato/Gravano-et-al./Lin-et-al./Su-Shin
+    cited in §6.2: [B2] adaptively in any needed dimension, [B1] in strict
+    dimension order; a blocked packet waits on the dimension-order [B1]
+    channel. *)
+
+val efa : Algo.t
+(** The paper's Enhanced Fully Adaptive algorithm (§6.2): [B2] is
+    unrestricted; with [l] the lowest dimension still to be corrected, a
+    packet needing the negative direction of [l] may use {e any} needed
+    [B1] channel, a packet needing the positive direction of [l] may use
+    only [B1_{l+}]; blocked packets wait on [B1^l]. *)
+
+val efa_relaxed : Algo.t
+(** The deliberately broken variant of Theorem 6: like {!efa} but a packet
+    needing the positive direction of [l] may also use [B1] channels of
+    higher needed dimensions.  The checker must find a True Cycle. *)
+
+val efa_relaxed_pair : l:int -> i:int -> Algo.t
+(** Theorem 6 at its finest grain: relax {e only} the restriction for the
+    dimension pair [(l, i)] with [l < i] — a packet whose lowest needed
+    dimension is [l] in the positive direction may additionally use
+    [B1^i].  The paper proves each single relaxation already creates a
+    True Cycle over [B1^l] and [B1^i]. *)
+
+val unrestricted : Algo.t
+(** Control: any needed channel on either virtual channel, waiting on all
+    of them.  Deadlocks. *)

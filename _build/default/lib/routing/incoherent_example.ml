@@ -1,0 +1,45 @@
+open Dfr_network
+
+let n1 = 0
+let n2 = 1
+let n3 = 2
+
+(* Channel list: (src, dst, vc).  The two n1->n2 channels live on parallel
+   physical links, so they are distinguished by the vc field. *)
+let network () =
+  Net.custom ~name:"duato-incoherent" ~switching:Net.Wormhole ~num_nodes:3
+    ~channels:
+      [
+        (n1, n2, 0) (* qA1 *);
+        (n1, n2, 1) (* qH1 *);
+        (n2, n1, 0) (* qB1 *);
+        (n2, n1, 1) (* qB2 *);
+        (n2, n3, 0) (* qC1 *);
+        (n3, n2, 0) (* qF1 *);
+      ]
+
+let chan net src dst vc = Buf.id (Net.find_custom_channel net ~src ~dst ~vc)
+let q_a1 net = chan net n1 n2 0
+let q_h1 net = chan net n1 n2 1
+let q_b1 net = chan net n2 n1 0
+let q_b2 net = chan net n2 n1 1
+let q_c1 net = chan net n2 n3 0
+let q_f1 net = chan net n3 n2 0
+
+(* Minimal outputs, plus the incoherent exception: qB2 for n3-bound
+   packets. *)
+let route net b ~dest =
+  let head = Buf.head_node b in
+  if head = dest then []
+  else if head = n1 then [ q_a1 net; q_h1 net ]
+  else if head = n2 then
+    if dest = n1 then [ q_b1 net ] else [ q_c1 net; q_b2 net ]
+  else [ q_f1 net ]
+
+let waits net b ~dest =
+  List.filter (fun q -> q <> q_b2 net) (route net b ~dest)
+
+(* "If the packet waits for qA1, ..." — the example's blocked packets
+   commit to one waiting buffer (case 1 / Theorem 2). *)
+let algo =
+  Algo.make ~name:"duato-incoherent" ~wait:Algo.Specific_wait ~route ~waits ()

@@ -1,0 +1,40 @@
+(** Duato's incoherent routing algorithm (Figures 1 and 2 of the paper).
+
+    Reconstruction from the text: processors [n1], [n2], [n3]; two parallel
+    physical links between [n1] and [n2] carrying channels [qA1] and [qH1]
+    ([n1 -> n2]) and [qB1]/[qB2] ([n2 -> n1], two virtual channels), and a
+    link [n2 - n3] with channels [qC1]/[qF1].  Routing is minimal with a
+    committed waiting discipline (the text reads "if the packet waits for
+    qA1, ...": case 1 of §4), with one exception: [qB2] may be {e used} by a
+    packet destined for [n3] (a nonminimal detour, which breaks
+    prefix-closure exactly as the paper describes) but never {e waited
+    on}.
+
+    The published BWG fragment then emerges from the engine: self-loop True
+    Cycles [qA1 -> qA1] and [qH1 -> qH1] (one packet occupying the channel
+    and [qB2], waiting on its own buffer), and a False Resource Cycle
+    [qA1 -> qH1 -> qA1] that would need two packets inside [qB2] at once. *)
+
+val n1 : int
+val n2 : int
+val n3 : int
+
+val network : unit -> Dfr_network.Net.t
+
+val algo : Algo.t
+
+val q_a1 : Dfr_network.Net.t -> int
+(** Buffer id of [qA1] ([n1 -> n2], first link). *)
+
+val q_h1 : Dfr_network.Net.t -> int
+(** Buffer id of [qH1] ([n1 -> n2], second link). *)
+
+val q_b1 : Dfr_network.Net.t -> int
+val q_b2 : Dfr_network.Net.t -> int
+(** [qB2], the incoherently-usable virtual channel ([n2 -> n1]). *)
+
+val q_c1 : Dfr_network.Net.t -> int
+(** [n2 -> n3]. *)
+
+val q_f1 : Dfr_network.Net.t -> int
+(** [n3 -> n2]. *)

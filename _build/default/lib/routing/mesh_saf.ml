@@ -1,0 +1,101 @@
+open Dfr_topology
+open Dfr_network
+
+let check_net ~classes net =
+  (match Net.switching net with
+  | Net.Store_and_forward | Net.Virtual_cut_through -> ()
+  | Net.Wormhole -> invalid_arg "Mesh_saf: packet-buffered network required");
+  if Net.vcs net < classes then invalid_arg "Mesh_saf: not enough buffer classes";
+  let topo = Net.topology_exn net in
+  if Topology.is_torus topo then invalid_arg "Mesh_saf: mesh topology required";
+  topo
+
+let buf_at net topo node (dim, dir) cls =
+  match Topology.neighbor topo node dim dir with
+  | None -> assert false (* minimal moves never point off the mesh *)
+  | Some v -> Buf.id (Net.node_buffer net ~node:v ~cls)
+
+let a_cls = 0
+let b_cls = 1
+
+(* The phase a packet is in: positive hops pending keeps it in the A
+   buffers; otherwise it routes (or continues) in the B buffers. *)
+let two_buffer_route net b ~dest =
+  let topo = check_net ~classes:2 net in
+  let head = Buf.head_node b in
+  let moves = Topology.minimal_moves topo ~src:head ~dst:dest in
+  let has_positive = List.exists (fun (_, dir) -> dir = Topology.Plus) moves in
+  let in_b = match Buf.cls b with Some c -> c = b_cls | None -> false in
+  match Buf.kind b with
+  | Buf.Injection _ ->
+    (* enter the network through the local standard buffer of the right
+       class *)
+    let cls = if has_positive then a_cls else b_cls in
+    [ Buf.id (Net.node_buffer net ~node:head ~cls) ]
+  | _ ->
+    if in_b || not has_positive then
+      List.map (fun m -> buf_at net topo head m b_cls) moves
+    else List.map (fun m -> buf_at net topo head m a_cls) moves
+
+let two_buffer_reduced_waits net b ~dest =
+  let topo = check_net ~classes:2 net in
+  let head = Buf.head_node b in
+  let moves = Topology.minimal_moves topo ~src:head ~dst:dest in
+  let has_positive = List.exists (fun (_, dir) -> dir = Topology.Plus) moves in
+  let in_b = match Buf.cls b with Some c -> c = b_cls | None -> false in
+  match Buf.kind b with
+  | Buf.Injection _ -> two_buffer_route net b ~dest
+  | _ ->
+    if in_b || not has_positive then two_buffer_route net b ~dest
+    else
+      (* Theorem 4's BWG': in the A phase, wait only on positive-direction
+         A neighbours (at least one exists by definition of the phase) *)
+      List.filter_map
+        (fun ((_, dir) as m) ->
+          if dir = Topology.Plus then Some (buf_at net topo head m a_cls) else None)
+        moves
+
+let two_buffer =
+  Algo.make ~name:"two-buffer" ~wait:Algo.Any_wait ~route:two_buffer_route
+    ~reduced_waits:two_buffer_reduced_waits ()
+
+let single_buffer_route net b ~dest =
+  let topo = check_net ~classes:1 net in
+  let head = Buf.head_node b in
+  match Buf.kind b with
+  | Buf.Injection _ -> [ Buf.id (Net.node_buffer net ~node:head ~cls:0) ]
+  | _ ->
+    List.map
+      (fun m -> buf_at net topo head m 0)
+      (Topology.minimal_moves topo ~src:head ~dst:dest)
+
+let single_buffer =
+  Algo.make ~name:"single-buffer" ~wait:Algo.Any_wait ~route:single_buffer_route ()
+
+let diameter topo =
+  let acc = ref 0 in
+  for dim = 0 to Topology.dimensions topo - 1 do
+    acc := !acc + (Topology.radix topo dim - 1)
+  done;
+  !acc
+
+let hop_class_route net b ~dest =
+  let topo = check_net ~classes:1 net in
+  if Net.vcs net < diameter topo + 1 then
+    invalid_arg "Mesh_saf.hop_class: classes must exceed the mesh diameter";
+  let head = Buf.head_node b in
+  match Buf.kind b with
+  | Buf.Injection _ -> [ Buf.id (Net.node_buffer net ~node:head ~cls:0) ]
+  | _ ->
+    let cls = match Buf.cls b with Some c -> c | None -> 0 in
+    if cls + 1 >= Net.vcs net then
+      (* unreachable under minimal routing: hops so far + remaining never
+         exceed the diameter; returning [] keeps validation happy *)
+      []
+    else
+      List.map
+        (fun m -> buf_at net topo head m (cls + 1))
+        (Topology.minimal_moves topo ~src:head ~dst:dest)
+
+let hop_class =
+  Algo.make ~name:"hop-class" ~wait:Algo.Any_wait ~route:hop_class_route ()

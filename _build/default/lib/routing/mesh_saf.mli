@@ -1,0 +1,31 @@
+(** Store-and-forward routing algorithms for n-dimensional meshes.
+
+    The Two-Buffer algorithm is the paper's §6.1 case study (due to Pifarré
+    et al.): each node has two whole-packet buffers, [A = cls 0] and
+    [B = cls 1]; build the network with
+    [Net.store_and_forward topo ~classes:2]. *)
+
+val two_buffer : Algo.t
+(** Fully adaptive minimal.  A packet rides [A] buffers (any minimal hop)
+    until no positive-direction hop remains, then rides [B] buffers (all
+    remaining hops are negative).  Waits on every permitted output
+    ([Any_wait]); the attached [reduced_waits] hint is Theorem 4's BWG'
+    (drop waits on negative-direction [A] neighbours), which the checker
+    verifies. *)
+
+val single_buffer : Algo.t
+(** Control: one buffer per node ([classes:1]), any minimal hop,
+    [Any_wait].  Deadlocks on any mesh containing a 2x2 submesh. *)
+
+val hop_class : Algo.t
+(** Günther's classical hop-ordered scheme [19] (also Gopal [17]): buffer
+    class = hops travelled so far, so a packet in a class-[i] buffer moves
+    only into class-[i+1] buffers of minimal neighbours.  The class index
+    strictly increases along every path, which is the acyclic buffer
+    ordering the pre-BWG literature demanded — at the cost of
+    [diameter + 1] buffers per node ([classes >= diameter + 1] required,
+    checked at routing time). *)
+
+val diameter : Dfr_topology.Topology.t -> int
+(** Mesh diameter (sum of per-dimension radix-1), the minimum [classes]
+    for {!hop_class} minus one. *)

@@ -1,0 +1,162 @@
+open Dfr_topology
+open Dfr_network
+
+let check_net ?(vcs = 1) ?(dims = 0) net =
+  (match Net.switching net with
+  | Net.Wormhole -> ()
+  | _ -> invalid_arg "Mesh_wormhole: wormhole network required");
+  if Net.vcs net < vcs then invalid_arg "Mesh_wormhole: not enough virtual channels";
+  let topo = Net.topology_exn net in
+  if Topology.is_torus topo then invalid_arg "Mesh_wormhole: mesh topology required";
+  if dims > 0 && Topology.dimensions topo <> dims then
+    invalid_arg "Mesh_wormhole: wrong dimensionality";
+  topo
+
+let needed ?vcs ?dims net ~head ~dest =
+  let topo = check_net ?vcs ?dims net in
+  Topology.minimal_moves topo ~src:head ~dst:dest
+
+let chan net head (dim, dir) vc = Buf.id (Net.channel net ~src:head ~dim ~dir ~vc)
+
+let lowest = function
+  | [] -> invalid_arg "Mesh_wormhole: routing at destination"
+  | move :: _ -> move
+
+let dimension_order_route net b ~dest =
+  let head = Buf.head_node b in
+  [ chan net head (lowest (needed net ~head ~dest)) 0 ]
+
+let dimension_order =
+  Algo.make ~name:"dimension-order" ~wait:Algo.Specific_wait
+    ~route:dimension_order_route ()
+
+let duato_mesh_route net b ~dest =
+  let head = Buf.head_node b in
+  let moves = needed ~vcs:2 net ~head ~dest in
+  chan net head (lowest moves) 0 :: List.map (fun m -> chan net head m 1) moves
+
+let duato_mesh_waits net b ~dest =
+  let head = Buf.head_node b in
+  [ chan net head (lowest (needed ~vcs:2 net ~head ~dest)) 0 ]
+
+let duato_mesh =
+  Algo.make ~name:"duato-mesh" ~wait:Algo.Specific_wait ~route:duato_mesh_route
+    ~waits:duato_mesh_waits ()
+
+(* Turn-model algorithms: partition the needed moves into a "first" phase
+   and a "rest" phase; the packet routes adaptively within the current
+   phase. *)
+let phased_route ~dims ~in_first net b ~dest =
+  let head = Buf.head_node b in
+  let moves = needed ~dims net ~head ~dest in
+  let first, rest = List.partition in_first moves in
+  let active = if first <> [] then first else rest in
+  List.map (fun m -> chan net head m 0) active
+
+let west_first =
+  Algo.make ~name:"west-first" ~wait:Algo.Any_wait
+    ~route:(phased_route ~dims:2 ~in_first:(fun (dim, dir) -> dim = 0 && dir = Topology.Minus))
+    ()
+
+let north_last =
+  Algo.make ~name:"north-last" ~wait:Algo.Any_wait
+    ~route:
+      (phased_route ~dims:2 ~in_first:(fun (dim, dir) ->
+           not (dim = 1 && dir = Topology.Plus)))
+    ()
+
+let negative_first =
+  Algo.make ~name:"negative-first" ~wait:Algo.Any_wait
+    ~route:(phased_route ~dims:0 ~in_first:(fun (_, dir) -> dir = Topology.Minus))
+    ()
+
+(* Double-y: X rides vc 0; Y rides vc 0 while the packet still needs a
+   westward hop, vc 1 afterwards.  Westbound packets can never wait on
+   east-class resources and the class transition is one-way, so no waiting
+   cycle closes even though every minimal hop is always offered. *)
+let double_y_route net b ~dest =
+  let head = Buf.head_node b in
+  let moves = needed ~vcs:2 ~dims:2 net ~head ~dest in
+  let needs_west = List.mem (0, Topology.Minus) moves in
+  let y_vc = if needs_west then 0 else 1 in
+  List.map
+    (fun ((dim, _) as m) -> chan net head m (if dim = 0 then 0 else y_vc))
+    moves
+
+let double_y =
+  Algo.make ~name:"double-y" ~wait:Algo.Any_wait ~route:double_y_route ()
+
+(* Odd-even turn model: forbid EN/ES turns in even columns and NW/SW turns
+   in odd columns, with the two look-ahead refinements that keep the
+   minimal relation dead-end free (Chiu's ROUTE function). *)
+let odd_even_route net b ~dest =
+  let topo = check_net ~dims:2 net in
+  let head = Buf.head_node b in
+  let moves = Topology.minimal_moves topo ~src:head ~dst:dest in
+  let cur_col = Topology.coordinate topo head 0 in
+  let dest_col = Topology.coordinate topo dest 0 in
+  let dx = compare dest_col cur_col in
+  let input_dim_dir =
+    match Buf.kind b with
+    | Buf.Channel { dim; dir; _ } -> Some (dim, dir)
+    | _ -> None
+  in
+  let from_east = input_dim_dir = Some (0, Topology.Plus) in
+  let from_row = match input_dim_dir with Some (1, _) -> true | _ -> false in
+  let even = cur_col mod 2 = 0 in
+  let unaligned_row = List.exists (fun (dim, _) -> dim = 1) moves in
+  let allow (dim, dir) =
+    match (dim, dir) with
+    | 0, Topology.Plus ->
+      (* east: never enter an unaligned even destination column heading
+         east — the needed EN/ES turn there would be illegal *)
+      not (unaligned_row && dest_col mod 2 = 0 && cur_col + 1 = dest_col)
+    | 0, Topology.Minus ->
+      (* west after a row move only in even columns *)
+      not (from_row && not even)
+    | 1, _ ->
+      if dx > 0 then not (from_east && even)
+      else if dx < 0 then even
+      else not (from_east && even)
+    | _ -> true
+  in
+  List.filter_map (fun m -> if allow m then Some (chan net head m 0) else None) moves
+
+let odd_even =
+  Algo.make ~name:"odd-even" ~wait:Algo.Any_wait ~route:odd_even_route ()
+
+(* Planar-adaptive: adaptivity confined to plane A_p spanned by the
+   lowest needed dimension p and the STRICTLY consecutive dimension p+1,
+   with a double-y class split inside the plane.  The consecutiveness is
+   essential: it dedicates dim q's vc1/vc2 channels to the single plane
+   A_{q-1}, so the class invariant (the packet's pending direction in the
+   plane's first dimension) is well defined per channel — letting any
+   higher dimension act as partner shares those channels between planes
+   and reintroduces waiting cycles (caught by the checker during
+   development). *)
+let planar_adaptive_route net b ~dest =
+  let head = Buf.head_node b in
+  let moves = needed ~vcs:3 net ~head ~dest in
+  match moves with
+  | [] -> invalid_arg "Mesh_wormhole: routing at destination"
+  | (p, dir_p) :: rest ->
+    let partner =
+      List.find_opt (fun (q, _) -> q = p + 1) rest
+    in
+    let x = chan net head (p, dir_p) 0 in
+    (match partner with
+    | None -> [ x ]
+    | Some (q, dir_q) ->
+      let y_vc = if dir_p = Topology.Minus then 1 else 2 in
+      [ x; chan net head (q, dir_q) y_vc ])
+
+let planar_adaptive =
+  Algo.make ~name:"planar-adaptive" ~wait:Algo.Any_wait
+    ~route:planar_adaptive_route ()
+
+let unrestricted_route net b ~dest =
+  let head = Buf.head_node b in
+  List.map (fun m -> chan net head m 0) (needed net ~head ~dest)
+
+let unrestricted =
+  Algo.make ~name:"unrestricted-mesh" ~wait:Algo.Any_wait ~route:unrestricted_route ()

@@ -1,0 +1,58 @@
+(** Wormhole routing algorithms for n-dimensional meshes.
+
+    {!dimension_order}, the turn-model algorithms and {!unrestricted} run
+    on a single virtual channel ([Net.wormhole topo ~vcs:1]); {!duato_mesh}
+    needs two.  The 2-D turn-model algorithms follow Glass & Ni's
+    conventions with dimension 0 as the X (east/west) axis and dimension 1
+    as the Y (north/south) axis: west = 0-, east = 0+, south = 1-,
+    north = 1+. *)
+
+val dimension_order : Algo.t
+(** XY routing generalized to n dimensions, lowest dimension first. *)
+
+val duato_mesh : Algo.t
+(** Fully adaptive: [vc 1] unrestricted minimal, [vc 0] dimension order;
+    waits on the dimension-order escape channel. *)
+
+val west_first : Algo.t
+(** 2-D turn model: all west (0-) hops first, then fully adaptive among
+    the remaining minimal directions. *)
+
+val north_last : Algo.t
+(** 2-D turn model: fully adaptive among non-north minimal directions,
+    north (1+) hops only once nothing else remains. *)
+
+val negative_first : Algo.t
+(** Turn model (any dimension count): all negative hops first
+    (adaptively), then all positive hops (adaptively). *)
+
+val double_y : Algo.t
+(** Fully adaptive minimal routing on 2-D meshes with two virtual channels
+    in the Y dimension (the "double-y" scheme underlying Glass & Ni's
+    mad-y): packets that still need to travel west ride [y vc 0], all
+    others ride [y vc 1]; X channels use [vc 0].  Every minimal hop is
+    always permitted, so the algorithm is fully adaptive, yet the class
+    split keeps the waiting graph acyclic.  Needs [vcs:2]. *)
+
+val odd_even : Algo.t
+(** Chiu's odd-even turn model for 2-D meshes (single virtual channel):
+    east-to-north/south turns are forbidden in even columns and
+    north/south-to-west turns in odd columns, which breaks both cycle
+    senses without the turn model's asymmetric restriction.  This minimal
+    adaptive encoding filters moves by the input channel direction and the
+    head's column parity, and avoids dead-ends by never entering an
+    unaligned even destination column travelling east and by restricting
+    westbound row corrections to even columns. *)
+
+val planar_adaptive : Algo.t
+(** Chien & Kim's planar-adaptive routing for n-dimensional meshes with
+    three virtual channels: the packet routes fully adaptively within the
+    plane spanned by its lowest uncorrected dimension [p] and the next
+    needed dimension, then moves to the next plane.  Within a plane the
+    double-y discipline applies: the partner dimension rides [vc 1] while
+    the packet still needs [p] in the negative direction, [vc 2]
+    afterwards; dimension [p] rides [vc 0].  Needs [vcs:3]. *)
+
+val unrestricted : Algo.t
+(** Control: any minimal hop, waiting on all of them.  Deadlocks on any
+    mesh with a 2x2 submesh. *)

@@ -1,0 +1,72 @@
+open Dfr_topology
+open Dfr_network
+
+let check_net ?(vcs = 1) net =
+  (match Net.switching net with
+  | Net.Wormhole -> ()
+  | _ -> invalid_arg "Torus_wormhole: wormhole network required");
+  if Net.vcs net < vcs then invalid_arg "Torus_wormhole: not enough virtual channels";
+  let topo = Net.topology_exn net in
+  if not (Topology.is_torus topo) then
+    invalid_arg "Torus_wormhole: torus topology required";
+  topo
+
+(* Lowest dimension still to correct, the travel direction (shorter way,
+   ties toward Plus), and the coordinates along that dimension. *)
+let next_leg topo ~head ~dest =
+  let rec find dim =
+    if dim >= Topology.dimensions topo then
+      invalid_arg "Torus_wormhole: routing at destination"
+    else
+      let c = Topology.coordinate topo head dim in
+      let cd = Topology.coordinate topo dest dim in
+      if c = cd then find (dim + 1)
+      else
+        let k = Topology.radix topo dim in
+        let fwd = (cd - c + k) mod k in
+        let dir = if fwd <= k - fwd then Topology.Plus else Topology.Minus in
+        (dim, dir, c, cd)
+  in
+  find 0
+
+let dateline_route net b ~dest =
+  let topo = check_net ~vcs:2 net in
+  let head = Buf.head_node b in
+  let dim, dir, c, cd = next_leg topo ~head ~dest in
+  (* While the remaining walk stays on the near side of the wrap point the
+     packet rides vc 1; once it must cross (dest coordinate "behind" it in
+     the travel direction) it rides vc 0, and after actually crossing the
+     comparison flips it back to vc 1. *)
+  let vc =
+    match dir with
+    | Topology.Plus -> if cd > c then 1 else 0
+    | Topology.Minus -> if cd < c then 1 else 0
+  in
+  [ Buf.id (Net.channel net ~src:head ~dim ~dir ~vc) ]
+
+let dateline =
+  Algo.make ~name:"dateline" ~wait:Algo.Specific_wait ~route:dateline_route ()
+
+let duato_torus_route net b ~dest =
+  let topo = check_net ~vcs:3 net in
+  let head = Buf.head_node b in
+  let moves = Topology.minimal_moves topo ~src:head ~dst:dest in
+  let adaptive =
+    List.map (fun (dim, dir) -> Buf.id (Net.channel net ~src:head ~dim ~dir ~vc:2)) moves
+  in
+  dateline_route net b ~dest @ adaptive
+
+let duato_torus_waits net b ~dest = dateline_route net b ~dest
+
+let duato_torus =
+  Algo.make ~name:"duato-torus" ~wait:Algo.Specific_wait ~route:duato_torus_route
+    ~waits:duato_torus_waits ()
+
+let unrestricted_route net b ~dest =
+  let topo = check_net net in
+  let head = Buf.head_node b in
+  let moves = Topology.minimal_moves topo ~src:head ~dst:dest in
+  List.map (fun (dim, dir) -> Buf.id (Net.channel net ~src:head ~dim ~dir ~vc:0)) moves
+
+let unrestricted =
+  Algo.make ~name:"unrestricted-torus" ~wait:Algo.Any_wait ~route:unrestricted_route ()

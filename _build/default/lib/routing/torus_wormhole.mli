@@ -1,0 +1,21 @@
+(** Wormhole routing on k-ary n-cubes (tori): the conclusion's claim that
+    the proof technique applies to "any network topology" is exercised on
+    wrap-around networks here. *)
+
+val dateline : Algo.t
+(** Dally-Seitz-style nonadaptive dimension-order routing with two virtual
+    channels per directed channel: within a dimension the packet travels
+    the shorter way (ties broken toward [Plus]); it uses [vc 1] while its
+    remaining path stays on the near side of the wrap and [vc 0] once the
+    remaining path must cross it, which breaks the ring cycle in the
+    waiting graph.  Needs [Net.wormhole (Topology.torus ...) ~vcs:2]. *)
+
+val duato_torus : Algo.t
+(** Fully adaptive torus routing in Duato's style: [vc 2] carries minimal
+    adaptive traffic in any profitable direction, while [vc 0]/[vc 1]
+    form the {!dateline} escape; a blocked packet waits on its escape
+    channel.  Needs [Net.wormhole (Topology.torus ...) ~vcs:3]. *)
+
+val unrestricted : Algo.t
+(** Control: minimal adaptive on one virtual channel, waiting anywhere.
+    Deadlocks on the wrap-around cycle. *)

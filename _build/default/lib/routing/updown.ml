@@ -1,0 +1,170 @@
+open Dfr_network
+open Dfr_util
+
+type t = {
+  net : Net.t;
+  algo : Algo.t;
+  levels : int array;
+}
+
+(* BFS levels from the root over an undirected adjacency list. *)
+let bfs_levels ~num_nodes ~adjacency ~root =
+  let levels = Array.make num_nodes (-1) in
+  let q = Queue.create () in
+  levels.(root) <- 0;
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if levels.(v) = -1 then begin
+          levels.(v) <- levels.(u) + 1;
+          Queue.add v q
+        end)
+      adjacency.(u)
+  done;
+  if Array.exists (fun l -> l = -1) levels then
+    invalid_arg "Updown.make: graph is not connected";
+  levels
+
+let up levels ~src ~dst =
+  levels.(dst) < levels.(src) || (levels.(dst) = levels.(src) && dst < src)
+
+(* Permitted next channels from (node, phase) with a reachability filter:
+   once a packet has taken a down channel it may only continue down, and
+   down channels strictly increase (level, id), so reachability must be
+   checked in the two-phase automaton. *)
+let make ~num_nodes ~edges ~root =
+  if root < 0 || root >= num_nodes then invalid_arg "Updown.make: bad root";
+  List.iter
+    (fun (u, v) ->
+      if u = v then invalid_arg "Updown.make: self loop";
+      if u < 0 || u >= num_nodes || v < 0 || v >= num_nodes then
+        invalid_arg "Updown.make: edge endpoint out of range")
+    edges;
+  let edges = List.sort_uniq compare (List.map (fun (u, v) -> (min u v, max u v)) edges) in
+  let adjacency = Array.make num_nodes [] in
+  List.iter
+    (fun (u, v) ->
+      adjacency.(u) <- v :: adjacency.(u);
+      adjacency.(v) <- u :: adjacency.(v))
+    edges;
+  let levels = bfs_levels ~num_nodes ~adjacency ~root in
+  let channels =
+    List.concat_map (fun (u, v) -> [ (u, v, 0); (v, u, 0) ]) edges
+  in
+  let net =
+    Net.custom ~name:(Printf.sprintf "updown-%d" num_nodes)
+      ~switching:Net.Wormhole ~num_nodes ~channels
+  in
+  (* reach_down.(v).(d): can v reach d using only down channels?
+     reach_any.(v).(d): can v reach d with a legal up*down* suffix
+     starting in the up phase? *)
+  let reach_down = Array.make_matrix num_nodes num_nodes false in
+  let reach_any = Array.make_matrix num_nodes num_nodes false in
+  for d = 0 to num_nodes - 1 do
+    (* down reachability: backward closure over down channels *)
+    reach_down.(d).(d) <- true;
+    reach_any.(d).(d) <- true;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for v = 0 to num_nodes - 1 do
+        if not reach_down.(v).(d) then
+          if
+            List.exists
+              (fun w -> (not (up levels ~src:v ~dst:w)) && reach_down.(w).(d))
+              adjacency.(v)
+          then begin
+            reach_down.(v).(d) <- true;
+            changed := true
+          end
+      done
+    done;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for v = 0 to num_nodes - 1 do
+        if not reach_any.(v).(d) then
+          if
+            reach_down.(v).(d)
+            || List.exists
+                 (fun w -> up levels ~src:v ~dst:w && reach_any.(w).(d))
+                 adjacency.(v)
+          then begin
+            reach_any.(v).(d) <- true;
+            changed := true
+          end
+      done
+    done
+  done;
+  let chan src dst = Buf.id (Net.find_custom_channel net ~src ~dst ~vc:0) in
+  let route net' b ~dest =
+    ignore net';
+    let head = Buf.head_node b in
+    if head = dest then []
+    else begin
+      (* phase: a packet whose input channel was a down channel may only
+         continue down; injection and up-channel inputs are in the up
+         phase *)
+      let in_down_phase =
+        match Buf.kind b with
+        | Buf.Channel { src; dst; _ } -> not (up levels ~src ~dst)
+        | _ -> false
+      in
+      List.filter_map
+        (fun w ->
+          let w_is_up = up levels ~src:head ~dst:w in
+          if in_down_phase && w_is_up then None
+          else if w_is_up then
+            if reach_any.(w).(dest) then Some (chan head w) else None
+          else if reach_down.(w).(dest) then Some (chan head w)
+          else None)
+        adjacency.(head)
+    end
+  in
+  let algo =
+    Algo.make
+      ~name:(Printf.sprintf "updown-%d" num_nodes)
+      ~wait:Algo.Any_wait ~route ()
+  in
+  { net; algo; levels }
+
+let is_up t ~src ~dst = up t.levels ~src ~dst
+
+let random_connected ~seed ~num_nodes ~extra_edges =
+  if num_nodes < 2 then invalid_arg "Updown.random_connected: too small";
+  let rng = Prng.create seed in
+  (* random spanning tree: attach each node to a random earlier one *)
+  let order = Array.init num_nodes Fun.id in
+  Prng.shuffle rng order;
+  let edges = ref [] in
+  for i = 1 to num_nodes - 1 do
+    let parent = order.(Prng.int rng i) in
+    edges := (order.(i), parent) :: !edges
+  done;
+  for _ = 1 to extra_edges do
+    let u = Prng.int rng num_nodes and v = Prng.int rng num_nodes in
+    if u <> v then edges := (u, v) :: !edges
+  done;
+  make ~num_nodes ~edges:!edges ~root:0
+
+let fat_tree ~levels ~down_degree =
+  if levels < 2 || down_degree < 2 then invalid_arg "Updown.fat_tree";
+  (* breadth-first numbering: level l starts at (d^l - 1)/(d - 1) *)
+  let d = down_degree in
+  let level_start l = ((int_of_float (float_of_int d ** float_of_int l)) - 1) / (d - 1) in
+  let num_nodes = level_start levels in
+  let edges = ref [] in
+  for node = 1 to num_nodes - 1 do
+    edges := (node, (node - 1) / d) :: !edges
+  done;
+  (* cross-links between consecutive siblings give the fabric alternate
+     routes, the reason up*/down* is needed at all *)
+  for l = 1 to levels - 1 do
+    let lo = level_start l and hi = level_start (l + 1) in
+    for node = lo to hi - 2 do
+      edges := (node, node + 1) :: !edges
+    done
+  done;
+  make ~num_nodes ~edges:!edges ~root:0

@@ -1,0 +1,43 @@
+(** Up*/down* routing on arbitrary connected graphs (Autonet style).
+
+    The conclusion claims the proof technique "can be applied to any
+    network topology"; this module exercises it on irregular networks.  A
+    BFS spanning tree rooted at [root] assigns every node a level; a
+    directed channel is {e up} when it moves strictly closer to the root
+    (levels tie-broken by node id), {e down} otherwise.  A legal path is
+    zero or more up channels followed by zero or more down channels —
+    never down-then-up — and the relation offers every legal next channel
+    from which the destination stays reachable, so routing is adaptive and
+    generally nonminimal.
+
+    Both phases strictly order the levels and the up-to-down switch is
+    one-way, so the move graphs are acyclic (livelock-free by
+    construction) and the checker certifies deadlock freedom via
+    Theorem 1. *)
+
+open Dfr_network
+
+type t = {
+  net : Net.t;
+  algo : Algo.t;
+  levels : int array;  (** BFS level of each node *)
+}
+
+val make : num_nodes:int -> edges:(int * int) list -> root:int -> t
+(** [make ~num_nodes ~edges ~root] builds a wormhole network with one
+    virtual channel per direction of every undirected edge, and the
+    up*/down* relation for it.  Raises [Invalid_argument] if the graph is
+    disconnected, [root] is out of range, or an edge is a self loop. *)
+
+val is_up : t -> src:int -> dst:int -> bool
+(** Channel direction under the spanning-tree labelling. *)
+
+val random_connected : seed:int -> num_nodes:int -> extra_edges:int -> t
+(** A random connected graph: a random spanning tree plus [extra_edges]
+    random chords (duplicates discarded), rooted at node 0.  Deterministic
+    in [seed]; used by the property tests. *)
+
+val fat_tree : levels:int -> down_degree:int -> t
+(** A [levels]-deep tree fabric with [down_degree] children per switch and
+    full sibling cross-links at each level (a poor man's fat tree): the
+    canonical up*/down* deployment.  Node 0 is the root. *)

@@ -1,0 +1,1 @@
+lib/sim/router_sim.ml: Algo Array Buf Dfr_network Dfr_routing Dfr_topology Format Hashtbl List Net Option Queue Stats Traffic

@@ -1,0 +1,1 @@
+lib/sim/saf_sim.ml: Algo Array Buf Dfr_network Dfr_routing Dfr_util Format List Net Prng Stats Traffic

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Buf Checker Cycle_class Dfr_core Dfr_network Hashtbl List Net Saf_sim State_space Wormhole_sim

@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Algo Checker Cycle_class Deadlock_config Dfr_core Dfr_network Dfr_routing Net Saf_sim State_space Wormhole_sim

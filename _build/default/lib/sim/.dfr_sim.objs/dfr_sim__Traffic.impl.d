@@ -1,0 +1,1 @@
+lib/sim/traffic.ml: Array Dfr_topology Dfr_util List Prng Topology

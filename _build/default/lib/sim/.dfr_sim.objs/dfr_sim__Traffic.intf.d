@@ -1,0 +1,1 @@
+lib/sim/traffic.mli: Dfr_topology Dfr_util

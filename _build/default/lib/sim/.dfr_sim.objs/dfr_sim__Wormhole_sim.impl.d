@@ -1,0 +1,1 @@
+lib/sim/wormhole_sim.ml: Algo Array Buf Dfr_network Dfr_routing Dfr_topology Dfr_util Format Hashtbl List Net Prng Stats Traffic

@@ -1,0 +1,1 @@
+lib/sim/wormhole_sim.mli: Algo Dfr_network Dfr_routing Format Net Stats Traffic

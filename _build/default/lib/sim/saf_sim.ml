@@ -1,0 +1,214 @@
+open Dfr_network
+open Dfr_routing
+open Dfr_util
+
+type config = { max_cycles : int; seed : int }
+
+let default_config = { max_cycles = 100_000; seed = 1 }
+
+type outcome =
+  | Completed of Stats.t
+  | Deadlocked of { cycle : int; in_flight : int; stats : Stats.t }
+  | Timeout of Stats.t
+
+type pkt = {
+  id : int;
+  src : int;
+  dst : int;
+  inject_at : int;
+  mutable script : int list;
+  mutable at : int option; (* current buffer *)
+  mutable injected : bool;
+  mutable finished : bool;
+  mutable finish_cycle : int;
+  mutable hops : int;
+  frozen : bool;
+}
+
+let run_generic ?(config = default_config) net algo packets =
+  let owner = Array.make (Net.num_buffers net) (-1) in
+  let rng = Prng.create config.seed in
+  Array.iter
+    (fun p ->
+      match p.at with
+      | Some b ->
+        if owner.(b) <> -1 then invalid_arg "Saf_sim: duplicate preload buffer";
+        owner.(b) <- p.id
+      | None -> ())
+    packets;
+  let n = Array.length packets in
+  let events = ref 0 in
+  let transit_route b ~dest =
+    algo.Algo.route net b ~dest
+    |> List.filter (fun o -> Buf.is_transit (Net.buffer net o))
+  in
+  let select = function
+    | [] -> None
+    | [ b ] -> Some b
+    | bs -> Some (Prng.pick rng bs)
+  in
+  let step p cycle =
+    match p.at with
+    | None ->
+      if (not p.injected) && cycle >= p.inject_at then begin
+        let candidates =
+          match p.script with
+          | b :: _ -> [ b ]
+          | [] -> transit_route (Net.injection net p.src) ~dest:p.dst
+        in
+        match select (List.filter (fun b -> owner.(b) = -1) candidates) with
+        | Some b ->
+          owner.(b) <- p.id;
+          p.at <- Some b;
+          p.injected <- true;
+          (match p.script with _ :: rest -> p.script <- rest | [] -> ());
+          incr events
+        | None -> ()
+      end
+    | Some b ->
+      let head = Buf.head_node (Net.buffer net b) in
+      if head = p.dst then begin
+        (* consumption *)
+        owner.(b) <- -1;
+        p.at <- None;
+        p.finished <- true;
+        p.finish_cycle <- cycle;
+        incr events
+      end
+      else begin
+        let candidates =
+          match p.script with
+          | nb :: _ -> [ nb ]
+          | [] -> transit_route (Net.buffer net b) ~dest:p.dst
+        in
+        match select (List.filter (fun nb -> owner.(nb) = -1) candidates) with
+        | Some nb ->
+          owner.(nb) <- p.id;
+          owner.(b) <- -1;
+          p.at <- Some nb;
+          p.hops <- p.hops + 1;
+          (match p.script with _ :: rest -> p.script <- rest | [] -> ());
+          incr events
+        | None -> ()
+      end
+  in
+  let silent = ref 0 in
+  let result = ref None in
+  let cycle = ref 0 in
+  while !result = None && !cycle < config.max_cycles do
+    events := 0;
+    let offset = if n = 0 then 0 else !cycle mod n in
+    for k = 0 to n - 1 do
+      let p = packets.((k + offset) mod n) in
+      if (not p.finished) && not p.frozen then step p !cycle
+    done;
+    let unfinished =
+      Array.exists (fun p -> (not p.finished) && not p.frozen) packets
+    in
+    let pending_future =
+      Array.exists
+        (fun p ->
+          (not p.finished) && (not p.frozen) && p.at = None && p.inject_at > !cycle)
+        packets
+    in
+    let in_flight =
+      Array.fold_left
+        (fun acc p -> if p.at <> None then acc + 1 else acc)
+        0 packets
+    in
+    if not unfinished then result := Some (`Done !cycle)
+    else if !events = 0 && not pending_future then begin
+      incr silent;
+      if !silent >= 3 then result := Some (`Deadlock (!cycle, in_flight))
+    end
+    else silent := 0;
+    incr cycle
+  done;
+  let collect c =
+    let injected = ref 0 and delivered = ref 0 in
+    let latencies = ref [] in
+    Array.iter
+      (fun p ->
+        if p.injected then incr injected;
+        if p.finished then begin
+          incr delivered;
+          latencies := (p.finish_cycle - p.inject_at + 1) :: !latencies
+        end)
+      packets;
+    {
+      Stats.cycles = c;
+      injected = !injected;
+      delivered = !delivered;
+      flits_delivered = !delivered;
+      latencies = !latencies;
+    }
+  in
+  match !result with
+  | Some (`Done c) -> Completed (collect c)
+  | Some (`Deadlock (c, in_flight)) ->
+    Deadlocked { cycle = c; in_flight; stats = collect c }
+  | None -> Timeout (collect config.max_cycles)
+
+let run ?config net algo traffic =
+  let packets =
+    Array.of_list
+      (List.mapi
+         (fun id (t : Traffic.packet) ->
+           {
+             id;
+             src = t.Traffic.src;
+             dst = t.Traffic.dst;
+             inject_at = t.Traffic.inject_at;
+             script =
+               (match t.Traffic.mode with
+               | Traffic.Adaptive -> []
+               | Traffic.Scripted s -> s);
+             at = None;
+             injected = false;
+             finished = false;
+             finish_cycle = 0;
+             hops = 0;
+             frozen = false;
+           })
+         traffic)
+  in
+  run_generic ?config net algo packets
+
+type preload = { buffer : int; dest : int; frozen : bool }
+
+let run_preloaded ?config net algo preloads =
+  let packets =
+    Array.of_list
+      (List.mapi
+         (fun id p ->
+           {
+             id;
+             src = Buf.source_node (Net.buffer net p.buffer);
+             dst = p.dest;
+             inject_at = 0;
+             script = [];
+             at = Some p.buffer;
+             injected = true;
+             finished = false;
+             finish_cycle = 0;
+             hops = 0;
+             frozen = p.frozen;
+           })
+         preloads)
+  in
+  run_generic ?config net algo packets
+
+let is_deadlocked = function
+  | Deadlocked _ -> true
+  | Completed _ | Timeout _ -> false
+
+let stats = function
+  | Completed s | Timeout s -> s
+  | Deadlocked { stats; _ } -> stats
+
+let pp_outcome fmt = function
+  | Completed s -> Format.fprintf fmt "completed (%a)" Stats.pp s
+  | Deadlocked { cycle; in_flight; stats } ->
+    Format.fprintf fmt "DEADLOCK at cycle %d with %d packets in flight (%a)" cycle
+      in_flight Stats.pp stats
+  | Timeout s -> Format.fprintf fmt "timeout (%a)" Stats.pp s

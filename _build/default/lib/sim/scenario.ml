@@ -1,0 +1,114 @@
+open Dfr_network
+open Dfr_core
+
+let preloads_of_knot config =
+  List.map
+    (fun (buf, dest) ->
+      { Wormhole_sim.chain = [ buf ]; dest; frozen = false })
+    config
+
+let preloads_of_true_cycle space packets =
+  let occupied = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Cycle_class.packet) ->
+      List.iter (fun b -> Hashtbl.replace occupied b ()) p.Cycle_class.path)
+    packets;
+  let cycle_preloads =
+    List.map
+      (fun (p : Cycle_class.packet) ->
+        {
+          Wormhole_sim.chain = p.Cycle_class.path;
+          dest = p.Cycle_class.dest;
+          frozen = false;
+        })
+      packets
+  in
+  (* Freeze a filler into every still-free output of each blocked header,
+     so the cycle packets genuinely cannot sidestep (Theorem 2's previous
+     packets of tuned length). *)
+  let fillers = ref [] in
+  let add_filler b =
+    if not (Hashtbl.mem occupied b) then begin
+      Hashtbl.replace occupied b ();
+      (* any destination gives the filler a consistent identity; frozen
+         packets never consult the routing relation *)
+      let dest =
+        let head = Buf.head_node (Net.buffer (State_space.net space) b) in
+        (head + 1) mod State_space.num_nodes space
+      in
+      fillers := { Wormhole_sim.chain = [ b ]; dest; frozen = true } :: !fillers
+    end
+  in
+  List.iter
+    (fun (p : Cycle_class.packet) ->
+      match List.rev p.Cycle_class.path with
+      | [] -> ()
+      | head :: _ ->
+        List.iter add_filler
+          (State_space.outputs space ~buf:head ~dest:p.Cycle_class.dest))
+    packets;
+  cycle_preloads @ !fillers
+
+(* SAF packets occupy single buffers; fillers freeze the remaining free
+   outputs of each blocked packet, as in the wormhole case. *)
+let saf_preloads_of_packets space packets =
+  let occupied = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Cycle_class.packet) ->
+      Hashtbl.replace occupied (List.hd p.Cycle_class.path) ())
+    packets;
+  let main =
+    List.map
+      (fun (p : Cycle_class.packet) ->
+        {
+          Saf_sim.buffer = List.hd p.Cycle_class.path;
+          dest = p.Cycle_class.dest;
+          frozen = false;
+        })
+      packets
+  in
+  let fillers = ref [] in
+  List.iter
+    (fun (p : Cycle_class.packet) ->
+      let b = List.hd p.Cycle_class.path in
+      List.iter
+        (fun o ->
+          if not (Hashtbl.mem occupied o) then begin
+            Hashtbl.replace occupied o ();
+            fillers := { Saf_sim.buffer = o; dest = 0; frozen = true } :: !fillers
+          end)
+        (State_space.outputs space ~buf:b ~dest:p.Cycle_class.dest))
+    packets;
+  main @ !fillers
+
+let replay ?wormhole_config ?saf_config net algo failure =
+  let wormhole = Net.switching net = Net.Wormhole in
+  let knot_replay states =
+    if wormhole then
+      Some
+        (Wormhole_sim.is_deadlocked
+           (Wormhole_sim.run_preloaded ?config:wormhole_config net algo
+              (preloads_of_knot states)))
+    else
+      Some
+        (Saf_sim.is_deadlocked
+           (Saf_sim.run_preloaded ?config:saf_config net algo
+              (List.map
+                 (fun (buffer, dest) -> { Saf_sim.buffer; dest; frozen = false })
+                 states)))
+  in
+  match failure with
+  | Checker.Knot config -> knot_replay config
+  | Checker.True_cycle { packets; _ } | Checker.No_reduction { packets; _ } ->
+    let space = State_space.build net algo in
+    if wormhole then
+      Some
+        (Wormhole_sim.is_deadlocked
+           (Wormhole_sim.run_preloaded ?config:wormhole_config net algo
+              (preloads_of_true_cycle space packets)))
+    else
+      Some
+        (Saf_sim.is_deadlocked
+           (Saf_sim.run_preloaded ?config:saf_config net algo
+              (saf_preloads_of_packets space packets)))
+  | Checker.Stuck_states _ | Checker.Not_wait_connected _ -> None

@@ -1,0 +1,34 @@
+(** Bridging the checker's symbolic witnesses and the simulators.
+
+    A deadlock verdict from {!Dfr_core.Checker} comes with a configuration
+    (a knot of mutually blocking packets, or a True Cycle's packet set).
+    These helpers seat that configuration in the matching simulator and
+    report whether the network is dynamically stuck — the executable
+    counterpart of the paper's necessity proofs. *)
+
+open Dfr_network
+open Dfr_routing
+open Dfr_core
+
+val preloads_of_knot : Deadlock_config.t -> Wormhole_sim.preload list
+(** One single-buffer packet per knot state; no fillers needed (the knot is
+    already saturated). *)
+
+val preloads_of_true_cycle :
+  State_space.t -> Cycle_class.packet list -> Wormhole_sim.preload list
+(** The True Cycle's packets on their occupied chains, plus frozen filler
+    packets holding every other free output of each blocked header — the
+    "previous packet occupying this output indefinitely" of Theorem 2's
+    proof. *)
+
+val replay :
+  ?wormhole_config:Wormhole_sim.config ->
+  ?saf_config:Saf_sim.config ->
+  Net.t ->
+  Algo.t ->
+  Checker.failure ->
+  bool option
+(** Replays a checker failure in the appropriate simulator.
+    [Some true] = deadlock confirmed dynamically; [Some false] = the
+    configuration drained; [None] = this failure kind has nothing to
+    replay (wait-connectivity and stuck-state failures). *)

@@ -1,0 +1,35 @@
+type t = {
+  cycles : int;
+  injected : int;
+  delivered : int;
+  flits_delivered : int;
+  latencies : int list;
+}
+
+let empty =
+  { cycles = 0; injected = 0; delivered = 0; flits_delivered = 0; latencies = [] }
+
+let mean_latency t =
+  match t.latencies with
+  | [] -> nan
+  | ls ->
+    float_of_int (List.fold_left ( + ) 0 ls) /. float_of_int (List.length ls)
+
+let max_latency t = List.fold_left max 0 t.latencies
+
+let percentile_latency t p =
+  match List.sort compare t.latencies with
+  | [] -> 0
+  | sorted ->
+    let n = List.length sorted in
+    let idx = min (n - 1) (int_of_float (p *. float_of_int n)) in
+    List.nth sorted idx
+
+let throughput t ~nodes =
+  if t.cycles = 0 then 0.0
+  else float_of_int t.flits_delivered /. float_of_int t.cycles /. float_of_int nodes
+
+let pp fmt t =
+  Format.fprintf fmt
+    "cycles=%d injected=%d delivered=%d flits=%d mean-latency=%.1f" t.cycles
+    t.injected t.delivered t.flits_delivered (mean_latency t)

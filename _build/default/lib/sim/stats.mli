@@ -1,0 +1,23 @@
+(** Latency/throughput accounting shared by both simulators. *)
+
+type t = {
+  cycles : int;  (** cycles simulated *)
+  injected : int;  (** packets that entered the network *)
+  delivered : int;  (** packets fully consumed *)
+  flits_delivered : int;
+  latencies : int list;  (** per delivered packet, injection to consumption *)
+}
+
+val empty : t
+
+val mean_latency : t -> float
+(** [nan] when nothing was delivered. *)
+
+val max_latency : t -> int
+val percentile_latency : t -> float -> int
+(** e.g. [percentile_latency t 0.95]; 0 when nothing was delivered. *)
+
+val throughput : t -> nodes:int -> float
+(** Flits delivered per node per cycle. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+open Dfr_topology
+open Dfr_util
+
+type mode = Adaptive | Scripted of int list
+
+type packet = {
+  src : int;
+  dst : int;
+  length : int;
+  inject_at : int;
+  mode : mode;
+}
+
+type t = packet list
+
+type pattern =
+  | Uniform
+  | Transpose
+  | Bit_complement
+  | Hotspot of int
+  | Shuffle
+
+(* Node id reinterpreted through coordinates for the spatial patterns;
+   patterns needing a power-of-two id space fall back to id arithmetic
+   modulo the node count. *)
+let pattern_dest topo pattern rng src =
+  let n = Topology.num_nodes topo in
+  let dest =
+    match pattern with
+    | Uniform ->
+      (* uniform over the n-1 other nodes *)
+      let d = Prng.int rng (n - 1) in
+      if d >= src then d + 1 else d
+    | Transpose ->
+      let coord = Topology.coord_of_node topo src in
+      let dims = Array.length coord in
+      let rotated =
+        Array.init dims (fun i ->
+            let c = coord.((i + 1) mod dims) in
+            min c (Topology.radix topo i - 1))
+      in
+      Topology.node_of_coord topo rotated
+    | Bit_complement -> n - 1 - src
+    | Hotspot h -> h mod n
+    | Shuffle ->
+      let bits =
+        let rec count b acc = if 1 lsl acc >= b then acc else count b (acc + 1) in
+        count n 0
+      in
+      if bits = 0 then src
+      else ((src lsl 1) lor (src lsr (bits - 1))) land ((1 lsl bits) - 1) mod n
+  in
+  if dest = src then None else Some dest
+
+let generate topo ~pattern ~rate ~length ~horizon ~seed =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Traffic.generate: rate";
+  let rng = Prng.create seed in
+  let acc = ref [] in
+  for cycle = 0 to horizon - 1 do
+    for src = 0 to Topology.num_nodes topo - 1 do
+      if Prng.bernoulli rng rate then
+        match pattern_dest topo pattern rng src with
+        | Some dst ->
+          acc := { src; dst; length; inject_at = cycle; mode = Adaptive } :: !acc
+        | None -> ()
+    done
+  done;
+  List.rev !acc
+
+let batch topo ~pattern ~count ~length ~seed =
+  let rng = Prng.create seed in
+  let acc = ref [] in
+  for src = 0 to Topology.num_nodes topo - 1 do
+    for _ = 1 to count do
+      match pattern_dest topo pattern rng src with
+      | Some dst -> acc := { src; dst; length; inject_at = 0; mode = Adaptive } :: !acc
+      | None -> ()
+    done
+  done;
+  List.rev !acc
+
+let count t = List.length t

@@ -1,0 +1,57 @@
+(** Workload generation for the simulators.
+
+    A workload is a finite list of packet descriptions with injection
+    times.  Open-loop generators draw Bernoulli arrivals per node per cycle
+    at a given rate; the classical spatial patterns of the wormhole
+    literature are provided.  All generators are deterministic in the
+    seed. *)
+
+type mode =
+  | Adaptive  (** route with the algorithm's relation and the selector *)
+  | Scripted of int list
+      (** follow this exact buffer chain, then continue adaptively *)
+
+type packet = {
+  src : int;
+  dst : int;
+  length : int;  (** flits (wormhole) — SAF ignores it *)
+  inject_at : int;
+  mode : mode;
+}
+
+type t = packet list
+(** Sorted by [inject_at]. *)
+
+type pattern =
+  | Uniform  (** uniform-random destinations *)
+  | Transpose  (** coordinate rotation: (x, y, ...) -> (y, ..., x) *)
+  | Bit_complement  (** destination = complement of the source node id *)
+  | Hotspot of int  (** all traffic converges on one node *)
+  | Shuffle  (** perfect shuffle on the node id bits *)
+
+val pattern_dest :
+  Dfr_topology.Topology.t -> pattern -> Dfr_util.Prng.t -> int -> int option
+(** Destination for a source under a pattern ([None] when it maps to
+    itself). *)
+
+val generate :
+  Dfr_topology.Topology.t ->
+  pattern:pattern ->
+  rate:float ->
+  length:int ->
+  horizon:int ->
+  seed:int ->
+  t
+(** Bernoulli([rate]) arrival per node per cycle over [horizon] cycles. *)
+
+val batch :
+  Dfr_topology.Topology.t ->
+  pattern:pattern ->
+  count:int ->
+  length:int ->
+  seed:int ->
+  t
+(** [count] packets per node, all injected at cycle 0 (closed batch —
+    the saturation workload used by the deadlock stress tests). *)
+
+val count : t -> int

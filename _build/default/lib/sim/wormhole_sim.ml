@@ -1,0 +1,414 @@
+open Dfr_network
+open Dfr_routing
+open Dfr_util
+
+type selection = First_free | Random_free
+
+type config = {
+  capacity : int;
+  max_cycles : int;
+  seed : int;
+  selection : selection;
+}
+
+let default_config =
+  { capacity = 4; max_cycles = 100_000; seed = 1; selection = Random_free }
+
+type outcome =
+  | Completed of Stats.t
+  | Deadlocked of {
+      cycle : int;
+      in_flight : int;
+      stats : Stats.t;
+      wait_for : (int * int) list;
+    }
+  | Timeout of Stats.t
+
+type pkt = {
+  id : int;
+  src : int;
+  dst : int;
+  length : int;
+  inject_at : int;
+  mutable script : int list;
+  mutable route : int list; (* owned buffers, oldest (tail) first *)
+  mutable injected : int; (* flits that have left the source *)
+  mutable delivered : int;
+  mutable finished : bool;
+  mutable finish_cycle : int;
+  frozen : bool;
+}
+
+type sim = {
+  net : Net.t;
+  algo : Algo.t;
+  cfg : config;
+  rng : Prng.t;
+  owner : int array; (* buffer id -> packet id, -1 when free *)
+  flits : int array; (* buffer id -> flits currently stored *)
+  packets : pkt array;
+  mutable events : int; (* events fired in the current cycle *)
+  used_links : (int * int * int, unit) Hashtbl.t; (* per-cycle link usage *)
+  delivery_used : bool array; (* per-node per-cycle consumption port *)
+}
+
+(* The physical link a flit crosses when it enters this channel buffer:
+   virtual channels of one link share it; node buffers (SAF emulation) and
+   endpoint buffers are not link-constrained. *)
+let link_key net b =
+  match Buf.kind (Net.buffer net b) with
+  | Buf.Channel { src; dim; dir; _ } ->
+    Some (src, dim, if dir = Dfr_topology.Topology.Plus then 1 else 0)
+  | _ -> None
+
+let link_free sim b =
+  match link_key sim.net b with
+  | None -> true
+  | Some key -> not (Hashtbl.mem sim.used_links key)
+
+let use_link sim b =
+  match link_key sim.net b with
+  | None -> ()
+  | Some key -> Hashtbl.replace sim.used_links key ()
+
+let rec last = function
+  | [] -> invalid_arg "Wormhole_sim.last"
+  | [ x ] -> x
+  | _ :: rest -> last rest
+
+let free_candidates sim candidates =
+  List.filter (fun b -> sim.owner.(b) = -1) candidates
+
+let select sim = function
+  | [] -> None
+  | [ b ] -> Some b
+  | bs -> (
+    match sim.cfg.selection with
+    | First_free -> Some (List.hd bs)
+    | Random_free -> Some (Prng.pick sim.rng bs))
+
+let transit_route sim b ~dest =
+  sim.algo.Algo.route sim.net b ~dest
+  |> List.filter (fun o -> Buf.is_transit (Net.buffer sim.net o))
+
+(* Acquire [b] for packet [p], moving one flit out of [from_flits] (the
+   head buffer, or the source if the packet is just entering). *)
+let acquire sim p b ~drain =
+  sim.owner.(b) <- p.id;
+  drain ();
+  sim.flits.(b) <- sim.flits.(b) + 1;
+  use_link sim b;
+  p.route <- p.route @ [ b ];
+  (match p.script with _ :: rest -> p.script <- rest | [] -> ());
+  sim.events <- sim.events + 1
+
+(* Header progress: either first injection or route extension. *)
+let try_head sim p cycle =
+  match p.route with
+  | [] ->
+    if cycle >= p.inject_at && p.injected = 0 then begin
+      let candidates =
+        match p.script with
+        | b :: _ -> [ b ]
+        | [] ->
+          transit_route sim (Net.injection sim.net p.src) ~dest:p.dst
+      in
+      match select sim (free_candidates sim candidates) with
+      | Some b when sim.flits.(b) < sim.cfg.capacity && link_free sim b ->
+        acquire sim p b ~drain:(fun () -> p.injected <- 1)
+      | _ -> ()
+    end
+  | route ->
+    let h = last route in
+    if Buf.head_node (Net.buffer sim.net h) <> p.dst && sim.flits.(h) > 0 then begin
+      let candidates =
+        match p.script with
+        | b :: _ -> [ b ]
+        | [] -> transit_route sim (Net.buffer sim.net h) ~dest:p.dst
+      in
+      match select sim (free_candidates sim candidates) with
+      | Some b when sim.flits.(b) < sim.cfg.capacity && link_free sim b ->
+        acquire sim p b ~drain:(fun () -> sim.flits.(h) <- sim.flits.(h) - 1)
+      | _ -> ()
+    end
+
+(* Consume one flit at the destination. *)
+let try_deliver sim p =
+  match p.route with
+  | [] -> ()
+  | route ->
+    let h = last route in
+    if
+      Buf.head_node (Net.buffer sim.net h) = p.dst
+      && sim.flits.(h) > 0
+      && not sim.delivery_used.(p.dst)
+    then begin
+      sim.delivery_used.(p.dst) <- true;
+      sim.flits.(h) <- sim.flits.(h) - 1;
+      p.delivered <- p.delivered + 1;
+      sim.events <- sim.events + 1
+    end
+
+(* Body flits flow forward, head side first so a flit moves at most once
+   per cycle. *)
+let try_body sim p =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  let hops = List.rev (pairs p.route) in
+  List.iter
+    (fun (cur, next) ->
+      if
+        sim.flits.(cur) > 0
+        && sim.flits.(next) < sim.cfg.capacity
+        && link_free sim next
+      then begin
+        sim.flits.(cur) <- sim.flits.(cur) - 1;
+        sim.flits.(next) <- sim.flits.(next) + 1;
+        use_link sim next;
+        sim.events <- sim.events + 1
+      end)
+    hops
+
+(* Feed the worm from the source. *)
+let try_inject_body sim p cycle =
+  match p.route with
+  | first :: _ ->
+    if
+      p.injected > 0 && p.injected < p.length
+      && cycle >= p.inject_at
+      && sim.flits.(first) < sim.cfg.capacity
+      && link_free sim first
+    then begin
+      sim.flits.(first) <- sim.flits.(first) + 1;
+      use_link sim first;
+      p.injected <- p.injected + 1;
+      sim.events <- sim.events + 1
+    end
+  | [] -> ()
+
+(* Release drained tail buffers once the source has nothing more to send,
+   and the whole route once the packet is consumed. *)
+let release sim p cycle =
+  if (not p.finished) && p.delivered >= p.length then begin
+    List.iter
+      (fun b ->
+        sim.owner.(b) <- -1;
+        assert (sim.flits.(b) = 0))
+      p.route;
+    p.route <- [];
+    p.finished <- true;
+    p.finish_cycle <- cycle
+  end
+  else if p.injected >= p.length then begin
+    let rec drop = function
+      | b :: (_ :: _ as rest) when sim.flits.(b) = 0 ->
+        sim.owner.(b) <- -1;
+        drop rest
+      | route -> route
+    in
+    p.route <- drop p.route
+  end
+
+let make_sim ?(config = default_config) net algo packets =
+  {
+    net;
+    algo;
+    cfg = config;
+    rng = Prng.create config.seed;
+    owner = Array.make (Net.num_buffers net) (-1);
+    flits = Array.make (Net.num_buffers net) 0;
+    packets;
+    events = 0;
+    used_links = Hashtbl.create 64;
+    delivery_used = Array.make (Net.num_nodes net) false;
+  }
+
+let collect_stats sim cycle =
+  let injected = ref 0 and delivered = ref 0 and flits = ref 0 in
+  let latencies = ref [] in
+  Array.iter
+    (fun p ->
+      if p.injected > 0 then incr injected;
+      flits := !flits + p.delivered;
+      if p.finished then begin
+        incr delivered;
+        latencies := (p.finish_cycle - p.inject_at + 1) :: !latencies
+      end)
+    sim.packets;
+  {
+    Stats.cycles = cycle;
+    injected = !injected;
+    delivered = !delivered;
+    flits_delivered = !flits;
+    latencies = !latencies;
+  }
+
+(* The packet wait-for graph at stall time: which packet each blocked
+   packet is waiting on (via the owners of its candidate buffers). *)
+let wait_for_edges sim cycle =
+  let edges = ref [] in
+  Array.iter
+    (fun p ->
+      if (not p.finished) && not p.frozen then begin
+        let candidates =
+          match p.route with
+          | [] ->
+            if cycle >= p.inject_at && p.injected = 0 then
+              match p.script with
+              | b :: _ -> [ b ]
+              | [] -> transit_route sim (Net.injection sim.net p.src) ~dest:p.dst
+            else []
+          | route ->
+            let h = last route in
+            if Buf.head_node (Net.buffer sim.net h) <> p.dst then
+              match p.script with
+              | b :: _ -> [ b ]
+              | [] -> transit_route sim (Net.buffer sim.net h) ~dest:p.dst
+            else []
+        in
+        List.iter
+          (fun b ->
+            let o = sim.owner.(b) in
+            if o >= 0 && o <> p.id && not (List.mem (p.id, o) !edges) then
+              edges := (p.id, o) :: !edges)
+          candidates
+      end)
+    sim.packets;
+  List.rev !edges
+
+let run_loop sim =
+  let n = Array.length sim.packets in
+  let silent = ref 0 in
+  let outcome = ref None in
+  let cycle = ref 0 in
+  while !outcome = None && !cycle < sim.cfg.max_cycles do
+    sim.events <- 0;
+    Hashtbl.reset sim.used_links;
+    Array.fill sim.delivery_used 0 (Array.length sim.delivery_used) false;
+    (* rotate processing order for fairness *)
+    let offset = if n = 0 then 0 else !cycle mod n in
+    for k = 0 to n - 1 do
+      let p = sim.packets.((k + offset) mod n) in
+      if (not p.finished) && not p.frozen then begin
+        try_deliver sim p;
+        try_head sim p !cycle;
+        try_body sim p;
+        try_inject_body sim p !cycle;
+        release sim p !cycle
+      end
+    done;
+    let unfinished =
+      Array.exists (fun p -> (not p.finished) && not p.frozen) sim.packets
+    in
+    let in_flight =
+      Array.fold_left
+        (fun acc p ->
+          if (not p.finished) && (not p.frozen) && p.route <> [] then acc + 1
+          else acc)
+        0 sim.packets
+    in
+    let pending_future =
+      Array.exists
+        (fun p ->
+          (not p.finished) && (not p.frozen) && p.route = [] && p.inject_at > !cycle)
+        sim.packets
+    in
+    if not unfinished then outcome := Some (`Done !cycle)
+    else if sim.events = 0 && not pending_future then begin
+      incr silent;
+      if !silent >= 3 then
+        outcome := Some (`Deadlock (!cycle, in_flight, wait_for_edges sim !cycle))
+    end
+    else silent := 0;
+    incr cycle
+  done;
+  match !outcome with
+  | Some (`Done c) -> Completed (collect_stats sim c)
+  | Some (`Deadlock (c, in_flight, wait_for)) ->
+    Deadlocked { cycle = c; in_flight; stats = collect_stats sim c; wait_for }
+  | None -> Timeout (collect_stats sim sim.cfg.max_cycles)
+
+let packets_of_traffic traffic =
+  Array.of_list
+    (List.mapi
+       (fun id (t : Traffic.packet) ->
+         {
+           id;
+           src = t.Traffic.src;
+           dst = t.Traffic.dst;
+           length = max 1 t.Traffic.length;
+           inject_at = t.Traffic.inject_at;
+           script =
+             (match t.Traffic.mode with
+             | Traffic.Adaptive -> []
+             | Traffic.Scripted s -> s);
+           route = [];
+           injected = 0;
+           delivered = 0;
+           finished = false;
+           finish_cycle = 0;
+           frozen = false;
+         })
+       traffic)
+
+let run ?config net algo traffic =
+  let sim = make_sim ?config net algo (packets_of_traffic traffic) in
+  run_loop sim
+
+type preload = { chain : int list; dest : int; frozen : bool }
+
+let run_preloaded ?(config = default_config) net algo preloads =
+  let packets =
+    Array.of_list
+      (List.mapi
+         (fun id p ->
+           (match p.chain with
+           | [] -> invalid_arg "Wormhole_sim.run_preloaded: empty chain"
+           | _ -> ());
+           {
+             id;
+             src = Buf.source_node (Net.buffer net (List.hd p.chain));
+             dst = p.dest;
+             length = config.capacity * List.length p.chain;
+             inject_at = 0;
+             script = [];
+             route = p.chain;
+             injected = config.capacity * List.length p.chain;
+             delivered = 0;
+             finished = false;
+             finish_cycle = 0;
+             frozen = p.frozen;
+           })
+         preloads)
+  in
+  let sim = make_sim ~config net algo packets in
+  (* seat the packets: every chained buffer filled with the owner's flits *)
+  Array.iter
+    (fun p ->
+      List.iter
+        (fun b ->
+          if sim.owner.(b) <> -1 then
+            invalid_arg "Wormhole_sim.run_preloaded: duplicate buffer";
+          sim.owner.(b) <- p.id;
+          sim.flits.(b) <- config.capacity)
+        p.route)
+    packets;
+  run_loop sim
+
+let is_deadlocked = function
+  | Deadlocked _ -> true
+  | Completed _ | Timeout _ -> false
+
+let stats = function
+  | Completed s | Timeout s -> s
+  | Deadlocked { stats; _ } -> stats
+
+let pp_outcome fmt = function
+  | Completed s -> Format.fprintf fmt "completed (%a)" Stats.pp s
+  | Deadlocked { cycle; in_flight; stats; wait_for } ->
+    Format.fprintf fmt
+      "DEADLOCK at cycle %d with %d packets in flight, %d wait-for edges (%a)"
+      cycle in_flight (List.length wait_for) Stats.pp stats
+  | Timeout s -> Format.fprintf fmt "timeout (%a)" Stats.pp s

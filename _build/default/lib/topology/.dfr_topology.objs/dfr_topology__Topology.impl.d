@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Dfr_graph Format List Option Printf String

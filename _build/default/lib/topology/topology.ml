@@ -1,0 +1,142 @@
+type direction = Plus | Minus
+
+type t = {
+  name : string;
+  radices : int array;
+  wrap : bool;
+  strides : int array; (* strides.(i) = product of radices below i *)
+  num_nodes : int;
+}
+
+let flip = function Plus -> Minus | Minus -> Plus
+
+let make ~name ~wrap radices =
+  if Array.length radices = 0 then invalid_arg "Topology: no dimensions";
+  Array.iter
+    (fun k ->
+      if k < 1 then invalid_arg "Topology: radix must be >= 1";
+      if wrap && k < 3 then invalid_arg "Topology: torus radix must be >= 3")
+    radices;
+  let n = Array.length radices in
+  let strides = Array.make n 1 in
+  for i = 1 to n - 1 do
+    strides.(i) <- strides.(i - 1) * radices.(i - 1)
+  done;
+  let num_nodes = strides.(n - 1) * radices.(n - 1) in
+  { name; radices = Array.copy radices; wrap; strides; num_nodes }
+
+let mesh radices =
+  let dims = String.concat "x" (Array.to_list (Array.map string_of_int radices)) in
+  make ~name:(Printf.sprintf "mesh-%s" dims) ~wrap:false radices
+
+let hypercube n =
+  if n < 1 then invalid_arg "Topology.hypercube: dimension must be >= 1";
+  let t = make ~name:"" ~wrap:false (Array.make n 2) in
+  { t with name = Printf.sprintf "hypercube-%d" n }
+
+let torus radices =
+  let dims = String.concat "x" (Array.to_list (Array.map string_of_int radices)) in
+  make ~name:(Printf.sprintf "torus-%s" dims) ~wrap:true radices
+
+let ring k =
+  let t = torus [| k |] in
+  { t with name = Printf.sprintf "ring-%d" k }
+
+let name t = t.name
+let is_torus t = t.wrap
+let num_nodes t = t.num_nodes
+let dimensions t = Array.length t.radices
+
+let radix t i =
+  if i < 0 || i >= dimensions t then invalid_arg "Topology.radix";
+  t.radices.(i)
+
+let coordinate t node dim =
+  if node < 0 || node >= t.num_nodes then invalid_arg "Topology: node out of range";
+  node / t.strides.(dim) mod t.radices.(dim)
+
+let coord_of_node t node =
+  Array.init (dimensions t) (fun i -> coordinate t node i)
+
+let node_of_coord t coord =
+  if Array.length coord <> dimensions t then invalid_arg "Topology.node_of_coord";
+  let acc = ref 0 in
+  for i = 0 to dimensions t - 1 do
+    let c = coord.(i) in
+    if c < 0 || c >= t.radices.(i) then invalid_arg "Topology.node_of_coord";
+    acc := !acc + (c * t.strides.(i))
+  done;
+  !acc
+
+let neighbor t node dim dir =
+  let c = coordinate t node dim in
+  let k = t.radices.(dim) in
+  let c' =
+    match dir with
+    | Plus -> if c + 1 < k then Some (c + 1) else if t.wrap then Some 0 else None
+    | Minus -> if c > 0 then Some (c - 1) else if t.wrap then Some (k - 1) else None
+  in
+  Option.map (fun c' -> node + ((c' - c) * t.strides.(dim))) c'
+
+let neighbors t node =
+  let acc = ref [] in
+  for dim = dimensions t - 1 downto 0 do
+    let try_dir dir =
+      match neighbor t node dim dir with
+      | Some v -> acc := (dim, dir, v) :: !acc
+      | None -> ()
+    in
+    try_dir Minus;
+    try_dir Plus
+  done;
+  !acc
+
+let dim_distance t dim a b =
+  let d = abs (a - b) in
+  if t.wrap then min d (t.radices.(dim) - d) else d
+
+let distance t u v =
+  let acc = ref 0 in
+  for dim = 0 to dimensions t - 1 do
+    acc := !acc + dim_distance t dim (coordinate t u dim) (coordinate t v dim)
+  done;
+  !acc
+
+let minimal_moves t ~src ~dst =
+  let acc = ref [] in
+  for dim = dimensions t - 1 downto 0 do
+    let cs = coordinate t src dim and cd = coordinate t dst dim in
+    if cs <> cd then
+      if not t.wrap then
+        acc := (dim, if cs < cd then Plus else Minus) :: !acc
+      else begin
+        let k = t.radices.(dim) in
+        let fwd = (cd - cs + k) mod k in
+        let bwd = k - fwd in
+        if fwd < bwd then acc := (dim, Plus) :: !acc
+        else if bwd < fwd then acc := (dim, Minus) :: !acc
+        else acc := (dim, Plus) :: (dim, Minus) :: !acc
+      end
+  done;
+  !acc
+
+let channels t =
+  let acc = ref [] in
+  for u = num_nodes t - 1 downto 0 do
+    List.iter (fun (_, _, v) -> acc := (u, v) :: !acc) (neighbors t u)
+  done;
+  !acc
+
+let to_digraph t =
+  let g = Dfr_graph.Digraph.create (num_nodes t) in
+  List.iter (fun (u, v) -> Dfr_graph.Digraph.add_edge g u v) (channels t);
+  g
+
+let pp_node t fmt node =
+  let coord = coord_of_node t node in
+  Format.fprintf fmt "(%s)"
+    (String.concat "," (Array.to_list (Array.map string_of_int coord)))
+
+let pp_direction fmt = function
+  | Plus -> Format.pp_print_char fmt '+'
+  | Minus -> Format.pp_print_char fmt '-'

@@ -1,0 +1,68 @@
+(** Orthogonal interconnection-network topologies.
+
+    Covers every topology the paper touches: n-dimensional meshes
+    (Theorem 4), hypercubes (Theorems 5-6, Figure 3) and k-ary n-cubes /
+    tori / rings (the "any network topology" claim of the conclusion).
+    Nodes are dense integers obtained by mixed-radix encoding of their
+    coordinates, so they can index arrays directly. *)
+
+type t
+
+type direction = Plus | Minus
+
+val flip : direction -> direction
+
+val mesh : int array -> t
+(** [mesh radices] is an n-dimensional mesh; [radices.(i)] is the number of
+    nodes along dimension [i] (each must be >= 2 except that a
+    one-dimensional [mesh [|k|]] is a line).  Raises [Invalid_argument] on
+    an empty array or radices < 1. *)
+
+val hypercube : int -> t
+(** [hypercube n] is the binary n-cube (a mesh of [n] radix-2 dimensions). *)
+
+val torus : int array -> t
+(** Like {!mesh} but with wrap-around links.  Radices must be >= 3 so that
+    the two directed wrap channels are distinct physical links. *)
+
+val ring : int -> t
+(** [ring k] is [torus [| k |]]. *)
+
+val name : t -> string
+val is_torus : t -> bool
+val num_nodes : t -> int
+val dimensions : t -> int
+val radix : t -> int -> int
+
+val coord_of_node : t -> int -> int array
+(** Fresh array of coordinates, lowest dimension first. *)
+
+val node_of_coord : t -> int array -> int
+val coordinate : t -> int -> int -> int
+(** [coordinate t node dim] without allocating the full vector. *)
+
+val neighbor : t -> int -> int -> direction -> int option
+(** [neighbor t node dim dir] is the adjacent node in that direction, or
+    [None] at a mesh boundary. *)
+
+val neighbors : t -> int -> (int * direction * int) list
+(** All [(dim, dir, node)] triples adjacent to a node. *)
+
+val distance : t -> int -> int -> int
+(** Minimal hop count (wrap-aware on tori). *)
+
+val minimal_moves : t -> src:int -> dst:int -> (int * direction) list
+(** Directions that strictly decrease the distance to [dst].  On a torus a
+    dimension whose two ways around are equidistant contributes both
+    directions. *)
+
+val channels : t -> (int * int) list
+(** Every directed physical channel [(u, v)]. *)
+
+val to_digraph : t -> Dfr_graph.Digraph.t
+(** The directed physical-channel graph over nodes. *)
+
+val pp_node : t -> Format.formatter -> int -> unit
+(** Prints the coordinate vector, e.g. ["(2,0,1)"]. *)
+
+val pp_direction : Format.formatter -> direction -> unit

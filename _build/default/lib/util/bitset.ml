@@ -1,0 +1,69 @@
+type t = int
+
+let check_elt i =
+  if i < 0 || i > 61 then invalid_arg "Bitset: element out of [0, 61]"
+
+let empty = 0
+let is_empty s = s = 0
+
+let singleton i =
+  check_elt i;
+  1 lsl i
+
+let mem i s =
+  check_elt i;
+  s land (1 lsl i) <> 0
+
+let add i s = s lor singleton i
+let remove i s = s land lnot (singleton i)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+
+let cardinal s =
+  let rec go acc s = if s = 0 then acc else go (acc + 1) (s land (s - 1)) in
+  go 0 s
+
+let min_elt s =
+  if s = 0 then raise Not_found;
+  (* index of lowest set bit *)
+  let rec go i s = if s land 1 = 1 then i else go (i + 1) (s lsr 1) in
+  go 0 s
+
+let max_elt s =
+  if s = 0 then raise Not_found;
+  let rec go i s = if s = 1 then i else go (i + 1) (s lsr 1) in
+  go 0 s
+
+let fold f s init =
+  let rec go acc s =
+    if s = 0 then acc
+    else
+      let i = min_elt s in
+      go (f i acc) (remove i s)
+  in
+  go init s
+
+let iter f s = fold (fun i () -> f i) s ()
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+let of_list l = List.fold_left (fun s i -> add i s) empty l
+
+let full n =
+  if n < 0 || n > 61 then invalid_arg "Bitset.full";
+  (1 lsl n) - 1
+
+let subsets s =
+  if cardinal s > 16 then invalid_arg "Bitset.subsets: too large";
+  (* enumerate submasks of s in increasing order of the complemented walk *)
+  let rec go acc sub =
+    let acc = sub :: acc in
+    if sub = s then List.rev acc else go acc ((sub - s) land s)
+  in
+  go [] 0
+
+let pp fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       Format.pp_print_int)
+    (elements s)

@@ -1,0 +1,38 @@
+(** Small integer sets represented as native-int bitmasks.
+
+    Used pervasively for "set of dimensions still to be corrected" in the
+    routing algorithms and the adaptiveness dynamic programs.  Elements must
+    lie in [0, 61]. *)
+
+type t = int
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val cardinal : t -> int
+
+val min_elt : t -> int
+(** Smallest member. Raises [Not_found] on the empty set. *)
+
+val max_elt : t -> int
+(** Largest member. Raises [Not_found] on the empty set. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over members in increasing order. *)
+
+val iter : (int -> unit) -> t -> unit
+val elements : t -> int list
+val of_list : int list -> t
+val full : int -> t
+(** [full n] is the set [{0, ..., n-1}]. *)
+
+val subsets : t -> t list
+(** All subsets, the empty set first.  Cardinal must be at most 16. *)
+
+val pp : Format.formatter -> t -> unit

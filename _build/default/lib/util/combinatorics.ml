@@ -1,0 +1,46 @@
+let factorial n =
+  if n < 0 then invalid_arg "Combinatorics.factorial: negative";
+  if n > 20 then invalid_arg "Combinatorics.factorial: overflow";
+  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
+  go 1 n
+
+let binomial n k =
+  if n < 0 then invalid_arg "Combinatorics.binomial: negative n";
+  if k < 0 || k > n then 0
+  else begin
+    (* multiply/divide incrementally so intermediates stay exact *)
+    let k = min k (n - k) in
+    let rec go acc i = if i > k then acc else go (acc * (n - k + i) / i) (i + 1) in
+    go 1 1
+  end
+
+let pow2 k =
+  if k < 0 || k > 61 then invalid_arg "Combinatorics.pow2: out of range";
+  1 lsl k
+
+let falling n k =
+  if k < 0 then invalid_arg "Combinatorics.falling: negative k";
+  let rec go acc i = if i >= k then acc else go (acc * (n - i)) (i + 1) in
+  go 1 0
+
+let permutations l =
+  if List.length l > 8 then invalid_arg "Combinatorics.permutations: too long";
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: ys -> (x :: y :: ys) :: List.map (fun zs -> y :: zs) (insert_everywhere x ys)
+  in
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insert_everywhere x) (go xs)
+  in
+  go l
+
+let subsets l =
+  if List.length l > 16 then invalid_arg "Combinatorics.subsets: too long";
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: xs ->
+      let rest = go xs in
+      rest @ List.map (fun s -> x :: s) rest
+  in
+  go l

@@ -1,0 +1,27 @@
+(** Exact integer combinatorics used by the adaptiveness calculators.
+
+    All results are native [int]s; the largest quantity the toolkit needs is
+    [12! * 2^12 < 2^42], well inside 63-bit integers.  Functions raise
+    [Invalid_argument] on negative inputs rather than returning garbage. *)
+
+val factorial : int -> int
+(** [factorial n] is [n!]. Raises [Invalid_argument] if [n < 0] or the
+    result would overflow a native int ([n > 20]). *)
+
+val binomial : int -> int -> int
+(** [binomial n k] is the number of [k]-subsets of an [n]-set; [0] when
+    [k < 0 || k > n]. Raises [Invalid_argument] if [n < 0]. *)
+
+val pow2 : int -> int
+(** [pow2 k] is [2^k]. Raises [Invalid_argument] if [k < 0 || k > 61]. *)
+
+val falling : int -> int -> int
+(** [falling n k] is the falling factorial [n * (n-1) * ... * (n-k+1)]. *)
+
+val permutations : 'a list -> 'a list list
+(** All permutations of a list, in no particular order.  Intended for
+    small lists (tests and exhaustive checks); raises [Invalid_argument]
+    for lists longer than 8. *)
+
+val subsets : 'a list -> 'a list list
+(** All subsets of a list. Raises [Invalid_argument] beyond 16 elements. *)

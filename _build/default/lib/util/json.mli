@@ -1,0 +1,19 @@
+(** Minimal JSON emitter (no parsing).
+
+    The sealed build environment has no JSON library; this is just enough
+    to export checker reports and experiment tables machine-readably. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single line. *)
+
+val to_string_pretty : t -> string
+(** Two-space indentation. *)

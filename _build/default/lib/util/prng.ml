@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next g =
+  g.state <- Int64.add g.state golden;
+  mix g.state
+
+let create seed = { state = mix (Int64.of_int seed) }
+let split g = { state = next g }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* keep 62 low bits so the conversion to a 63-bit OCaml int stays
+     non-negative *)
+  let x = Int64.to_int (Int64.shift_right_logical (next g) 2) in
+  x mod bound
+
+let float g bound =
+  let x = Int64.to_float (Int64.shift_right_logical (next g) 11) in
+  (* 53 random bits scaled into [0, 1) *)
+  x /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (next g) 1L = 1L
+let bernoulli g p = float g 1.0 < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | l -> List.nth l (int g (List.length l))

@@ -1,0 +1,32 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    The simulators need reproducible randomness that is independent of the
+    order in which components draw numbers; every component receives its own
+    [t] split off a root seed, so adding a new consumer never perturbs the
+    streams of existing ones. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split g] derives an independent generator; [g] itself advances. *)
+
+val int : t -> int -> int
+(** [int g bound] draws a uniform integer in [0, bound). [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float g bound] draws a uniform float in [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is true with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. Raises [Invalid_argument] on []. *)

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Algo Buf Checker Dfr_core Dfr_network Dfr_routing Dfr_sim Dfr_topology Dfr_util Hashtbl List Net Option Printf Saf_sim Scenario Topology Traffic Wormhole_sim

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cycles Dfr_graph Digraph Dot Filename Fun Hashtbl List Printf QCheck QCheck_alcotest Scc String Sys Traversal

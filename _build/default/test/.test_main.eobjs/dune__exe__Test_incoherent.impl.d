@@ -1,0 +1,1 @@
+test/test_incoherent.ml: Alcotest Algo Buf Bwg Checker Cycle_class Dfr_core Dfr_graph Dfr_network Dfr_routing Dfr_sim Incoherent_example List Net State_space

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Buf Dfr_network Dfr_topology List Net Topology

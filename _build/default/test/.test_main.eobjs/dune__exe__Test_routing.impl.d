@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Algo Buf Dfr_network Dfr_routing Dfr_topology Hypercube_wormhole List Mesh_saf Mesh_wormhole Net QCheck QCheck_alcotest Registry Topology Torus_wormhole

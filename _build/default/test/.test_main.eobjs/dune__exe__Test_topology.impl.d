@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Dfr_graph Dfr_topology Format List QCheck QCheck_alcotest Topology

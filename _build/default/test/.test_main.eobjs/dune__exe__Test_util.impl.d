@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Combinatorics Dfr_util Fun Json List Prng QCheck QCheck_alcotest String

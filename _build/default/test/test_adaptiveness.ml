@@ -1,0 +1,258 @@
+(* Tests for dfr_adaptiveness: Figure 3's dynamic program, the generic path
+   counter, and the cross-validation between them. *)
+
+open Dfr_topology
+open Dfr_network
+open Dfr_routing
+open Dfr_core
+open Dfr_adaptiveness
+
+let check = Alcotest.check
+let close = Alcotest.float 1e-9
+let ha_counter = Hypercube_adaptiveness.counter
+
+let count rule ~signs ~remaining =
+  Hypercube_adaptiveness.count_paths (ha_counter rule) ~signs ~remaining
+
+(* ---------------- closed-form anchors ---------------- *)
+
+let test_total_paths () =
+  check Alcotest.int "k=1" 2 (Hypercube_adaptiveness.total_paths ~k:1);
+  check Alcotest.int "k=2" 8 (Hypercube_adaptiveness.total_paths ~k:2);
+  check Alcotest.int "k=3" 48 (Hypercube_adaptiveness.total_paths ~k:3)
+
+let test_ecube_counts () =
+  (* exactly one buffer path whatever the distance or signs *)
+  for k = 1 to 6 do
+    for signs = 0 to (1 lsl k) - 1 do
+      check Alcotest.int "one path" 1
+        (count Hypercube_adaptiveness.ecube_rule ~signs ~remaining:((1 lsl k) - 1))
+    done
+  done
+
+let test_unrestricted_counts () =
+  (* every buffer path is permitted *)
+  for k = 1 to 5 do
+    check Alcotest.int "all paths"
+      (Hypercube_adaptiveness.total_paths ~k)
+      (count Hypercube_adaptiveness.efa_relaxed_rule ~signs:0
+         ~remaining:((1 lsl k) - 1))
+  done
+
+let test_duato_k2_hand_count () =
+  (* distance 2: B1 of dim 0, or B2 of either dim first: 3 first moves,
+     then 2 choices each = 6 of 8 *)
+  check Alcotest.int "6 paths" 6
+    (count Hypercube_adaptiveness.duato_rule ~signs:0 ~remaining:3)
+
+let test_efa_k2_hand_count () =
+  (* lowest positive: like duato = 6; lowest negative: everything = 8 *)
+  check Alcotest.int "positive lowest" 6
+    (count Hypercube_adaptiveness.efa_rule ~signs:0 ~remaining:3);
+  check Alcotest.int "negative lowest" 8
+    (count Hypercube_adaptiveness.efa_rule ~signs:1 ~remaining:3);
+  check Alcotest.int "sign of dim 1 irrelevant at start" 6
+    (count Hypercube_adaptiveness.efa_rule ~signs:2 ~remaining:3)
+
+let test_mean_ratio_k1 () =
+  (* distance 1: ecube 1/2, adaptive algorithms 2/2 *)
+  check close "ecube" 0.5
+    (Hypercube_adaptiveness.mean_ratio_at_distance
+       (ha_counter Hypercube_adaptiveness.ecube_rule) ~k:1);
+  check close "duato" 1.0
+    (Hypercube_adaptiveness.mean_ratio_at_distance
+       (ha_counter Hypercube_adaptiveness.duato_rule) ~k:1)
+
+let test_degree_small_cube_by_hand () =
+  (* n = 2: 12 ordered pairs: 8 at distance 1 (ratio 1/2 for ecube), 4 at
+     distance 2 (ratio 1/8) *)
+  let ecube =
+    Hypercube_adaptiveness.degree_of_adaptiveness
+      (ha_counter Hypercube_adaptiveness.ecube_rule) ~n:2
+  in
+  check close "ecube n=2" ((8.0 *. 0.5) +. (4.0 *. 0.125)) (ecube *. 12.0);
+  let relaxed =
+    Hypercube_adaptiveness.degree_of_adaptiveness
+      (ha_counter Hypercube_adaptiveness.efa_relaxed_rule) ~n:2
+  in
+  check close "unrestricted = 1" 1.0 relaxed
+
+(* ---------------- Figure 3 anchors from the paper ---------------- *)
+
+let test_fig3_paper_anchors () =
+  let sweep r = Hypercube_adaptiveness.sweep r ~max_n:12 in
+  let duato = sweep Hypercube_adaptiveness.duato_rule in
+  let efa = sweep Hypercube_adaptiveness.efa_rule in
+  let ecube = sweep Hypercube_adaptiveness.ecube_rule in
+  (* "For a 12D hypercube, Duato's has a degree of adaptiveness of about
+     16%, while the corresponding number for Enhanced Fully Adaptive is
+     over 50%." *)
+  check Alcotest.bool "duato 12D ~ 16%" true
+    (duato.(12) > 0.14 && duato.(12) < 0.18);
+  check Alcotest.bool "efa 12D > 50%" true (efa.(12) > 0.50);
+  (* EFA strictly dominates Duato which strictly dominates ecube *)
+  for n = 2 to 12 do
+    check Alcotest.bool "efa > duato" true (efa.(n) > duato.(n));
+    check Alcotest.bool "duato > ecube" true (duato.(n) > ecube.(n))
+  done;
+  (* both decrease with dimension; EFA's decline is the milder one *)
+  for n = 3 to 12 do
+    check Alcotest.bool "duato decreasing" true (duato.(n) < duato.(n - 1));
+    check Alcotest.bool "efa decreasing" true (efa.(n) < efa.(n - 1));
+    check Alcotest.bool "efa declines more slowly" true
+      (duato.(n - 1) -. duato.(n) > efa.(n - 1) -. efa.(n))
+  done
+
+let test_rule_of_name () =
+  List.iter
+    (fun n ->
+      check Alcotest.bool n true (Hypercube_adaptiveness.rule_of_name n <> None))
+    [ "ecube"; "duato"; "efa"; "efa-relaxed"; "unrestricted" ];
+  check Alcotest.bool "unknown" true (Hypercube_adaptiveness.rule_of_name "x" = None)
+
+(* ---------------- generic path counting ---------------- *)
+
+let cube2 = Net.wormhole (Topology.hypercube 2) ~vcs:2
+let cube3 = Net.wormhole (Topology.hypercube 3) ~vcs:2
+
+let test_pair_paths_ecube () =
+  let space = State_space.build cube3 Hypercube_wormhole.ecube in
+  for src = 0 to 7 do
+    for dest = 0 to 7 do
+      if src <> dest then
+        check (Alcotest.option Alcotest.int) "single path" (Some 1)
+          (Path_count.pair_paths space ~src ~dest)
+    done
+  done
+
+let test_pair_paths_unrestricted_totals () =
+  let space = State_space.build cube3 Hypercube_wormhole.unrestricted in
+  let topo = Net.topology_exn cube3 in
+  for src = 0 to 7 do
+    for dest = 0 to 7 do
+      if src <> dest then
+        let k = Topology.distance topo src dest in
+        check (Alcotest.option Alcotest.int) "k! 2^k"
+          (Some (Hypercube_adaptiveness.total_paths ~k))
+          (Path_count.pair_paths space ~src ~dest)
+    done
+  done
+
+let test_pair_paths_cyclic_returns_none () =
+  let net = Incoherent_example.network () in
+  let space = State_space.build net Incoherent_example.algo in
+  (* the n2 -> n3 move graph has the qA1 <-> qB2 loop *)
+  check (Alcotest.option Alcotest.int) "diverges" None
+    (Path_count.pair_paths space ~src:Incoherent_example.n2
+       ~dest:Incoherent_example.n3)
+
+let test_generic_matches_dp () =
+  (* the engine-level count and the bitmask DP agree on 2- and 3-cubes *)
+  List.iter
+    (fun (net, n) ->
+      let baseline = State_space.build net Hypercube_wormhole.unrestricted in
+      List.iter
+        (fun (algo, rule) ->
+          let space = State_space.build net algo in
+          match Path_count.degree_of_adaptiveness ~baseline space with
+          | None -> Alcotest.fail "must converge"
+          | Some generic ->
+            let dp =
+              Hypercube_adaptiveness.degree_of_adaptiveness (ha_counter rule) ~n
+            in
+            check (Alcotest.float 1e-9)
+              (Printf.sprintf "%s on %d-cube" algo.Algo.name n)
+              dp generic)
+        [
+          (Hypercube_wormhole.ecube, Hypercube_adaptiveness.ecube_rule);
+          (Hypercube_wormhole.duato, Hypercube_adaptiveness.duato_rule);
+          (Hypercube_wormhole.efa, Hypercube_adaptiveness.efa_rule);
+        ])
+    [ (cube2, 2); (cube3, 3) ]
+
+let test_mesh_adaptiveness_sanity () =
+  (* extension measurement: turn-model algorithms sit strictly between
+     dimension-order and unrestricted on a 3x3 mesh *)
+  let net = Net.wormhole (Topology.mesh [| 3; 3 |]) ~vcs:1 in
+  let baseline = State_space.build net Mesh_wormhole.unrestricted in
+  let degree algo =
+    match
+      Path_count.degree_of_adaptiveness ~baseline (State_space.build net algo)
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "must converge"
+  in
+  let dor = degree Mesh_wormhole.dimension_order in
+  let wf = degree Mesh_wormhole.west_first in
+  let nf = degree Mesh_wormhole.negative_first in
+  check Alcotest.bool "dor < west-first" true (dor < wf);
+  check Alcotest.bool "dor < negative-first" true (dor < nf);
+  check Alcotest.bool "west-first < 1" true (wf < 1.0);
+  check (Alcotest.float 1e-9) "unrestricted = 1" 1.0
+    (degree Mesh_wormhole.unrestricted)
+
+let suite =
+  [
+    Alcotest.test_case "total paths" `Quick test_total_paths;
+    Alcotest.test_case "ecube counts" `Quick test_ecube_counts;
+    Alcotest.test_case "unrestricted counts" `Quick test_unrestricted_counts;
+    Alcotest.test_case "duato k=2 by hand" `Quick test_duato_k2_hand_count;
+    Alcotest.test_case "efa k=2 by hand" `Quick test_efa_k2_hand_count;
+    Alcotest.test_case "mean ratio k=1" `Quick test_mean_ratio_k1;
+    Alcotest.test_case "degree n=2 by hand" `Quick test_degree_small_cube_by_hand;
+    Alcotest.test_case "Figure 3 paper anchors" `Quick test_fig3_paper_anchors;
+    Alcotest.test_case "rule_of_name" `Quick test_rule_of_name;
+    Alcotest.test_case "ecube pair paths" `Quick test_pair_paths_ecube;
+    Alcotest.test_case "unrestricted totals" `Quick test_pair_paths_unrestricted_totals;
+    Alcotest.test_case "cyclic counts return None" `Quick
+      test_pair_paths_cyclic_returns_none;
+    Alcotest.test_case "generic count = bitmask DP" `Quick test_generic_matches_dp;
+    Alcotest.test_case "mesh adaptiveness sanity" `Quick test_mesh_adaptiveness_sanity;
+  ]
+
+(* ---------------- mesh adaptiveness (extension) ---------------- *)
+
+let test_mesh_adaptiveness_module () =
+  let net1 = Net.wormhole (Topology.mesh [| 3; 3 |]) ~vcs:1 in
+  (match Mesh_adaptiveness.degree net1 Mesh_wormhole.unrestricted with
+  | Some d -> check (Alcotest.float 1e-9) "unrestricted = 1" 1.0 d
+  | None -> Alcotest.fail "must converge");
+  (* the symmetric turn models coincide by symmetry on square meshes *)
+  let d algo =
+    match Mesh_adaptiveness.degree net1 algo with
+    | Some d -> d
+    | None -> Alcotest.fail "must converge"
+  in
+  check (Alcotest.float 1e-9) "west-first = north-last"
+    (d Mesh_wormhole.west_first) (d Mesh_wormhole.north_last);
+  check Alcotest.bool "dimension-order lowest" true
+    (d Mesh_wormhole.dimension_order < d Mesh_wormhole.odd_even);
+  check Alcotest.bool "odd-even below turn models" true
+    (d Mesh_wormhole.odd_even < d Mesh_wormhole.west_first)
+
+let test_mesh_adaptiveness_decreases_with_size () =
+  let rows =
+    Mesh_adaptiveness.sweep_square
+      [ ("dor", 1, Mesh_wormhole.dimension_order) ]
+      ~sizes:[ 3; 4; 5 ]
+  in
+  match rows with
+  | [ (_, [ a; b; c ]) ] ->
+    check Alcotest.bool "monotone decreasing" true (a > b && b > c)
+  | _ -> Alcotest.fail "unexpected sweep shape"
+
+let test_mesh_unrestricted_relation_validates () =
+  let net = Net.wormhole (Topology.mesh [| 3; 3 |]) ~vcs:2 in
+  match Algo.validate Mesh_adaptiveness.unrestricted_relation net with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "mesh adaptiveness module" `Quick test_mesh_adaptiveness_module;
+      Alcotest.test_case "mesh adaptiveness decreases with size" `Quick
+        test_mesh_adaptiveness_decreases_with_size;
+      Alcotest.test_case "all-channels baseline validates" `Quick
+        test_mesh_unrestricted_relation_validates;
+    ]

@@ -1,0 +1,362 @@
+(* Tests for dfr_graph: digraphs, traversal, SCC, cycle enumeration. *)
+
+open Dfr_graph
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* random digraph generator for property tests *)
+let arbitrary_digraph =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 12 >>= fun n ->
+      list_size (int_range 0 40) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      >>= fun edges -> return (n, edges))
+  in
+  QCheck.make gen ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat "; " (List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v) es)))
+
+(* ---------------- digraph ---------------- *)
+
+let test_digraph_basic () =
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 2;
+  Digraph.add_edge g 0 1;
+  (* duplicate ignored *)
+  check Alcotest.int "edges" 2 (Digraph.num_edges g);
+  check Alcotest.bool "mem" true (Digraph.mem_edge g 0 1);
+  check Alcotest.bool "not mem" false (Digraph.mem_edge g 1 0);
+  check (Alcotest.list Alcotest.int) "succ order" [ 1; 2 ] (Digraph.succ g 0);
+  Digraph.remove_edge g 0 1;
+  check Alcotest.int "after remove" 1 (Digraph.num_edges g);
+  check Alcotest.bool "removed" false (Digraph.mem_edge g 0 1)
+
+let test_digraph_bounds () =
+  let g = Digraph.create 2 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Digraph: vertex out of range")
+    (fun () -> Digraph.add_edge g 0 2)
+
+let test_digraph_transpose () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2); (2, 0) ] in
+  let t = Digraph.transpose g in
+  check Alcotest.bool "1->0 in transpose" true (Digraph.mem_edge t 1 0);
+  check Alcotest.bool "transpose twice = original" true
+    (Digraph.equal g (Digraph.transpose t))
+
+let test_digraph_induced () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let h = Digraph.induced g ~keep:(fun v -> v < 3) in
+  check Alcotest.int "induced edges" 2 (Digraph.num_edges h);
+  check Alcotest.bool "kept" true (Digraph.mem_edge h 0 1);
+  check Alcotest.bool "dropped" false (Digraph.mem_edge h 2 3)
+
+let test_digraph_copy_isolated () =
+  let g = Digraph.of_edges 3 [ (0, 1) ] in
+  let h = Digraph.copy g in
+  Digraph.add_edge h 1 2;
+  check Alcotest.bool "copy isolated" false (Digraph.mem_edge g 1 2)
+
+let prop_edges_roundtrip =
+  QCheck.Test.make ~name:"of_edges/edges roundtrip" ~count:200 arbitrary_digraph
+    (fun (n, es) ->
+      let g = Digraph.of_edges n es in
+      let es' = Digraph.edges g in
+      List.sort_uniq compare es = List.sort compare es')
+
+(* ---------------- traversal ---------------- *)
+
+let diamond = Digraph.of_edges 5 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_reachable () =
+  let r = Traversal.reachable diamond [ 0 ] in
+  check (Alcotest.array Alcotest.bool) "reach from 0"
+    [| true; true; true; true; false |]
+    r;
+  let r1 = Traversal.reachable diamond [ 1 ] in
+  check Alcotest.bool "4 unreachable" false r1.(4);
+  check Alcotest.bool "2 unreachable from 1" false r1.(2)
+
+let test_bfs_distances () =
+  let d = Traversal.bfs_distances diamond 0 in
+  check Alcotest.int "d(0)" 0 d.(0);
+  check Alcotest.int "d(3)" 2 d.(3);
+  check Alcotest.int "d(4) unreachable" max_int d.(4)
+
+let test_topological_sort () =
+  match Traversal.topological_sort diamond with
+  | None -> Alcotest.fail "diamond is acyclic"
+  | Some order ->
+    check Alcotest.int "all vertices" 5 (List.length order);
+    let pos = Hashtbl.create 8 in
+    List.iteri (fun i v -> Hashtbl.replace pos v i) order;
+    Digraph.iter_edges
+      (fun u v ->
+        if Hashtbl.find pos u >= Hashtbl.find pos v then
+          Alcotest.fail "edge points backward")
+      diamond
+
+let test_topo_rejects_cycle () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2); (2, 0) ] in
+  check Alcotest.bool "cyclic" false (Traversal.is_acyclic g);
+  check Alcotest.bool "self loop cyclic" false
+    (Traversal.is_acyclic (Digraph.of_edges 1 [ (0, 0) ]))
+
+let test_find_cycle () =
+  (match Traversal.find_cycle diamond with
+  | None -> ()
+  | Some _ -> Alcotest.fail "diamond has no cycle");
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 1); (2, 3) ] in
+  (match Traversal.find_cycle g with
+  | Some c ->
+    check (Alcotest.list Alcotest.int) "the 1-2 cycle" [ 1; 2 ] (List.sort compare c)
+  | None -> Alcotest.fail "cycle exists");
+  match Traversal.find_cycle (Digraph.of_edges 2 [ (0, 0) ]) with
+  | Some [ 0 ] -> ()
+  | _ -> Alcotest.fail "self loop is a singleton cycle"
+
+let test_path () =
+  (match Traversal.path diamond 0 3 with
+  | Some p ->
+    check Alcotest.int "length 3" 3 (List.length p);
+    check Alcotest.int "starts at src" 0 (List.hd p)
+  | None -> Alcotest.fail "path exists");
+  check Alcotest.bool "no path" true (Traversal.path diamond 3 0 = None);
+  match Traversal.path diamond 2 2 with
+  | Some [ 2 ] -> ()
+  | _ -> Alcotest.fail "trivial path"
+
+let prop_topo_sound =
+  QCheck.Test.make ~name:"topological sort is a witness of acyclicity" ~count:200
+    arbitrary_digraph (fun (n, es) ->
+      let g = Digraph.of_edges n es in
+      match Traversal.topological_sort g with
+      | None -> Traversal.find_cycle g <> None
+      | Some order ->
+        let pos = Hashtbl.create 8 in
+        List.iteri (fun i v -> Hashtbl.replace pos v i) order;
+        List.length order = n
+        && Digraph.fold_edges
+             (fun u v acc -> acc && Hashtbl.find pos u < Hashtbl.find pos v)
+             g true)
+
+(* ---------------- scc ---------------- *)
+
+let test_scc_two_components () =
+  let g = Digraph.of_edges 5 [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2); (3, 4) ] in
+  let r = Scc.compute g in
+  check Alcotest.int "component count" 3 r.Scc.count;
+  check Alcotest.bool "0,1 together" true (r.Scc.component.(0) = r.Scc.component.(1));
+  check Alcotest.bool "2,3 together" true (r.Scc.component.(2) = r.Scc.component.(3));
+  check Alcotest.bool "4 alone" true
+    (r.Scc.component.(4) <> r.Scc.component.(3)
+    && r.Scc.component.(4) <> r.Scc.component.(0))
+
+let test_scc_condensation_acyclic () =
+  let g = Digraph.of_edges 6 [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 5); (5, 3) ] in
+  let r = Scc.compute g in
+  check Alcotest.int "2 components" 2 r.Scc.count;
+  check Alcotest.bool "condensation acyclic" true
+    (Traversal.is_acyclic (Scc.condensation g r))
+
+let test_scc_nontrivial () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 0); (2, 2) ] in
+  let r = Scc.compute g in
+  check Alcotest.int "two cycle-capable components" 2
+    (List.length (Scc.nontrivial g r))
+
+let prop_scc_condensation_dag =
+  QCheck.Test.make ~name:"condensation is always a DAG" ~count:200 arbitrary_digraph
+    (fun (n, es) ->
+      let g = Digraph.of_edges n es in
+      let r = Scc.compute g in
+      Traversal.is_acyclic (Scc.condensation g r))
+
+let prop_scc_reverse_topological =
+  QCheck.Test.make ~name:"component indices reverse-topological" ~count:200
+    arbitrary_digraph (fun (n, es) ->
+      let g = Digraph.of_edges n es in
+      let r = Scc.compute g in
+      Digraph.fold_edges
+        (fun u v acc ->
+          acc
+          && (r.Scc.component.(u) = r.Scc.component.(v)
+             || r.Scc.component.(u) > r.Scc.component.(v)))
+        g true)
+
+let prop_scc_members_partition =
+  QCheck.Test.make ~name:"members partition the vertices" ~count:200 arbitrary_digraph
+    (fun (n, es) ->
+      let g = Digraph.of_edges n es in
+      let r = Scc.compute g in
+      let all = Array.to_list (Scc.members r) |> List.concat |> List.sort compare in
+      all = List.init n Fun.id)
+
+(* ---------------- cycles ---------------- *)
+
+let cycle_valid g c =
+  match c with
+  | [] -> false
+  | first :: _ ->
+    let rec edges = function
+      | [ last ] -> Digraph.mem_edge g last first
+      | a :: (b :: _ as rest) -> Digraph.mem_edge g a b && edges rest
+      | [] -> false
+    in
+    edges c && List.length (List.sort_uniq compare c) = List.length c
+
+let test_cycles_triangle () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2); (2, 0) ] in
+  check Alcotest.int "one cycle" 1 (List.length (Cycles.enumerate g))
+
+let test_cycles_self_loop () =
+  let g = Digraph.of_edges 2 [ (0, 0); (0, 1) ] in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "self loop" [ [ 0 ] ] (Cycles.enumerate g)
+
+let test_cycles_complete_4 () =
+  (* K4 directed both ways: 6 two-cycles + 8 triangles + 6 Hamiltonian *)
+  let es = ref [] in
+  for u = 0 to 3 do
+    for v = 0 to 3 do
+      if u <> v then es := (u, v) :: !es
+    done
+  done;
+  let g = Digraph.of_edges 4 !es in
+  let cs = Cycles.enumerate g in
+  check Alcotest.int "20 elementary cycles" 20 (List.length cs);
+  List.iter (fun c -> check Alcotest.bool "valid" true (cycle_valid g c)) cs
+
+let test_cycles_two_disjoint () =
+  let g = Digraph.of_edges 6 [ (0, 1); (1, 0); (3, 4); (4, 5); (5, 3) ] in
+  check Alcotest.int "two cycles" 2 (List.length (Cycles.enumerate g))
+
+let test_cycles_cap () =
+  let es = ref [] in
+  for u = 0 to 5 do
+    for v = 0 to 5 do
+      if u <> v then es := (u, v) :: !es
+    done
+  done;
+  let g = Digraph.of_edges 6 !es in
+  let limits = { Dfr_graph.Cycles.max_cycles = 10; max_length = 64 } in
+  let cs, exhaustive = Cycles.enumerate_checked ~limits g in
+  check Alcotest.int "capped" 10 (List.length cs);
+  check Alcotest.bool "reported truncated" false exhaustive;
+  let cs_all, exh_all = Cycles.enumerate_checked g in
+  check Alcotest.bool "full run exhaustive" true exh_all;
+  check Alcotest.bool "full run has more" true (List.length cs_all > 10)
+
+let test_cycles_length_cap () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0); (0, 3); (3, 0) ] in
+  (* cycles: the 4-cycle, 3<->0 two-cycle *)
+  let limits = { Dfr_graph.Cycles.max_cycles = 100; max_length = 2 } in
+  let cs = Cycles.enumerate ~limits g in
+  check Alcotest.int "only short cycles" 1 (List.length cs)
+
+let prop_cycles_valid_distinct =
+  QCheck.Test.make ~name:"enumerated cycles valid and distinct" ~count:100
+    arbitrary_digraph (fun (n, es) ->
+      let g = Digraph.of_edges n es in
+      let cs = Cycles.enumerate g in
+      (* cycles are rooted at their smallest vertex, so the raw lists are
+         canonical: distinct lists = distinct cycles *)
+      List.for_all (cycle_valid g) cs
+      && List.length (List.sort_uniq compare cs) = List.length cs)
+
+let prop_cycles_iff_cyclic =
+  QCheck.Test.make ~name:"cycles found iff not acyclic" ~count:200 arbitrary_digraph
+    (fun (n, es) ->
+      let g = Digraph.of_edges n es in
+      Cycles.enumerate g <> [] = not (Traversal.is_acyclic g))
+
+(* ---------------- dot ---------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_dot_output () =
+  let g = Digraph.of_edges 2 [ (0, 1) ] in
+  let s = Dot.to_string ~name:"t" ~vertex_label:(Printf.sprintf "v%d") g in
+  check Alcotest.bool "mentions edge" true (contains s "n0 -> n1");
+  check Alcotest.bool "mentions label" true (contains s "v1");
+  check Alcotest.bool "escapes quotes" true
+    (contains (Dot.to_string ~name:"a\"b" g) "a\\\"b")
+
+let suite =
+  [
+    Alcotest.test_case "digraph basics" `Quick test_digraph_basic;
+    Alcotest.test_case "digraph bounds" `Quick test_digraph_bounds;
+    Alcotest.test_case "digraph transpose" `Quick test_digraph_transpose;
+    Alcotest.test_case "digraph induced" `Quick test_digraph_induced;
+    Alcotest.test_case "digraph copy isolated" `Quick test_digraph_copy_isolated;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+    Alcotest.test_case "topological sort" `Quick test_topological_sort;
+    Alcotest.test_case "topo rejects cycles" `Quick test_topo_rejects_cycle;
+    Alcotest.test_case "find cycle" `Quick test_find_cycle;
+    Alcotest.test_case "bfs path" `Quick test_path;
+    Alcotest.test_case "scc two components" `Quick test_scc_two_components;
+    Alcotest.test_case "scc condensation" `Quick test_scc_condensation_acyclic;
+    Alcotest.test_case "scc nontrivial" `Quick test_scc_nontrivial;
+    Alcotest.test_case "cycles triangle" `Quick test_cycles_triangle;
+    Alcotest.test_case "cycles self loop" `Quick test_cycles_self_loop;
+    Alcotest.test_case "cycles K4 = 20" `Quick test_cycles_complete_4;
+    Alcotest.test_case "cycles disjoint" `Quick test_cycles_two_disjoint;
+    Alcotest.test_case "cycles cap" `Quick test_cycles_cap;
+    Alcotest.test_case "cycles length cap" `Quick test_cycles_length_cap;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+    qtest prop_edges_roundtrip;
+    qtest prop_topo_sound;
+    qtest prop_scc_condensation_dag;
+    qtest prop_scc_reverse_topological;
+    qtest prop_scc_members_partition;
+    qtest prop_cycles_valid_distinct;
+    qtest prop_cycles_iff_cyclic;
+  ]
+
+let test_dot_to_file () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let file = Filename.temp_file "dfr_dot" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Dot.to_file ~name:"t" file g;
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      close_in ic;
+      check Alcotest.bool "file written" true (n > 20))
+
+let prop_bfs_path_valid =
+  QCheck.Test.make ~name:"BFS paths are valid and shortest" ~count:100
+    arbitrary_digraph (fun (n, es) ->
+      let g = Digraph.of_edges n es in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        let dist = Traversal.bfs_distances g src in
+        for dst = 0 to n - 1 do
+          match Traversal.path g src dst with
+          | None -> if dist.(dst) <> max_int then ok := false
+          | Some p ->
+            if List.length p <> dist.(dst) + 1 then ok := false;
+            if List.hd p <> src || List.nth p (List.length p - 1) <> dst then
+              ok := false;
+            let rec edges_ok = function
+              | a :: (b :: _ as rest) -> Digraph.mem_edge g a b && edges_ok rest
+              | _ -> true
+            in
+            if not (edges_ok p) then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "dot to_file" `Quick test_dot_to_file;
+      qtest prop_bfs_path_valid;
+    ]

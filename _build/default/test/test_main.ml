@@ -1,0 +1,16 @@
+(* Aggregate test runner: `dune runtest`. *)
+
+let () =
+  Alcotest.run "dfr"
+    [
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("topology", Test_topology.suite);
+      ("network", Test_network.suite);
+      ("routing", Test_routing.suite);
+      ("core", Test_core.suite);
+      ("incoherent-example", Test_incoherent.suite);
+      ("adaptiveness", Test_adaptiveness.suite);
+      ("sim", Test_sim.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

@@ -1,0 +1,434 @@
+(* Tests for dfr_routing: the routing relations and waiting rules. *)
+
+open Dfr_topology
+open Dfr_network
+open Dfr_routing
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let sorted = List.sort compare
+
+let cube3 = Net.wormhole (Topology.hypercube 3) ~vcs:2
+let mesh33_1 = Net.wormhole (Topology.mesh [| 3; 3 |]) ~vcs:1
+let mesh33_2 = Net.wormhole (Topology.mesh [| 3; 3 |]) ~vcs:2
+let ring6 = Net.wormhole (Topology.ring 6) ~vcs:2
+let saf33 = Net.store_and_forward (Topology.mesh [| 3; 3 |]) ~classes:2
+
+let chan net src dim dir vc = Buf.id (Net.channel net ~src ~dim ~dir ~vc)
+let inj net n = Net.injection net n
+
+(* every catalogue algorithm passes structural validation on its network *)
+let test_validate_all () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let net = Registry.network_for e None in
+      match Algo.validate e.Registry.algo net with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (e.Registry.name ^ ": " ^ msg))
+    Registry.all
+
+let test_wrong_network_rejected () =
+  Alcotest.check_raises "efa on mesh"
+    (Invalid_argument "Hypercube_wormhole: hypercube topology required") (fun () ->
+      ignore (Hypercube_wormhole.efa.Algo.route mesh33_2 (inj mesh33_2 0) ~dest:5));
+  Alcotest.check_raises "efa on 1 vc"
+    (Invalid_argument "Hypercube_wormhole: two virtual channels required") (fun () ->
+      let net1 = Net.wormhole (Topology.hypercube 2) ~vcs:1 in
+      ignore (Hypercube_wormhole.efa.Algo.route net1 (inj net1 0) ~dest:3));
+  Alcotest.check_raises "dateline on mesh"
+    (Invalid_argument "Torus_wormhole: torus topology required") (fun () ->
+      ignore (Torus_wormhole.dateline.Algo.route mesh33_2 (inj mesh33_2 0) ~dest:5));
+  Alcotest.check_raises "two-buffer on wormhole"
+    (Invalid_argument "Mesh_saf: packet-buffered network required") (fun () ->
+      ignore (Mesh_saf.two_buffer.Algo.route mesh33_2 (inj mesh33_2 0) ~dest:5))
+
+(* ---------------- hypercube: ecube ---------------- *)
+
+let test_ecube_single_path () =
+  (* 000 -> 011 routes dim 0 then dim 1 on B1 *)
+  let r = Hypercube_wormhole.ecube.Algo.route cube3 (inj cube3 0) ~dest:3 in
+  check (Alcotest.list Alcotest.int) "first hop dim0+"
+    [ chan cube3 0 0 Topology.Plus 0 ]
+    r;
+  let b = Net.channel cube3 ~src:0 ~dim:0 ~dir:Topology.Plus ~vc:0 in
+  let r2 = Hypercube_wormhole.ecube.Algo.route cube3 b ~dest:3 in
+  check (Alcotest.list Alcotest.int) "second hop dim1+"
+    [ chan cube3 1 1 Topology.Plus 0 ]
+    r2
+
+(* ---------------- hypercube: duato ---------------- *)
+
+let test_duato_routes () =
+  (* 000 -> 110: needs dims 1, 2; escape = B1 of dim 1; adaptive = B2 of both *)
+  let r = sorted (Hypercube_wormhole.duato.Algo.route cube3 (inj cube3 0) ~dest:6) in
+  let expected =
+    sorted
+      [
+        chan cube3 0 1 Topology.Plus 0;
+        chan cube3 0 1 Topology.Plus 1;
+        chan cube3 0 2 Topology.Plus 1;
+      ]
+  in
+  check (Alcotest.list Alcotest.int) "duato outputs" expected r;
+  let w = Hypercube_wormhole.duato.Algo.waits cube3 (inj cube3 0) ~dest:6 in
+  check (Alcotest.list Alcotest.int) "waits on escape"
+    [ chan cube3 0 1 Topology.Plus 0 ]
+    w
+
+(* ---------------- hypercube: efa ---------------- *)
+
+let test_efa_positive_lowest () =
+  (* node 000 -> 011: needs 0+, 1+; lowest positive => B1 only on dim 0 *)
+  let r = sorted (Hypercube_wormhole.efa.Algo.route cube3 (inj cube3 0) ~dest:3) in
+  let expected =
+    sorted
+      [
+        chan cube3 0 0 Topology.Plus 0;
+        chan cube3 0 0 Topology.Plus 1;
+        chan cube3 0 1 Topology.Plus 1;
+      ]
+  in
+  check (Alcotest.list Alcotest.int) "restricted B1" expected r
+
+let test_efa_negative_lowest () =
+  (* node 011 -> 100: needs 0-, 1-, 2+; lowest negative => B1 on all needed dims *)
+  let src = 3 in
+  let r = sorted (Hypercube_wormhole.efa.Algo.route cube3 (inj cube3 src) ~dest:4) in
+  let expected =
+    sorted
+      [
+        chan cube3 src 0 Topology.Minus 0;
+        chan cube3 src 1 Topology.Minus 0;
+        chan cube3 src 2 Topology.Plus 0;
+        chan cube3 src 0 Topology.Minus 1;
+        chan cube3 src 1 Topology.Minus 1;
+        chan cube3 src 2 Topology.Plus 1;
+      ]
+  in
+  check (Alcotest.list Alcotest.int) "all six buffers" expected r
+
+let test_efa_waits_lowest_dim () =
+  let w = Hypercube_wormhole.efa.Algo.waits cube3 (inj cube3 3) ~dest:4 in
+  check (Alcotest.list Alcotest.int) "waits B1 lowest"
+    [ chan cube3 3 0 Topology.Minus 0 ]
+    w;
+  let w2 = Hypercube_wormhole.efa.Algo.waits cube3 (inj cube3 0) ~dest:6 in
+  check (Alcotest.list Alcotest.int) "waits B1 dim1"
+    [ chan cube3 0 1 Topology.Plus 0 ]
+    w2
+
+let test_efa_relaxed_is_superset () =
+  let ok = ref true in
+  for src = 0 to 7 do
+    for dest = 0 to 7 do
+      if src <> dest then begin
+        let r = Hypercube_wormhole.efa.Algo.route cube3 (inj cube3 src) ~dest in
+        let rr = Hypercube_wormhole.efa_relaxed.Algo.route cube3 (inj cube3 src) ~dest in
+        if not (List.for_all (fun b -> List.mem b rr) r) then ok := false
+      end
+    done
+  done;
+  check Alcotest.bool "relaxed permits everything efa does" true !ok
+
+let prop_efa_waits_subset_route =
+  QCheck.Test.make ~name:"efa waits ⊆ route everywhere" ~count:200
+    QCheck.(pair (int_range 0 7) (int_range 0 7))
+    (fun (src, dest) ->
+      src = dest
+      ||
+      let r = Hypercube_wormhole.efa.Algo.route cube3 (inj cube3 src) ~dest in
+      let w = Hypercube_wormhole.efa.Algo.waits cube3 (inj cube3 src) ~dest in
+      List.for_all (fun b -> List.mem b r) w)
+
+let prop_hypercube_routes_minimal =
+  QCheck.Test.make ~name:"efa/duato moves are minimal" ~count:200
+    QCheck.(pair (int_range 0 7) (int_range 0 7))
+    (fun (src, dest) ->
+      src = dest
+      ||
+      let topo = Net.topology_exn cube3 in
+      let d0 = Topology.distance topo src dest in
+      List.for_all
+        (fun (algo : Algo.t) ->
+          List.for_all
+            (fun b ->
+              Topology.distance topo (Buf.head_node (Net.buffer cube3 b)) dest
+              = d0 - 1)
+            (algo.Algo.route cube3 (inj cube3 src) ~dest))
+        [ Hypercube_wormhole.efa; Hypercube_wormhole.duato; Hypercube_wormhole.ecube ])
+
+(* ---------------- mesh wormhole ---------------- *)
+
+let node33 x y = Topology.node_of_coord (Net.topology_exn mesh33_1) [| x; y |]
+
+let test_dimension_order_mesh () =
+  let src = node33 0 0 and dst = node33 2 2 in
+  let r = Mesh_wormhole.dimension_order.Algo.route mesh33_1 (inj mesh33_1 src) ~dest:dst in
+  check (Alcotest.list Alcotest.int) "x first"
+    [ chan mesh33_1 src 0 Topology.Plus 0 ]
+    r
+
+let test_west_first_restriction () =
+  (* needs west: only west allowed *)
+  let src = node33 2 0 and dst = node33 0 2 in
+  let r = Mesh_wormhole.west_first.Algo.route mesh33_1 (inj mesh33_1 src) ~dest:dst in
+  check (Alcotest.list Alcotest.int) "west only"
+    [ chan mesh33_1 src 0 Topology.Minus 0 ]
+    r;
+  (* no west needed: fully adaptive among east and north *)
+  let src2 = node33 0 0 and dst2 = node33 2 2 in
+  let r2 = Mesh_wormhole.west_first.Algo.route mesh33_1 (inj mesh33_1 src2) ~dest:dst2 in
+  check Alcotest.int "two adaptive choices" 2 (List.length r2)
+
+let test_north_last_restriction () =
+  (* north = dim1 plus; while east remains, go east *)
+  let src = node33 0 0 and dst = node33 2 2 in
+  let r = Mesh_wormhole.north_last.Algo.route mesh33_1 (inj mesh33_1 src) ~dest:dst in
+  check (Alcotest.list Alcotest.int) "east before north"
+    [ chan mesh33_1 src 0 Topology.Plus 0 ]
+    r;
+  let src2 = node33 2 0 in
+  let r2 = Mesh_wormhole.north_last.Algo.route mesh33_1 (inj mesh33_1 src2) ~dest:dst in
+  check (Alcotest.list Alcotest.int) "north when alone"
+    [ chan mesh33_1 src2 1 Topology.Plus 0 ]
+    r2
+
+let test_negative_first_restriction () =
+  let src = node33 2 0 and dst = node33 0 2 in
+  (* needs 0-, 1+: negative first *)
+  let r = Mesh_wormhole.negative_first.Algo.route mesh33_1 (inj mesh33_1 src) ~dest:dst in
+  check (Alcotest.list Alcotest.int) "negative first"
+    [ chan mesh33_1 src 0 Topology.Minus 0 ]
+    r
+
+let test_duato_mesh_routes () =
+  let src = node33 0 0 and dst = node33 1 1 in
+  let r = sorted (Mesh_wormhole.duato_mesh.Algo.route mesh33_2 (inj mesh33_2 src) ~dest:dst) in
+  let expected =
+    sorted
+      [
+        chan mesh33_2 src 0 Topology.Plus 0;
+        chan mesh33_2 src 0 Topology.Plus 1;
+        chan mesh33_2 src 1 Topology.Plus 1;
+      ]
+  in
+  check (Alcotest.list Alcotest.int) "escape + adaptive" expected r
+
+(* ---------------- torus dateline ---------------- *)
+
+let test_dateline_vc_choice () =
+  (* ring 0..5; from 0 to 2: travelling plus, no wrap ahead: vc1 *)
+  let r = Torus_wormhole.dateline.Algo.route ring6 (inj ring6 0) ~dest:2 in
+  check (Alcotest.list Alcotest.int) "vc1 before wrap"
+    [ chan ring6 0 0 Topology.Plus 1 ]
+    r;
+  (* from 4 to 1: travelling plus, wrap ahead: vc0 *)
+  let r2 = Torus_wormhole.dateline.Algo.route ring6 (inj ring6 4) ~dest:1 in
+  check (Alcotest.list Alcotest.int) "vc0 when crossing"
+    [ chan ring6 4 0 Topology.Plus 0 ]
+    r2;
+  (* from 5, dest 1: after the wrap hop the packet is at 0 < 1: vc1 again *)
+  let b = Net.channel ring6 ~src:5 ~dim:0 ~dir:Topology.Plus ~vc:0 in
+  let r3 = Torus_wormhole.dateline.Algo.route ring6 b ~dest:1 in
+  check (Alcotest.list Alcotest.int) "vc1 after crossing"
+    [ chan ring6 0 0 Topology.Plus 1 ]
+    r3
+
+let test_dateline_minus_direction () =
+  (* from 1 to 5: shorter minus way (2 hops), wrap ahead: vc0 *)
+  let r = Torus_wormhole.dateline.Algo.route ring6 (inj ring6 1) ~dest:5 in
+  check (Alcotest.list Alcotest.int) "minus vc0"
+    [ chan ring6 1 0 Topology.Minus 0 ]
+    r
+
+(* ---------------- SAF two-buffer ---------------- *)
+
+let nbuf net node cls = Buf.id (Net.node_buffer net ~node ~cls)
+
+let test_two_buffer_phases () =
+  let src = node33 0 2 and dst = node33 2 0 in
+  (* needs 0+, 1-: injection enters local A *)
+  let r = Mesh_saf.two_buffer.Algo.route saf33 (inj saf33 src) ~dest:dst in
+  check (Alcotest.list Alcotest.int) "enter A" [ nbuf saf33 src 0 ] r;
+  (* in A with positive remaining: all minimal A neighbours *)
+  let a = Net.node_buffer saf33 ~node:src ~cls:0 in
+  let r2 = sorted (Mesh_saf.two_buffer.Algo.route saf33 a ~dest:dst) in
+  check (Alcotest.list Alcotest.int) "A to minimal A"
+    (sorted [ nbuf saf33 (node33 1 2) 0; nbuf saf33 (node33 0 1) 0 ])
+    r2;
+  (* in A with only negative hops left: move to B of minimal neighbours *)
+  let a_done = Net.node_buffer saf33 ~node:(node33 2 2) ~cls:0 in
+  let r3 = Mesh_saf.two_buffer.Algo.route saf33 a_done ~dest:dst in
+  check (Alcotest.list Alcotest.int) "A to B" [ nbuf saf33 (node33 2 1) 1 ] r3;
+  (* in B: stay in B *)
+  let b = Net.node_buffer saf33 ~node:(node33 2 1) ~cls:1 in
+  let r4 = Mesh_saf.two_buffer.Algo.route saf33 b ~dest:dst in
+  check (Alcotest.list Alcotest.int) "B to B" [ nbuf saf33 (node33 2 0) 1 ] r4
+
+let test_two_buffer_negative_only_injection () =
+  let src = node33 2 2 and dst = node33 0 0 in
+  let r = Mesh_saf.two_buffer.Algo.route saf33 (inj saf33 src) ~dest:dst in
+  check (Alcotest.list Alcotest.int) "enter B directly" [ nbuf saf33 src 1 ] r
+
+let test_two_buffer_reduced_waits () =
+  match Mesh_saf.two_buffer.Algo.reduced_waits with
+  | None -> Alcotest.fail "two-buffer carries a BWG' hint"
+  | Some rw ->
+    let src = node33 0 2 and dst = node33 2 0 in
+    let a = Net.node_buffer saf33 ~node:src ~cls:0 in
+    let w = rw saf33 a ~dest:dst in
+    (* waits only on the positive-direction A neighbour *)
+    check (Alcotest.list Alcotest.int) "positive A only"
+      [ nbuf saf33 (node33 1 2) 0 ]
+      w
+
+let test_wait_everywhere () =
+  let w = Algo.wait_everywhere Hypercube_wormhole.efa in
+  check Alcotest.bool "any wait" true (w.Algo.wait = Algo.Any_wait);
+  let r = w.Algo.route cube3 (inj cube3 0) ~dest:3 in
+  let ws = w.Algo.waits cube3 (inj cube3 0) ~dest:3 in
+  check (Alcotest.list Alcotest.int) "waits = route" (sorted r) (sorted ws)
+
+(* ---------------- registry ---------------- *)
+
+let test_registry_lookup () =
+  check Alcotest.bool "finds efa" true (Registry.find "efa" <> None);
+  check Alcotest.bool "unknown" true (Registry.find "bogus" = None);
+  check Alcotest.int "catalogue size" 22 (List.length Registry.all);
+  check Alcotest.bool "names match" true
+    (List.for_all
+       (fun (e : Registry.entry) ->
+         match Registry.find e.Registry.name with
+         | Some found -> found.Registry.name = e.Registry.name
+         | None -> false)
+       Registry.all)
+
+let test_registry_networks_fit () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let net = Registry.network_for e None in
+      check Alcotest.bool (e.Registry.name ^ " nonempty") true (Net.num_buffers net > 0))
+    Registry.all
+
+let suite =
+  [
+    Alcotest.test_case "validate all catalogue algorithms" `Quick test_validate_all;
+    Alcotest.test_case "wrong networks rejected" `Quick test_wrong_network_rejected;
+    Alcotest.test_case "ecube single path" `Quick test_ecube_single_path;
+    Alcotest.test_case "duato routes" `Quick test_duato_routes;
+    Alcotest.test_case "efa positive lowest" `Quick test_efa_positive_lowest;
+    Alcotest.test_case "efa negative lowest" `Quick test_efa_negative_lowest;
+    Alcotest.test_case "efa waits lowest dim" `Quick test_efa_waits_lowest_dim;
+    Alcotest.test_case "efa relaxed superset" `Quick test_efa_relaxed_is_superset;
+    Alcotest.test_case "dimension order mesh" `Quick test_dimension_order_mesh;
+    Alcotest.test_case "west-first restriction" `Quick test_west_first_restriction;
+    Alcotest.test_case "north-last restriction" `Quick test_north_last_restriction;
+    Alcotest.test_case "negative-first restriction" `Quick test_negative_first_restriction;
+    Alcotest.test_case "duato mesh routes" `Quick test_duato_mesh_routes;
+    Alcotest.test_case "dateline vc choice" `Quick test_dateline_vc_choice;
+    Alcotest.test_case "dateline minus" `Quick test_dateline_minus_direction;
+    Alcotest.test_case "two-buffer phases" `Quick test_two_buffer_phases;
+    Alcotest.test_case "two-buffer negative-only injection" `Quick
+      test_two_buffer_negative_only_injection;
+    Alcotest.test_case "two-buffer reduced waits" `Quick test_two_buffer_reduced_waits;
+    Alcotest.test_case "wait_everywhere" `Quick test_wait_everywhere;
+    Alcotest.test_case "registry lookup" `Quick test_registry_lookup;
+    Alcotest.test_case "registry networks fit" `Quick test_registry_networks_fit;
+    qtest prop_efa_waits_subset_route;
+    qtest prop_hypercube_routes_minimal;
+  ]
+
+(* ---------------- extensions: double-y, hop-class, pair relaxation ---- *)
+
+let test_double_y_fully_adaptive () =
+  (* every minimal move is always permitted *)
+  let topo = Net.topology_exn mesh33_2 in
+  let ok = ref true in
+  for src = 0 to 8 do
+    for dest = 0 to 8 do
+      if src <> dest then begin
+        let r = Mesh_wormhole.double_y.Algo.route mesh33_2 (inj mesh33_2 src) ~dest in
+        let moves = Topology.minimal_moves topo ~src ~dst:dest in
+        if List.length r <> List.length moves then ok := false
+      end
+    done
+  done;
+  check Alcotest.bool "one channel per minimal move" true !ok
+
+let test_double_y_class_split () =
+  (* westbound packets ride y vc 0, others y vc 1 *)
+  let src = node33 2 0 and dst = node33 0 2 in
+  let r = Mesh_wormhole.double_y.Algo.route mesh33_2 (inj mesh33_2 src) ~dest:dst in
+  check Alcotest.bool "westbound y on vc0" true
+    (List.mem (chan mesh33_2 src 1 Topology.Plus 0) r);
+  let src2 = node33 0 0 and dst2 = node33 2 2 in
+  let r2 = Mesh_wormhole.double_y.Algo.route mesh33_2 (inj mesh33_2 src2) ~dest:dst2 in
+  check Alcotest.bool "eastbound y on vc1" true
+    (List.mem (chan mesh33_2 src2 1 Topology.Plus 1) r2);
+  check Alcotest.bool "x always vc0" true
+    (List.mem (chan mesh33_2 src2 0 Topology.Plus 0) r2)
+
+let test_hop_class_increments () =
+  let net = Net.store_and_forward (Topology.mesh [| 3; 3 |]) ~classes:5 in
+  let r = Mesh_saf.hop_class.Algo.route net (inj net (node33 0 0)) ~dest:(node33 2 2) in
+  check (Alcotest.list Alcotest.int) "inject to class 0"
+    [ Buf.id (Net.node_buffer net ~node:(node33 0 0) ~cls:0) ]
+    r;
+  let b0 = Net.node_buffer net ~node:(node33 0 0) ~cls:0 in
+  let r1 = Mesh_saf.hop_class.Algo.route net b0 ~dest:(node33 2 2) in
+  List.iter
+    (fun id ->
+      check (Alcotest.option Alcotest.int) "next class" (Some 1)
+        (Buf.cls (Net.buffer net id)))
+    r1;
+  (* saturated class on an unreachable state: relation is empty, not an error *)
+  let b4 = Net.node_buffer net ~node:(node33 0 0) ~cls:4 in
+  check (Alcotest.list Alcotest.int) "saturated class" []
+    (Mesh_saf.hop_class.Algo.route net b4 ~dest:(node33 2 2))
+
+let test_hop_class_needs_enough_classes () =
+  let net = Net.store_and_forward (Topology.mesh [| 3; 3 |]) ~classes:2 in
+  Alcotest.check_raises "diameter check"
+    (Invalid_argument "Mesh_saf.hop_class: classes must exceed the mesh diameter")
+    (fun () -> ignore (Mesh_saf.hop_class.Algo.route net (inj net 0) ~dest:8))
+
+let test_diameter () =
+  check Alcotest.int "3x3" 4 (Mesh_saf.diameter (Topology.mesh [| 3; 3 |]));
+  check Alcotest.int "4x4" 6 (Mesh_saf.diameter (Topology.mesh [| 4; 4 |]));
+  check Alcotest.int "2x3x4" 6 (Mesh_saf.diameter (Topology.mesh [| 2; 3; 4 |]))
+
+let test_efa_relaxed_pair_shape () =
+  Alcotest.check_raises "l < i required"
+    (Invalid_argument "Hypercube_wormhole.efa_relaxed_pair: need l < i") (fun () ->
+      ignore (Hypercube_wormhole.efa_relaxed_pair ~l:1 ~i:1));
+  let algo = Hypercube_wormhole.efa_relaxed_pair ~l:0 ~i:1 in
+  (* packet at 000 for 011: lowest 0 positive, dim1 needed: B1 of dim 1 now allowed *)
+  let r = algo.Algo.route cube3 (inj cube3 0) ~dest:3 in
+  check Alcotest.bool "extra B1 channel" true
+    (List.mem (chan cube3 0 1 Topology.Plus 0) r);
+  (* but dim 2 stays forbidden for packets needing 0+ *)
+  let r2 = algo.Algo.route cube3 (inj cube3 0) ~dest:5 in
+  check Alcotest.bool "dim 2 B1 still forbidden" false
+    (List.mem (chan cube3 0 2 Topology.Plus 0) r2)
+
+let test_duato_torus_routes () =
+  let net = Net.wormhole (Topology.ring 6) ~vcs:3 in
+  let r = Torus_wormhole.duato_torus.Algo.route net (Net.injection net 0) ~dest:2 in
+  check Alcotest.bool "escape present" true
+    (List.mem (Buf.id (Net.channel net ~src:0 ~dim:0 ~dir:Topology.Plus ~vc:1)) r);
+  check Alcotest.bool "adaptive present" true
+    (List.mem (Buf.id (Net.channel net ~src:0 ~dim:0 ~dir:Topology.Plus ~vc:2)) r);
+  let w = Torus_wormhole.duato_torus.Algo.waits net (Net.injection net 0) ~dest:2 in
+  check Alcotest.int "waits only escape" 1 (List.length w)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "double-y fully adaptive" `Quick test_double_y_fully_adaptive;
+      Alcotest.test_case "double-y class split" `Quick test_double_y_class_split;
+      Alcotest.test_case "hop-class increments" `Quick test_hop_class_increments;
+      Alcotest.test_case "hop-class class check" `Quick test_hop_class_needs_enough_classes;
+      Alcotest.test_case "mesh diameter" `Quick test_diameter;
+      Alcotest.test_case "efa relaxed pair shape" `Quick test_efa_relaxed_pair_shape;
+      Alcotest.test_case "duato-torus routes" `Quick test_duato_torus_routes;
+    ]

@@ -1,0 +1,226 @@
+(* Unit and property tests for dfr_util: combinatorics, bitsets, PRNG. *)
+
+open Dfr_util
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------- combinatorics ---------------- *)
+
+let test_factorial_values () =
+  check Alcotest.int "0!" 1 (Combinatorics.factorial 0);
+  check Alcotest.int "1!" 1 (Combinatorics.factorial 1);
+  check Alcotest.int "5!" 120 (Combinatorics.factorial 5);
+  check Alcotest.int "12!" 479001600 (Combinatorics.factorial 12)
+
+let test_factorial_errors () =
+  Alcotest.check_raises "negative" (Invalid_argument "Combinatorics.factorial: negative")
+    (fun () -> ignore (Combinatorics.factorial (-1)));
+  Alcotest.check_raises "overflow" (Invalid_argument "Combinatorics.factorial: overflow")
+    (fun () -> ignore (Combinatorics.factorial 21))
+
+let test_binomial_values () =
+  check Alcotest.int "C(4,2)" 6 (Combinatorics.binomial 4 2);
+  check Alcotest.int "C(12,6)" 924 (Combinatorics.binomial 12 6);
+  check Alcotest.int "C(5,0)" 1 (Combinatorics.binomial 5 0);
+  check Alcotest.int "C(5,5)" 1 (Combinatorics.binomial 5 5);
+  check Alcotest.int "C(5,6)" 0 (Combinatorics.binomial 5 6);
+  check Alcotest.int "C(5,-1)" 0 (Combinatorics.binomial 5 (-1))
+
+let prop_pascal =
+  QCheck.Test.make ~name:"binomial satisfies Pascal's rule" ~count:200
+    QCheck.(pair (int_range 1 20) (int_range 0 20))
+    (fun (n, k) ->
+      Combinatorics.binomial n k
+      = Combinatorics.binomial (n - 1) k + Combinatorics.binomial (n - 1) (k - 1))
+
+let prop_binomial_row_sum =
+  QCheck.Test.make ~name:"binomial row sums to 2^n" ~count:50
+    QCheck.(int_range 0 20)
+    (fun n ->
+      let sum = ref 0 in
+      for k = 0 to n do
+        sum := !sum + Combinatorics.binomial n k
+      done;
+      !sum = Combinatorics.pow2 n)
+
+let test_pow2 () =
+  check Alcotest.int "2^0" 1 (Combinatorics.pow2 0);
+  check Alcotest.int "2^12" 4096 (Combinatorics.pow2 12)
+
+let test_falling () =
+  check Alcotest.int "falling 5 2" 20 (Combinatorics.falling 5 2);
+  check Alcotest.int "falling 5 0" 1 (Combinatorics.falling 5 0);
+  check Alcotest.int "falling 5 5 = 5!" 120 (Combinatorics.falling 5 5)
+
+let test_permutations () =
+  check Alcotest.int "3 elements" 6 (List.length (Combinatorics.permutations [ 1; 2; 3 ]));
+  check Alcotest.int "empty" 1 (List.length (Combinatorics.permutations []));
+  let perms = Combinatorics.permutations [ 1; 2; 3; 4 ] in
+  check Alcotest.int "4 elements distinct" 24
+    (List.length (List.sort_uniq compare perms))
+
+let test_subsets () =
+  check Alcotest.int "4 elements" 16 (List.length (Combinatorics.subsets [ 1; 2; 3; 4 ]))
+
+(* ---------------- bitsets ---------------- *)
+
+let test_bitset_basic () =
+  let s = Bitset.of_list [ 3; 1; 7 ] in
+  check Alcotest.bool "mem 3" true (Bitset.mem 3 s);
+  check Alcotest.bool "mem 2" false (Bitset.mem 2 s);
+  check Alcotest.int "cardinal" 3 (Bitset.cardinal s);
+  check Alcotest.int "min" 1 (Bitset.min_elt s);
+  check Alcotest.int "max" 7 (Bitset.max_elt s);
+  check (Alcotest.list Alcotest.int) "elements sorted" [ 1; 3; 7 ] (Bitset.elements s)
+
+let test_bitset_empty () =
+  check Alcotest.bool "is_empty" true (Bitset.is_empty Bitset.empty);
+  Alcotest.check_raises "min of empty" Not_found (fun () ->
+      ignore (Bitset.min_elt Bitset.empty))
+
+let test_bitset_full () =
+  check Alcotest.int "full 5 cardinal" 5 (Bitset.cardinal (Bitset.full 5));
+  check (Alcotest.list Alcotest.int) "full 3" [ 0; 1; 2 ] (Bitset.elements (Bitset.full 3))
+
+let test_bitset_subsets () =
+  let subs = Bitset.subsets (Bitset.of_list [ 0; 2; 5 ]) in
+  check Alcotest.int "count" 8 (List.length subs);
+  check Alcotest.int "distinct" 8 (List.length (List.sort_uniq compare subs));
+  List.iter
+    (fun sub ->
+      check Alcotest.int "is subset" sub (Bitset.inter sub (Bitset.of_list [ 0; 2; 5 ])))
+    subs
+
+let prop_bitset_add_remove =
+  QCheck.Test.make ~name:"add then remove restores" ~count:200
+    QCheck.(pair (int_range 0 61) (int_range 0 (1 lsl 20)))
+    (fun (i, s) ->
+      let s = Bitset.remove i s in
+      Bitset.remove i (Bitset.add i s) = s)
+
+let prop_bitset_union_cardinal =
+  QCheck.Test.make ~name:"|a| + |b| = |a∪b| + |a∩b|" ~count:200
+    QCheck.(pair (int_range 0 (1 lsl 16)) (int_range 0 (1 lsl 16)))
+    (fun (a, b) ->
+      Bitset.cardinal a + Bitset.cardinal b
+      = Bitset.cardinal (Bitset.union a b) + Bitset.cardinal (Bitset.inter a b))
+
+let prop_bitset_fold_ascending =
+  QCheck.Test.make ~name:"fold visits ascending" ~count:200
+    QCheck.(int_range 0 (1 lsl 18))
+    (fun s ->
+      let xs = List.rev (Bitset.fold (fun i acc -> i :: acc) s []) in
+      xs = List.sort compare xs)
+
+(* ---------------- prng ---------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let xs g = List.init 20 (fun _ -> Prng.int g 1000) in
+  check (Alcotest.list Alcotest.int) "same seed same stream" (xs a) (xs b)
+
+let test_prng_split_independent () =
+  let g = Prng.create 7 in
+  let child = Prng.split g in
+  (* drawing from the child must not change the parent's future *)
+  let g2 = Prng.create 7 in
+  let _ = Prng.split g2 in
+  let _ = List.init 100 (fun _ -> Prng.int child 10) in
+  check Alcotest.int "parent unaffected by child draws" (Prng.int g2 1000000)
+    (Prng.int g 1000000)
+
+let prop_prng_int_bounds =
+  QCheck.Test.make ~name:"int g b in [0, b)" ~count:500
+    QCheck.(pair (int_range 1 1000) int)
+    (fun (bound, seed) ->
+      let g = Prng.create seed in
+      let x = Prng.int g bound in
+      x >= 0 && x < bound)
+
+let prop_prng_float_bounds =
+  QCheck.Test.make ~name:"float g b in [0, b)" ~count:500 QCheck.int (fun seed ->
+      let g = Prng.create seed in
+      let x = Prng.float g 3.0 in
+      x >= 0.0 && x < 3.0)
+
+let test_prng_shuffle_permutes () =
+  let g = Prng.create 11 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "multiset preserved" (Array.init 50 Fun.id) sorted
+
+let test_prng_pick () =
+  let g = Prng.create 3 in
+  for _ = 1 to 50 do
+    let x = Prng.pick g [ 1; 2; 3 ] in
+    check Alcotest.bool "member" true (List.mem x [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty list") (fun () ->
+      ignore (Prng.pick g []))
+
+let test_prng_bernoulli_extremes () =
+  let g = Prng.create 9 in
+  for _ = 1 to 50 do
+    check Alcotest.bool "p=1" true (Prng.bernoulli g 1.0);
+    check Alcotest.bool "p=0" false (Prng.bernoulli g 0.0)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "factorial values" `Quick test_factorial_values;
+    Alcotest.test_case "factorial errors" `Quick test_factorial_errors;
+    Alcotest.test_case "binomial values" `Quick test_binomial_values;
+    Alcotest.test_case "pow2" `Quick test_pow2;
+    Alcotest.test_case "falling factorial" `Quick test_falling;
+    Alcotest.test_case "permutations" `Quick test_permutations;
+    Alcotest.test_case "subsets" `Quick test_subsets;
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset empty" `Quick test_bitset_empty;
+    Alcotest.test_case "bitset full" `Quick test_bitset_full;
+    Alcotest.test_case "bitset subsets" `Quick test_bitset_subsets;
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng split independence" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng shuffle permutes" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "prng pick" `Quick test_prng_pick;
+    Alcotest.test_case "prng bernoulli extremes" `Quick test_prng_bernoulli_extremes;
+    qtest prop_pascal;
+    qtest prop_binomial_row_sum;
+    qtest prop_bitset_add_remove;
+    qtest prop_bitset_union_cardinal;
+    qtest prop_bitset_fold_ascending;
+    qtest prop_prng_int_bounds;
+    qtest prop_prng_float_bounds;
+  ]
+
+(* ---------------- json ---------------- *)
+
+let test_json_scalars () =
+  check Alcotest.string "null" "null" (Json.to_string Json.Null);
+  check Alcotest.string "true" "true" (Json.to_string (Json.Bool true));
+  check Alcotest.string "int" "42" (Json.to_string (Json.Int 42));
+  check Alcotest.string "float" "2.5" (Json.to_string (Json.Float 2.5));
+  check Alcotest.string "integral float" "3.0" (Json.to_string (Json.Float 3.0));
+  check Alcotest.string "string" "\"hi\"" (Json.to_string (Json.String "hi"))
+
+let test_json_escaping () =
+  check Alcotest.string "quotes" "\"a\\\"b\"" (Json.to_string (Json.String "a\"b"));
+  check Alcotest.string "backslash" "\"a\\\\b\"" (Json.to_string (Json.String "a\\b"));
+  check Alcotest.string "newline" "\"a\\nb\"" (Json.to_string (Json.String "a\nb"));
+  check Alcotest.string "control" "\"\\u0001\"" (Json.to_string (Json.String "\001"))
+
+let test_json_structures () =
+  let t = Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.Int 2 ]); ("e", Json.List []) ] in
+  check Alcotest.string "compact" "{\"xs\":[1,2],\"e\":[]}" (Json.to_string t);
+  let pretty = Json.to_string_pretty t in
+  check Alcotest.bool "pretty is multiline" true (String.contains pretty '\n')
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "json scalars" `Quick test_json_scalars;
+      Alcotest.test_case "json escaping" `Quick test_json_escaping;
+      Alcotest.test_case "json structures" `Quick test_json_structures;
+    ]
