@@ -52,6 +52,53 @@ let micro_tests =
              Dfr_adaptiveness.Hypercube_adaptiveness.efa_rule ~max_n:10));
   ]
 
+(* Same-machine seed-commit (PR 0) numbers for the micro suite, measured
+   on an otherwise idle machine.  The JSON emitter below compares against
+   this table so a run records its speedups without needing a JSON
+   parser (Dfr_util.Json only emits). *)
+let baseline_pr0 =
+  [
+    ("dfr/adaptiveness/efa-sweep-10", 73_585_000.0);
+    ("dfr/bwg-build/efa-3cube", 163_234.0);
+    ("dfr/checker/efa-3cube", 479_568.2);
+    ("dfr/checker/efa-4cube", 5_362_000.0);
+    ("dfr/checker/two-buffer-4x4", 1_908_000.0);
+    ("dfr/classify/efa-relaxed-2cube", 1_400.8);
+    ("dfr/cycles/efa-relaxed-2cube", 32_364.9);
+    ("dfr/knot/efa-relaxed-2cube", 5_712.0);
+    ("dfr/state-space/efa-3cube", 293_803.6);
+  ]
+
+let bench_json = "BENCH_1.json"
+
+let write_bench_json rows =
+  let module J = Dfr_util.Json in
+  let results = List.map (fun (name, ns) -> (name, J.Float ns)) rows in
+  let baseline = List.map (fun (name, ns) -> (name, J.Float ns)) baseline_pr0 in
+  let speedups =
+    List.filter_map
+      (fun (name, ns) ->
+        match List.assoc_opt name baseline_pr0 with
+        | Some b when ns > 0.0 -> Some (name, J.Float (b /. ns))
+        | _ -> None)
+      rows
+  in
+  let doc =
+    J.Obj
+      [
+        ("suite", J.String "micro");
+        ("unit", J.String "ns/run");
+        ("results", J.Obj results);
+        ("baseline_pr0", J.Obj baseline);
+        ("speedup_vs_pr0", J.Obj speedups);
+      ]
+  in
+  let oc = open_out bench_json in
+  output_string oc (J.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" bench_json
+
 let run_micro () =
   Printf.printf "\n=== E8: micro benchmarks (Bechamel, monotonic clock) ===\n%!";
   let test = Test.make_grouped ~name:"dfr" ~fmt:"%s/%s" micro_tests in
@@ -65,14 +112,20 @@ let run_micro () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let estimated =
+    List.filter_map
+      (fun (name, r) ->
+        match Analyze.OLS.estimates r with
+        | Some [ ns ] -> Some (name, ns)
+        | _ -> None)
+      (List.sort compare rows)
+  in
   List.iter
-    (fun (name, r) ->
-      match Analyze.OLS.estimates r with
-      | Some [ ns ] ->
-        if ns > 1e6 then Printf.printf "%-40s %12.3f ms/run\n" name (ns /. 1e6)
-        else Printf.printf "%-40s %12.1f ns/run\n" name ns
-      | _ -> Printf.printf "%-40s (no estimate)\n" name)
-    (List.sort compare rows)
+    (fun (name, ns) ->
+      if ns > 1e6 then Printf.printf "%-40s %12.3f ms/run\n" name (ns /. 1e6)
+      else Printf.printf "%-40s %12.1f ns/run\n" name ns)
+    estimated;
+  write_bench_json estimated
 
 (* --------------------------------------------------------------------- *)
 

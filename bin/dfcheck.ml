@@ -121,7 +121,9 @@ let check_cmd =
   let domains =
     Arg.(value & opt int 1
          & info [ "domains" ]
-             ~doc:"Build the BWG in parallel with this many OCaml domains.")
+             ~doc:
+               "Build the BWG and classify its cycles in parallel with this \
+                many OCaml domains.")
   in
   Cmd.v (Cmd.info "check" ~doc:"Decide deadlock freedom with the BWG checker")
     Term.(const check_run $ algo_arg $ topo_arg $ replay $ certificate $ json
@@ -286,12 +288,12 @@ let simulate_cmd =
 (* ------------------------------------------------------------------ *)
 (* audit: the whole catalogue, optionally as JSON                      *)
 
-let audit_run json =
+let audit_run json domains =
   let reports =
     List.map
       (fun (e : Registry.entry) ->
         let net = Registry.network_for e None in
-        (e, net, Checker.check net e.Registry.algo))
+        (e, net, Checker.check ~domains net e.Registry.algo))
       Registry.all
   in
   if json then begin
@@ -340,10 +342,15 @@ let audit_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the audit as JSON.")
   in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ]
+             ~doc:"Run each check in parallel with this many OCaml domains.")
+  in
   Cmd.v
     (Cmd.info "audit"
        ~doc:"Check the entire catalogue against its expected verdicts")
-    Term.(const audit_run $ json)
+    Term.(const audit_run $ json $ domains)
 
 (* ------------------------------------------------------------------ *)
 

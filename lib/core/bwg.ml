@@ -1,12 +1,20 @@
 open Dfr_network
+open Dfr_graph
 
 type wait_sets = buf:int -> dest:int -> int list
 type witness = { dest : int; head : int }
 
+(* Witness lists are capped; the insertion count rides along so the cap
+   check is O(1) instead of an O(cap) List.length per recorded edge. *)
+type wcell = { mutable count : int; mutable ws : witness list }
+
 type t = {
   space : State_space.t;
-  graph : Dfr_graph.Digraph.t;
-  witnesses : (int * int, witness list) Hashtbl.t;
+  graph : Digraph.t;
+  mutable frozen : Csr.t option; (* lazily frozen view of [graph] *)
+  witnesses : (int * wcell) list array;
+      (* per-q1 association rows (q2, cell); BWG out-degrees are small, so
+         a pointer walk beats hashing on the build's hot path *)
   wait_sets : wait_sets;
   witness_cap : int;
 }
@@ -15,40 +23,170 @@ let space t = t.space
 let graph t = t.graph
 let wait_sets t = t.wait_sets
 
-let witnesses t q1 q2 =
-  match Hashtbl.find_opt t.witnesses (q1, q2) with
-  | Some ws -> List.rev ws
-  | None -> []
+let frozen_graph t =
+  match t.frozen with
+  | Some g -> g
+  | None ->
+    let g = Digraph.freeze t.graph in
+    t.frozen <- Some g;
+    g
 
-(* Buffers reachable from [start] (inclusive) in the per-destination move
-   graph: the possible positions of the blocked header of a packet that
-   still occupies [start]. *)
-let continuation_heads g start =
-  let seen = Hashtbl.create 16 in
-  let rec dfs v =
-    if not (Hashtbl.mem seen v) then begin
-      Hashtbl.replace seen v ();
-      List.iter dfs (Dfr_graph.Digraph.succ g v)
-    end
-  in
-  dfs start;
-  Hashtbl.fold (fun v () acc -> v :: acc) seen []
+let rec find_cell q2 = function
+  | [] -> None
+  | (k, cell) :: tl -> if k = q2 then Some cell else find_cell q2 tl
+
+let witnesses t q1 q2 =
+  if q1 < 0 || q1 >= Array.length t.witnesses then []
+  else
+    match find_cell q2 t.witnesses.(q1) with
+    | Some cell -> List.rev cell.ws
+    | None -> []
 
 (* Waiting edges contributed by one destination's traffic: pure with
    respect to everything except the pre-built move graph, so destinations
-   can be processed by separate domains. *)
-let edges_for_dest space ~wait_sets ~wormhole dest =
-  let g = State_space.move_graph space ~dest in
-  let acc = ref [] in
-  let emit q1 head =
-    List.iter (fun w -> acc := (q1, w, { dest; head }) :: !acc) (wait_sets ~buf:head ~dest)
-  in
-  let per_buffer q1 =
-    if wormhole then List.iter (emit q1) (continuation_heads g q1)
-    else emit q1 q1
-  in
-  List.iter per_buffer (State_space.reachable_with space ~dest);
-  !acc
+   can be processed by separate domains.
+
+   For wormhole switching the blocked header of a packet occupying [q1]
+   can sit in any buffer reachable from [q1] in the per-destination move
+   graph.  Buffers in the same SCC share that reachability closure, and
+   the SCC indices are a reverse topological numbering of the condensation
+   (every cross edge points to a lower index), so one pass over components
+   in ascending index order computes every closure: seed the component's
+   own members, then union in the already-complete closures of its
+   successor components — a word-parallel bitset [lor] each.  This
+   replaces the previous per-(buffer, dest) DFS, which cost
+   O(B · (V + E)) per destination.
+
+   [emit q1 w wit] receives each waiting edge in a deterministic order
+   (buffers in [reachable_with] order, heads ascending, waits in rule
+   order); the serial build passes its edge recorder directly, the domain
+   fan-out accumulates per-destination lists and replays them in
+   destination order so both paths see the same sequence. *)
+let edges_for_dest space ~wait_sets ~wormhole dest ~emit =
+  if not wormhole then
+    List.iter
+      (fun q1 ->
+        let wit = { dest; head = q1 } in
+        List.iter (fun w -> emit q1 w wit) (wait_sets ~buf:q1 ~dest))
+      (State_space.reachable_with space ~dest)
+  else begin
+    let g = State_space.move_graph space ~dest in
+    let n = Csr.num_vertices g in
+    let reach = State_space.reachable_with space ~dest in
+    (* The closure pass needs components numbered in reverse topological
+       order, with member lists: verts.(start.(c) .. start.(c + 1) - 1).
+       Move graphs of deadlock-free algorithms are acyclic, so try a Kahn
+       pass first — every vertex its own component, numbered n-1-(topo
+       position) — and fall back to Tarjan only when a cycle remains. *)
+    let count, comp, start, verts =
+      let indeg = Array.make n 0 in
+      Csr.iter_edges (fun _ w -> indeg.(w) <- indeg.(w) + 1) g;
+      let order = Array.make n 0 in
+      let filled = ref 0 in
+      for v = 0 to n - 1 do
+        if indeg.(v) = 0 then begin
+          order.(!filled) <- v;
+          incr filled
+        end
+      done;
+      let head = ref 0 in
+      while !head < !filled do
+        let v = order.(!head) in
+        incr head;
+        Csr.iter_succ
+          (fun w ->
+            indeg.(w) <- indeg.(w) - 1;
+            if indeg.(w) = 0 then begin
+              order.(!filled) <- w;
+              incr filled
+            end)
+          g v
+      done;
+      if !filled = n then begin
+        let comp = Array.make n 0 in
+        let verts = Array.make n 0 in
+        for i = 0 to n - 1 do
+          let c = n - 1 - i in
+          comp.(order.(i)) <- c;
+          verts.(c) <- order.(i)
+        done;
+        (n, comp, Array.init (n + 1) Fun.id, verts)
+      end
+      else begin
+        let scc = Scc.compute_csr g in
+        let count = scc.Scc.count in
+        let comp = scc.Scc.component in
+        (* group vertices by component (counting sort) *)
+        let start = Array.make (count + 1) 0 in
+        for v = 0 to n - 1 do
+          start.(comp.(v) + 1) <- start.(comp.(v) + 1) + 1
+        done;
+        for c = 0 to count - 1 do
+          start.(c + 1) <- start.(c + 1) + start.(c)
+        done;
+        let verts = Array.make n 0 in
+        let next = Array.copy start in
+        for v = 0 to n - 1 do
+          verts.(next.(comp.(v))) <- v;
+          next.(comp.(v)) <- next.(comp.(v)) + 1
+        done;
+        (count, comp, start, verts)
+      end
+    in
+    let closures = Dfr_util.Bitset.Dense.Matrix.create ~rows:count ~len:n in
+    (* merged.(c') = c marks that c' is already unioned into c's row, so a
+       component with many edges into the same successor pays one sweep *)
+    let merged = Array.make count (-1) in
+    for c = 0 to count - 1 do
+      for i = start.(c) to start.(c + 1) - 1 do
+        let v = verts.(i) in
+        Dfr_util.Bitset.Dense.Matrix.add closures c v;
+        Csr.iter_succ
+          (fun w ->
+            let cw = comp.(w) in
+            if cw <> c && merged.(cw) <> c then begin
+              merged.(cw) <- c;
+              Dfr_util.Bitset.Dense.Matrix.union_rows closures ~into:c ~src:cw
+            end)
+          g v
+      done
+    done;
+    (* Only heads with a non-empty waiting set generate edges: resolve each
+       head's waiting set and (shared) witness record once per destination
+       into an array, so collecting a component's heads is one pass over
+       its closure bits with an O(1) lookup per element — no per-component
+       list filtering. *)
+    let head_info = Array.make n None in
+    List.iter
+      (fun head ->
+        match wait_sets ~buf:head ~dest with
+        | [] -> ()
+        | ws -> head_info.(head) <- Some ({ dest; head }, ws))
+      reach;
+    (* waiting heads in a component's closure (ascending), memoized *)
+    let heads_of = Array.make count None in
+    let heads c =
+      match heads_of.(c) with
+      | Some hs -> hs
+      | None ->
+        let acc = ref [] in
+        Dfr_util.Bitset.Dense.Matrix.iter_row
+          (fun v ->
+            match head_info.(v) with
+            | Some info -> acc := info :: !acc
+            | None -> ())
+          closures c;
+        let hs = List.rev !acc in
+        heads_of.(c) <- Some hs;
+        hs
+    in
+    List.iter
+      (fun q1 ->
+        List.iter
+          (fun (wit, ws) -> List.iter (fun w -> emit q1 w wit) ws)
+          (heads comp.(q1)))
+      reach
+  end
 
 let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1) space =
   let wait_sets =
@@ -58,54 +196,66 @@ let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1) space
   in
   let net = State_space.net space in
   let num_nodes = State_space.num_nodes space in
-  let graph = Dfr_graph.Digraph.create (State_space.num_buffers space) in
-  let witnesses = Hashtbl.create 256 in
+  let num_bufs = State_space.num_buffers space in
+  let graph = Digraph.create num_bufs in
+  let witnesses = Array.make num_bufs [] in
+  (* the witness cell doubles as the duplicate-edge check: only the first
+     witness of an edge touches the adjacency structure *)
   let add_edge q1 q2 w =
-    Dfr_graph.Digraph.add_edge graph q1 q2;
-    let key = (q1, q2) in
-    let existing = Option.value (Hashtbl.find_opt witnesses key) ~default:[] in
-    if List.length existing < witness_cap then
-      Hashtbl.replace witnesses key (w :: existing)
+    match find_cell q2 witnesses.(q1) with
+    | Some cell ->
+      if cell.count < witness_cap then begin
+        cell.ws <- w :: cell.ws;
+        cell.count <- cell.count + 1
+      end
+    | None ->
+      witnesses.(q1) <- (q2, { count = 1; ws = [ w ] }) :: witnesses.(q1);
+      Digraph.unsafe_add_edge graph q1 q2
   in
   let wormhole = indirect && Net.switching net = Net.Wormhole in
   let dests = List.init num_nodes Fun.id in
-  let edge_lists =
-    if domains <= 1 || num_nodes <= 1 then
-      List.map (edges_for_dest space ~wait_sets ~wormhole) dests
-    else begin
-      (* the lazily cached move graphs are not safe to build concurrently:
-         materialize them first, then fan the per-destination closures out
-         over OCaml 5 domains *)
-      List.iter (fun dest -> ignore (State_space.move_graph space ~dest)) dests;
-      let n_dom = min domains num_nodes in
-      let chunks = Array.make n_dom [] in
-      List.iteri (fun i d -> chunks.(i mod n_dom) <- d :: chunks.(i mod n_dom)) dests;
-      let workers =
-        Array.map
-          (fun chunk ->
-            Domain.spawn (fun () ->
-                List.map (edges_for_dest space ~wait_sets ~wormhole) chunk))
-          chunks
-      in
-      Array.to_list workers |> List.concat_map Domain.join
-    end
-  in
-  (* merge sequentially: destinations ascending, witnesses in emit order,
-     so the result is identical to the serial construction *)
-  List.iter (fun edges -> List.iter (fun (q, w, wit) -> add_edge q w wit) (List.rev edges))
-    (List.sort
-       (fun a b ->
-         match (a, b) with
-         | (_, _, wa) :: _, (_, _, wb) :: _ -> compare wa.dest wb.dest
-         | [], _ -> -1
-         | _, [] -> 1)
-       edge_lists);
-  { space; graph; witnesses; wait_sets; witness_cap }
+  if domains <= 1 || num_nodes <= 1 then
+    (* serial: stream edges straight into the recorder, no staging lists *)
+    List.iter
+      (fun d -> edges_for_dest space ~wait_sets ~wormhole d ~emit:add_edge)
+      dests
+  else begin
+    (* the lazily cached move graphs are not safe to build concurrently:
+       materialize them first, then fan the per-destination closures out
+       over OCaml 5 domains *)
+    List.iter (fun dest -> ignore (State_space.move_graph space ~dest)) dests;
+    let n_dom = min domains num_nodes in
+    let chunks = Array.make n_dom [] in
+    List.iteri (fun i d -> chunks.(i mod n_dom) <- d :: chunks.(i mod n_dom)) dests;
+    let results = Array.make num_nodes [] in
+    let workers =
+      Array.map
+        (fun chunk ->
+          Domain.spawn (fun () ->
+              List.map
+                (fun d ->
+                  let acc = ref [] in
+                  edges_for_dest space ~wait_sets ~wormhole d
+                    ~emit:(fun q w wit -> acc := (q, w, wit) :: !acc);
+                  (d, !acc))
+                chunk))
+        chunks
+    in
+    Array.iter
+      (fun w -> List.iter (fun (d, es) -> results.(d) <- es) (Domain.join w))
+      workers;
+    (* merge sequentially: destinations ascending, witnesses in emit order,
+       so the result is identical to the serial construction *)
+    Array.iter
+      (fun es -> List.iter (fun (q, w, wit) -> add_edge q w wit) (List.rev es))
+      results
+  end;
+  { space; graph; frozen = None; witnesses; wait_sets; witness_cap }
 
-let is_acyclic t = Dfr_graph.Traversal.is_acyclic t.graph
-let topological_order t = Dfr_graph.Traversal.topological_sort t.graph
+let is_acyclic t = Traversal.is_acyclic_csr (frozen_graph t)
+let topological_order t = Traversal.topological_sort_csr (frozen_graph t)
 
-let cycles ?limits t = Dfr_graph.Cycles.enumerate_checked ?limits t.graph
+let cycles ?limits t = Cycles.enumerate_checked_csr ?limits (frozen_graph t)
 
 let unconnected_states t =
   let acc = ref [] in
@@ -120,6 +270,6 @@ let is_wait_connected t = unconnected_states t = []
 
 let to_dot t =
   let net = State_space.net t.space in
-  Dfr_graph.Dot.to_string ~name:"bwg"
+  Dot.to_string ~name:"bwg"
     ~vertex_label:(fun v -> Net.describe_buffer net v)
     t.graph

@@ -46,6 +46,11 @@ val build :
 
 val space : t -> State_space.t
 val graph : t -> Dfr_graph.Digraph.t
+
+val frozen_graph : t -> Dfr_graph.Csr.t
+(** The CSR view the acyclicity / cycle queries run on (frozen on first
+    use, cached; canonical, so equal BWGs have equal frozen forms). *)
+
 val wait_sets : t -> wait_sets
 
 val witnesses : t -> int -> int -> witness list

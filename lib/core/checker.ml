@@ -29,22 +29,76 @@ type report = {
   bwg_cycles : int option;
 }
 
-(* Classify every cycle, shortest first; short-circuit on the first True
-   one (short cycles are both the likeliest witnesses and the cheapest to
-   classify). *)
-let scan_cycles ?class_limits bwg cycles =
+(* Classify every cycle, shortest first (stable sort, so equal lengths
+   keep enumeration order); short-circuit on the first True one (short
+   cycles are both the likeliest witnesses and the cheapest to classify).
+
+   With [domains > 1] the classifications fan out over OCaml 5 domains.
+   The verdict is kept bit-for-bit deterministic: the reported True Cycle
+   is the one of minimal index in the sorted order, exactly what the
+   serial scan short-circuits on.  Workers may skip an index [i] only
+   once a True Cycle is already recorded at some index < i — such an [i]
+   can never be the minimum, so skipping preserves the result while still
+   giving an early exit. *)
+let scan_cycles ?class_limits ?(domains = 1) bwg cycles =
   let cycles =
     List.sort (fun a b -> compare (List.length a) (List.length b)) cycles
   in
-  let rec go uncertain examined = function
-    | [] -> `All_false (examined, uncertain)
-    | c :: rest -> (
-      match Cycle_class.classify ?limits:class_limits bwg c with
-      | Cycle_class.True_cycle packets -> `True (c, packets)
-      | Cycle_class.False_resource_cycle { exhaustive } ->
-        go (uncertain || not exhaustive) (examined + 1) rest)
-  in
-  go false 0 cycles
+  let classify c = Cycle_class.classify ?limits:class_limits bwg c in
+  let n = List.length cycles in
+  if domains <= 1 || n <= 1 then
+    let rec go uncertain examined = function
+      | [] -> `All_false (examined, uncertain)
+      | c :: rest -> (
+        match classify c with
+        | Cycle_class.True_cycle packets -> `True (c, packets)
+        | Cycle_class.False_resource_cycle { exhaustive } ->
+          go (uncertain || not exhaustive) (examined + 1) rest)
+    in
+    go false 0 cycles
+  else begin
+    (* classification walks lazily cached per-destination move graphs:
+       materialize them before the fan-out *)
+    let space = Bwg.space bwg in
+    for dest = 0 to State_space.num_nodes space - 1 do
+      ignore (State_space.move_graph space ~dest)
+    done;
+    let arr = Array.of_list cycles in
+    let verdicts = Array.make n None in
+    let best = Atomic.make max_int in
+    let n_dom = min domains n in
+    let worker k () =
+      let i = ref k in
+      while !i < n do
+        if Atomic.get best > !i then
+          verdicts.(!i) <- Some (classify arr.(!i));
+        (match verdicts.(!i) with
+        | Some (Cycle_class.True_cycle _) ->
+          (* lower [best] to !i unless it is already smaller *)
+          let rec lower () =
+            let b = Atomic.get best in
+            if !i < b && not (Atomic.compare_and_set best b !i) then lower ()
+          in
+          lower ()
+        | _ -> ());
+        i := !i + n_dom
+      done
+    in
+    let workers = Array.init n_dom (fun k -> Domain.spawn (worker k)) in
+    Array.iter Domain.join workers;
+    let rec collect uncertain examined i =
+      if i >= n then `All_false (examined, uncertain)
+      else
+        match verdicts.(i) with
+        | Some (Cycle_class.True_cycle packets) -> `True (arr.(i), packets)
+        | Some (Cycle_class.False_resource_cycle { exhaustive }) ->
+          collect (uncertain || not exhaustive) (examined + 1) (i + 1)
+        | None ->
+          (* skipped: only possible when a True Cycle exists below [i] *)
+          collect uncertain examined (i + 1)
+    in
+    collect false 0 0
+  end
 
 let check ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) net algo =
   let space = State_space.build net algo in
@@ -68,7 +122,7 @@ let check ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) net algo 
         | None -> (
           let cycles, cycles_exhaustive = Bwg.cycles ?limits:cycle_limits bwg in
           n_cycles := Some (List.length cycles);
-          match scan_cycles ?class_limits bwg cycles with
+          match scan_cycles ?class_limits ~domains bwg cycles with
           | `True (cycle, packets) -> (
             match algo.Algo.wait with
             | Algo.Specific_wait ->

@@ -30,9 +30,9 @@ let simple_paths ~limits g ~start ~target =
       end
       else if len >= limits.max_path_length then exhaustive := false
       else
-        List.iter
+        Dfr_graph.Csr.iter_succ
           (fun w -> if not (Hashtbl.mem on_path w) then dfs w acc (len + 1))
-          (Dfr_graph.Digraph.succ g v);
+          g v;
       Hashtbl.remove on_path v
     end
     else exhaustive := false

@@ -15,14 +15,14 @@ let extended_dependency_graph space =
     let from_escape c1 =
       let seen = Hashtbl.create 16 in
       let rec walk v =
-        List.iter
+        Dfr_graph.Csr.iter_succ
           (fun w ->
             if escape.(w) then Dfr_graph.Digraph.add_edge g c1 w
             else if not (Hashtbl.mem seen w) then begin
               Hashtbl.replace seen w ();
               walk w
             end)
-          (Dfr_graph.Digraph.succ moves v)
+          moves v
       in
       walk c1
     in

@@ -13,7 +13,7 @@ let analyze space =
       { livelock_free = true; offending_dest = None; cycle = None }
     else
       let g = State_space.move_graph space ~dest in
-      match Dfr_graph.Traversal.find_cycle g with
+      match Dfr_graph.Traversal.find_cycle_csr g with
       | Some cycle ->
         { livelock_free = false; offending_dest = Some dest; cycle = Some cycle }
       | None -> scan (dest + 1)

@@ -51,7 +51,7 @@ let generating_entries space current ~wormhole q w =
           let rec dfs v =
             if not (Hashtbl.mem seen v) then begin
               Hashtbl.replace seen v ();
-              List.iter dfs (Dfr_graph.Digraph.succ g v)
+              Dfr_graph.Csr.iter_succ dfs g v
             end
           in
           dfs q;

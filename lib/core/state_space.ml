@@ -10,7 +10,7 @@ type t = {
   outputs : int list array; (* only meaningful for reachable states *)
   waits : int list array;
   reduced : int list array option;
-  move_graphs : Dfr_graph.Digraph.t option array; (* per dest, lazy *)
+  move_graphs : Dfr_graph.Csr.t option array; (* per dest, lazy *)
 }
 
 let index t ~buf ~dest = (buf * t.num_nodes) + dest
@@ -108,8 +108,9 @@ let move_graph t ~dest =
           (fun o -> Dfr_graph.Digraph.add_edge g buf o)
           t.outputs.(index t ~buf ~dest)
     done;
-    t.move_graphs.(dest) <- Some g;
-    g
+    let frozen = Dfr_graph.Digraph.freeze g in
+    t.move_graphs.(dest) <- Some frozen;
+    frozen
 
 let reachable_with t ~dest =
   let acc = ref [] in

@@ -40,9 +40,11 @@ val arrived : t -> buf:int -> dest:int -> bool
 
 val iter_reachable : t -> (buf:int -> dest:int -> unit) -> unit
 
-val move_graph : t -> dest:int -> Dfr_graph.Digraph.t
+val move_graph : t -> dest:int -> Dfr_graph.Csr.t
 (** Buffer-to-buffer moves available to packets destined for [dest]
-    (restricted to reachable states; cached). *)
+    (restricted to reachable states), frozen to CSR and cached.  The lazy
+    cache is not safe to populate from several domains at once — callers
+    that fan work out materialize every destination first. *)
 
 val reachable_with : t -> dest:int -> int list
 (** Buffers some [dest]-bound packet can occupy, ascending. *)

@@ -6,14 +6,18 @@ exception Done
 
 (* Johnson's algorithm restricted to one SCC at a time.  [least] is the
    root vertex of the current round: only vertices >= least participate and
-   every reported cycle starts at [least]. *)
-let enumerate_with ?(limits = default_limits) g ~on_truncate =
-  let n = Digraph.num_vertices g in
+   every reported cycle starts at [least].  Runs on the frozen CSR form:
+   the per-root subgraph is Scc.compute_bounded plus an [allowed] mask —
+   no induced graph is ever materialized. *)
+let enumerate_with_csr ?(limits = default_limits) g ~on_truncate =
+  let n = Csr.num_vertices g in
   let result = ref [] in
   let found = ref 0 in
   let blocked = Array.make n false in
   let block_map = Array.make n [] in
+  let allowed = Array.make n false in
   let stack = ref [] in
+  let depth = ref 0 in
   let rec unblock v =
     if blocked.(v) then begin
       blocked.(v) <- false;
@@ -30,55 +34,57 @@ let enumerate_with ?(limits = default_limits) g ~on_truncate =
       raise Done
     end
   in
-  (* circuit over the subgraph [allowed] *)
-  let rec circuit g allowed least v =
+  let rec circuit least v =
     let closed = ref false in
     blocked.(v) <- true;
     stack := v :: !stack;
-    let explore w =
-      if allowed.(w) then
-        if w = least then begin
-          if List.length !stack <= limits.max_length then emit ();
-          closed := true
-        end
-        else if not blocked.(w) && List.length !stack < limits.max_length then
-          if circuit g allowed least w then closed := true
-    in
-    List.iter explore (Digraph.succ g v);
+    incr depth;
+    Csr.iter_succ
+      (fun w ->
+        if allowed.(w) then
+          if w = least then begin
+            if !depth <= limits.max_length then emit ();
+            closed := true
+          end
+          else if (not blocked.(w)) && !depth < limits.max_length then
+            if circuit least w then closed := true)
+      g v;
     if !closed then unblock v
     else
-      List.iter
+      Csr.iter_succ
         (fun w ->
           if allowed.(w) && not (List.mem v block_map.(w)) then
             block_map.(w) <- v :: block_map.(w))
-        (Digraph.succ g v);
+        g v;
     stack := List.tl !stack;
+    decr depth;
     !closed
   in
   (try
      for least = 0 to n - 1 do
        (* SCC of the subgraph induced by vertices >= least that contains
           [least] *)
-       let sub = Digraph.induced g ~keep:(fun v -> v >= least) in
-       let scc = Scc.compute sub in
+       let scc = Scc.compute_bounded g ~least in
        let c = scc.Scc.component.(least) in
-       let allowed = Array.make n false in
-       Array.iteri
-         (fun v cv -> if v >= least && cv = c then allowed.(v) <- true)
-         scc.Scc.component;
-       let in_scc_with_edge =
-         List.exists (fun w -> allowed.(w)) (Digraph.succ sub least)
-       in
-       if in_scc_with_edge || Digraph.mem_edge g least least then begin
+       for v = 0 to n - 1 do
+         allowed.(v) <- scc.Scc.component.(v) = c
+       done;
+       (* a round is worthwhile iff [least] has an in-SCC successor (a
+          self loop counts: allowed.(least) holds) *)
+       let live = Csr.fold_succ (fun w acc -> acc || allowed.(w)) g least false in
+       if live then begin
          for v = 0 to n - 1 do
            blocked.(v) <- false;
            block_map.(v) <- []
          done;
-         ignore (circuit g allowed least least)
+         ignore (circuit least least)
        end
      done
    with Done -> ());
   List.rev !result
+
+let enumerate_with ?limits g ~on_truncate =
+  enumerate_with_csr ?limits (Digraph.freeze g) ~on_truncate
 
 let enumerate ?limits g =
   enumerate_with ?limits g ~on_truncate:(fun () -> ())
@@ -86,6 +92,14 @@ let enumerate ?limits g =
 let enumerate_checked ?limits g =
   let hit = ref false in
   let cs = enumerate_with ?limits g ~on_truncate:(fun () -> hit := true) in
+  (cs, not !hit)
+
+let enumerate_csr ?limits g =
+  enumerate_with_csr ?limits g ~on_truncate:(fun () -> ())
+
+let enumerate_checked_csr ?limits g =
+  let hit = ref false in
+  let cs = enumerate_with_csr ?limits g ~on_truncate:(fun () -> hit := true) in
   (cs, not !hit)
 
 let truncated ?limits g =

@@ -24,6 +24,12 @@ val enumerate_checked : ?limits:limits -> Digraph.t -> int list list * bool
     ([false] when the cycle cap stopped it early; length-capped cycles are
     silently skipped either way). *)
 
+val enumerate_csr : ?limits:limits -> Csr.t -> int list list
+(** CSR-native {!enumerate} — use when the caller already holds a frozen
+    graph. *)
+
+val enumerate_checked_csr : ?limits:limits -> Csr.t -> int list list * bool
+
 val truncated : ?limits:limits -> Digraph.t -> bool
 (** Whether [enumerate] with the same limits stopped early (so the returned
     list may be incomplete). *)

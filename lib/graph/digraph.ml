@@ -1,6 +1,12 @@
-(* Invariant: no duplicate entries within adj.(u); adj lists hold the most
-   recently inserted successor first. *)
-type t = { n : int; adj : int list array; mutable m : int }
+(* Invariants: no duplicate entries within adj.(u); adj lists hold the most
+   recently inserted successor first.  Membership is an O(deg) list scan —
+   the mutable form is for construction; anything query-heavy should
+   [freeze] to CSR first. *)
+type t = {
+  n : int;
+  adj : int list array;
+  mutable m : int;
+}
 
 let create n =
   if n < 0 then invalid_arg "Digraph.create: negative size";
@@ -17,16 +23,15 @@ let mem_edge g u v =
   check g v;
   List.mem v g.adj.(u)
 
+let unsafe_add_edge g u v =
+  g.adj.(u) <- v :: g.adj.(u);
+  g.m <- g.m + 1
+
 let add_edge g u v =
-  if not (mem_edge g u v) then begin
-    g.adj.(u) <- v :: g.adj.(u);
-    g.m <- g.m + 1
-  end
+  if not (mem_edge g u v) then unsafe_add_edge g u v
 
 let remove_edge g u v =
-  check g u;
-  check g v;
-  if List.mem v g.adj.(u) then begin
+  if mem_edge g u v then begin
     g.adj.(u) <- List.filter (fun w -> w <> v) g.adj.(u);
     g.m <- g.m - 1
   end
@@ -68,11 +73,28 @@ let out_degree g u =
   check g u;
   List.length g.adj.(u)
 
+let freeze g =
+  let deg u = List.length g.adj.(u) in
+  let offsets = Array.make (g.n + 1) 0 in
+  for u = 0 to g.n - 1 do
+    offsets.(u + 1) <- offsets.(u) + deg u
+  done;
+  let targets = Array.make g.m 0 in
+  for u = 0 to g.n - 1 do
+    let row = List.sort compare g.adj.(u) in
+    List.iteri (fun i v -> targets.(offsets.(u) + i) <- v) row
+  done;
+  Csr.make ~n:g.n ~offsets ~targets
+
 let equal a b =
   a.n = b.n && a.m = b.m
   && begin
     let ok = ref true in
-    iter_edges (fun u v -> if not (mem_edge b u v) then ok := false) a;
+    (* rows are duplicate-free, so sorted rows are canonical *)
+    for u = 0 to a.n - 1 do
+      if !ok && List.sort compare a.adj.(u) <> List.sort compare b.adj.(u) then
+        ok := false
+    done;
     !ok
   end
 

@@ -16,8 +16,14 @@ val num_edges : t -> int
 
 val add_edge : t -> int -> int -> unit
 (** [add_edge g u v] inserts edge [u -> v]; duplicate insertions are
-    ignored.  Self loops are allowed.  Raises [Invalid_argument] when a
-    vertex is out of range. *)
+    ignored (an O(out-degree) scan).  Self loops are allowed.  Raises
+    [Invalid_argument] when a vertex is out of range. *)
+
+val unsafe_add_edge : t -> int -> int -> unit
+(** [add_edge] without the duplicate scan: the caller guarantees the edge
+    is not already present (e.g. it deduplicates through its own side
+    table).  Inserting a duplicate breaks the no-duplicate invariant that
+    [num_edges], [equal] and [freeze] rely on. *)
 
 val remove_edge : t -> int -> int -> unit
 (** Removes the edge if present; no-op otherwise. *)
@@ -41,7 +47,14 @@ val induced : t -> keep:(int -> bool) -> t
 
 val out_degree : t -> int -> int
 
+val freeze : t -> Csr.t
+(** Pack into the frozen CSR form (O(V + E log deg)); the digraph stays
+    usable and later mutations do not affect the frozen copy.  All the
+    traversal algorithms run on the CSR form — freeze once per analysis,
+    not per query. *)
+
 val equal : t -> t -> bool
-(** Same vertex count and same edge set (order-insensitive). *)
+(** Same vertex count and same edge set (order-insensitive);
+    O(E log deg) via canonical sorted adjacency rows. *)
 
 val pp : Format.formatter -> t -> unit

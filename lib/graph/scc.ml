@@ -1,84 +1,101 @@
 type result = { count : int; component : int array }
 
-(* Iterative Tarjan: an explicit work stack holds (vertex, remaining
-   successors) frames so deep graphs cannot overflow the OCaml stack. *)
-let compute g =
-  let n = Digraph.num_vertices g in
+(* Iterative Tarjan over the CSR form: the work stack holds (vertex,
+   cursor into the flat target array) in two int arrays, so deep graphs
+   cannot overflow the OCaml stack and a run allocates nothing beyond its
+   fixed per-vertex arrays.  [least] restricts the walk to the subgraph
+   induced by vertices >= least; excluded vertices keep component -1. *)
+let compute_bounded g ~least =
+  let n = Csr.num_vertices g in
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
   let on_stack = Array.make n false in
   let component = Array.make n (-1) in
-  let stack = ref [] in
+  let stack = Array.make (max n 1) 0 in
+  let sp = ref 0 in
+  let work_v = Array.make (max n 1) 0 in
+  let work_c = Array.make (max n 1) 0 in
+  let wp = ref 0 in
   let next_index = ref 0 in
   let next_comp = ref 0 in
-  let visit root =
-    let work = ref [ (root, ref (Digraph.succ g root)) ] in
-    index.(root) <- !next_index;
-    lowlink.(root) <- !next_index;
+  let enter v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
     incr next_index;
-    stack := root :: !stack;
-    on_stack.(root) <- true;
-    while !work <> [] do
-      match !work with
-      | [] -> ()
-      | (v, succs) :: rest -> (
-        match !succs with
-        | w :: ws ->
-          succs := ws;
-          if index.(w) = -1 then begin
-            index.(w) <- !next_index;
-            lowlink.(w) <- !next_index;
-            incr next_index;
-            stack := w :: !stack;
-            on_stack.(w) <- true;
-            work := (w, ref (Digraph.succ g w)) :: !work
-          end
-          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
-        | [] ->
-          work := rest;
-          (match rest with
-          | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
-          | [] -> ());
-          if lowlink.(v) = index.(v) then begin
-            let rec pop () =
-              match !stack with
-              | [] -> assert false
-              | w :: tl ->
-                stack := tl;
-                on_stack.(w) <- false;
-                component.(w) <- !next_comp;
-                if w <> v then pop ()
-            in
-            pop ();
-            incr next_comp
-          end)
-    done
+    stack.(!sp) <- v;
+    incr sp;
+    on_stack.(v) <- true;
+    work_v.(!wp) <- v;
+    work_c.(!wp) <- fst (Csr.row g v);
+    incr wp
   in
-  for v = 0 to n - 1 do
-    if index.(v) = -1 then visit v
+  for root = least to n - 1 do
+    if index.(root) = -1 then begin
+      enter root;
+      while !wp > 0 do
+        let v = work_v.(!wp - 1) in
+        let stop = snd (Csr.row g v) in
+        let cur = ref work_c.(!wp - 1) in
+        let pushed = ref false in
+        while (not !pushed) && !cur < stop do
+          let w = Csr.target g !cur in
+          incr cur;
+          if w >= least then
+            if index.(w) = -1 then begin
+              work_c.(!wp - 1) <- !cur;
+              enter w;
+              pushed := true
+            end
+            else if on_stack.(w) && index.(w) < lowlink.(v) then
+              lowlink.(v) <- index.(w)
+        done;
+        if not !pushed then begin
+          (* row exhausted: retire the frame *)
+          decr wp;
+          if !wp > 0 then begin
+            let parent = work_v.(!wp - 1) in
+            if lowlink.(v) < lowlink.(parent) then lowlink.(parent) <- lowlink.(v)
+          end;
+          if lowlink.(v) = index.(v) then begin
+            let more = ref true in
+            while !more do
+              decr sp;
+              let w = stack.(!sp) in
+              on_stack.(w) <- false;
+              component.(w) <- !next_comp;
+              if w = v then more := false
+            done;
+            incr next_comp
+          end
+        end
+      done
+    end
   done;
   { count = !next_comp; component }
 
+let compute_csr g = compute_bounded g ~least:0
+let compute g = compute_csr (Digraph.freeze g)
+
 let members r =
-  let buckets = Array.make r.count [] in
-  Array.iteri (fun v c -> buckets.(c) <- v :: buckets.(c)) r.component;
-  buckets
+  let buckets = Array.make (max r.count 1) [] in
+  Array.iteri (fun v c -> if c >= 0 then buckets.(c) <- v :: buckets.(c)) r.component;
+  Array.sub buckets 0 r.count
 
 let condensation g r =
   let c = Digraph.create r.count in
   Digraph.iter_edges
     (fun u v ->
       let cu = r.component.(u) and cv = r.component.(v) in
-      if cu <> cv then Digraph.add_edge c cu cv)
+      if cu >= 0 && cv >= 0 && cu <> cv then Digraph.add_edge c cu cv)
     g;
   c
 
 let nontrivial g r =
-  let size = Array.make r.count 0 in
-  Array.iter (fun c -> size.(c) <- size.(c) + 1) r.component;
-  let has_self = Array.make r.count false in
+  let size = Array.make (max r.count 1) 0 in
+  Array.iter (fun c -> if c >= 0 then size.(c) <- size.(c) + 1) r.component;
+  let has_self = Array.make (max r.count 1) false in
   Digraph.iter_edges
-    (fun u v -> if u = v then has_self.(r.component.(u)) <- true)
+    (fun u v -> if u = v && r.component.(u) >= 0 then has_self.(r.component.(u)) <- true)
     g;
   let keep = ref [] in
   for c = r.count - 1 downto 0 do

@@ -1,4 +1,4 @@
-(** Strongly connected components (Tarjan, iterative). *)
+(** Strongly connected components (Tarjan, iterative, over the CSR form). *)
 
 type result = {
   count : int;  (** number of components *)
@@ -6,10 +6,18 @@ type result = {
       (** [component.(v)] is the component index of vertex [v]; indices are
           a reverse topological numbering of the condensation (every edge
           between distinct components goes from a higher index to a lower
-          one). *)
+          one).  Vertices excluded by a [least] bound hold -1. *)
 }
 
 val compute : Digraph.t -> result
+(** Freezes and delegates to {!compute_csr}. *)
+
+val compute_csr : Csr.t -> result
+
+val compute_bounded : Csr.t -> least:int -> result
+(** Components of the subgraph induced by vertices [>= least] — what
+    Johnson's cycle enumeration needs per root, without materializing an
+    induced graph.  Excluded vertices get component -1. *)
 
 val members : result -> int list array
 (** Vertices of each component. *)

@@ -1,19 +1,24 @@
-let reachable g sources =
-  let n = Digraph.num_vertices g in
+(* All algorithms run on the frozen CSR form; the [Digraph.t] entry points
+   freeze once and delegate, so callers holding a mutable graph pay one
+   O(V + E) packing instead of per-vertex [List.rev] allocation on every
+   step of the walk. *)
+
+let reachable_csr g sources =
+  let n = Csr.num_vertices g in
   let seen = Array.make n false in
   let rec visit stack =
     match stack with
     | [] -> ()
     | u :: rest ->
       let push acc v = if seen.(v) then acc else (seen.(v) <- true; v :: acc) in
-      visit (List.fold_left push rest (Digraph.succ g u))
+      visit (Csr.fold_succ (fun v acc -> push acc v) g u rest)
   in
   let init = List.filter (fun s -> not seen.(s) && (seen.(s) <- true; true)) sources in
   visit init;
   seen
 
-let bfs_distances g src =
-  let n = Digraph.num_vertices g in
+let bfs_distances_csr g src =
+  let n = Csr.num_vertices g in
   let dist = Array.make n max_int in
   let q = Queue.create () in
   dist.(src) <- 0;
@@ -21,20 +26,20 @@ let bfs_distances g src =
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
     let du = dist.(u) in
-    let relax v =
-      if dist.(v) = max_int then begin
-        dist.(v) <- du + 1;
-        Queue.add v q
-      end
-    in
-    List.iter relax (Digraph.succ g u)
+    Csr.iter_succ
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- du + 1;
+          Queue.add v q
+        end)
+      g u
   done;
   dist
 
-let topological_sort g =
-  let n = Digraph.num_vertices g in
+let topological_sort_csr g =
+  let n = Csr.num_vertices g in
   let indeg = Array.make n 0 in
-  Digraph.iter_edges (fun _ v -> indeg.(v) <- indeg.(v) + 1) g;
+  Csr.iter_edges (fun _ v -> indeg.(v) <- indeg.(v) + 1) g;
   let q = Queue.create () in
   for v = 0 to n - 1 do
     if indeg.(v) = 0 then Queue.add v q
@@ -45,37 +50,39 @@ let topological_sort g =
     let u = Queue.pop q in
     incr count;
     order := u :: !order;
-    let drop v =
-      indeg.(v) <- indeg.(v) - 1;
-      if indeg.(v) = 0 then Queue.add v q
-    in
-    List.iter drop (Digraph.succ g u)
+    Csr.iter_succ
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v q)
+      g u
   done;
   if !count = n then Some (List.rev !order) else None
 
-let is_acyclic g = topological_sort g <> None
+let is_acyclic_csr g = topological_sort_csr g <> None
 
-let find_cycle g =
-  let n = Digraph.num_vertices g in
+let find_cycle_csr g =
+  let n = Csr.num_vertices g in
   (* colors: 0 unvisited, 1 on current DFS path, 2 done *)
   let color = Array.make n 0 in
   let parent = Array.make n (-1) in
   let result = ref None in
   let rec dfs u =
     color.(u) <- 1;
-    let try_edge v =
-      if !result = None then
-        match color.(v) with
-        | 0 ->
-          parent.(v) <- u;
-          dfs v
-        | 1 ->
-          (* walk the parent chain from u back to v *)
-          let rec collect acc w = if w = v then w :: acc else collect (w :: acc) parent.(w) in
-          result := Some (collect [] u)
-        | _ -> ()
-    in
-    List.iter try_edge (Digraph.succ g u);
+    Csr.iter_succ
+      (fun v ->
+        if !result = None then
+          match color.(v) with
+          | 0 ->
+            parent.(v) <- u;
+            dfs v
+          | 1 ->
+            (* walk the parent chain from u back to v *)
+            let rec collect acc w =
+              if w = v then w :: acc else collect (w :: acc) parent.(w)
+            in
+            result := Some (collect [] u)
+          | _ -> ())
+      g u;
     if !result = None then color.(u) <- 2
   in
   let rec scan v =
@@ -88,8 +95,8 @@ let find_cycle g =
   scan 0;
   !result
 
-let path g src dst =
-  let n = Digraph.num_vertices g in
+let path_csr g src dst =
+  let n = Csr.num_vertices g in
   let prev = Array.make n (-1) in
   let seen = Array.make n false in
   let q = Queue.create () in
@@ -98,17 +105,24 @@ let path g src dst =
   let found = ref (src = dst) in
   while (not !found) && not (Queue.is_empty q) do
     let u = Queue.pop q in
-    let relax v =
-      if not seen.(v) then begin
-        seen.(v) <- true;
-        prev.(v) <- u;
-        if v = dst then found := true else Queue.add v q
-      end
-    in
-    List.iter relax (Digraph.succ g u)
+    Csr.iter_succ
+      (fun v ->
+        if (not !found) && not seen.(v) then begin
+          seen.(v) <- true;
+          prev.(v) <- u;
+          if v = dst then found := true else Queue.add v q
+        end)
+      g u
   done;
   if not !found then None
   else begin
     let rec build acc v = if v = src then v :: acc else build (v :: acc) prev.(v) in
     Some (build [] dst)
   end
+
+let reachable g sources = reachable_csr (Digraph.freeze g) sources
+let bfs_distances g src = bfs_distances_csr (Digraph.freeze g) src
+let topological_sort g = topological_sort_csr (Digraph.freeze g)
+let is_acyclic g = is_acyclic_csr (Digraph.freeze g)
+let find_cycle g = find_cycle_csr (Digraph.freeze g)
+let path g src dst = path_csr (Digraph.freeze g) src dst

@@ -1,4 +1,9 @@
-(** Reachability, breadth-first distances and topological sorting. *)
+(** Reachability, breadth-first distances and topological sorting.
+
+    Every algorithm has two entry points: a [Csr.t] one (the
+    implementation) and a [Digraph.t] convenience wrapper that freezes
+    first.  Hot paths that query the same graph repeatedly should freeze
+    once and use the [_csr] variants. *)
 
 val reachable : Digraph.t -> int list -> bool array
 (** [reachable g sources] marks every vertex reachable from any source
@@ -22,3 +27,12 @@ val find_cycle : Digraph.t -> int list option
 
 val path : Digraph.t -> int -> int -> int list option
 (** A shortest path [src; ...; dst] if one exists. *)
+
+(** {1 CSR-native variants} *)
+
+val reachable_csr : Csr.t -> int list -> bool array
+val bfs_distances_csr : Csr.t -> int -> int array
+val topological_sort_csr : Csr.t -> int list option
+val is_acyclic_csr : Csr.t -> bool
+val find_cycle_csr : Csr.t -> int list option
+val path_csr : Csr.t -> int -> int -> int list option

@@ -67,3 +67,119 @@ let pp fmt s =
        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
        Format.pp_print_int)
     (elements s)
+
+module Dense = struct
+  (* 62 bits per word keeps every mask a non-boxed OCaml int. *)
+  let bits = 62
+
+  type t = { len : int; words : int array }
+
+  let create len =
+    if len < 0 then invalid_arg "Bitset.Dense.create: negative length";
+    { len; words = Array.make ((len + bits - 1) / bits) 0 }
+
+  let length s = s.len
+
+  let check s i =
+    if i < 0 || i >= s.len then invalid_arg "Bitset.Dense: element out of range"
+
+  let mem s i =
+    check s i;
+    s.words.(i / bits) land (1 lsl (i mod bits)) <> 0
+
+  let add s i =
+    check s i;
+    let w = i / bits in
+    s.words.(w) <- s.words.(w) lor (1 lsl (i mod bits))
+
+  let union_into ~into src =
+    if into.len <> src.len then invalid_arg "Bitset.Dense.union_into: lengths differ";
+    for w = 0 to Array.length into.words - 1 do
+      into.words.(w) <- into.words.(w) lor src.words.(w)
+    done
+
+  let cardinal s =
+    let count x =
+      let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+      go 0 x
+    in
+    Array.fold_left (fun acc w -> acc + count w) 0 s.words
+
+  (* index of an isolated bit: binary search over the word, six branches
+     instead of a shift-per-position loop *)
+  let bit_index b =
+    let i = ref 0 and b = ref b in
+    if !b land 0xFFFFFFFF = 0 then begin i := 32; b := !b lsr 32 end;
+    if !b land 0xFFFF = 0 then begin i := !i + 16; b := !b lsr 16 end;
+    if !b land 0xFF = 0 then begin i := !i + 8; b := !b lsr 8 end;
+    if !b land 0xF = 0 then begin i := !i + 4; b := !b lsr 4 end;
+    if !b land 0x3 = 0 then begin i := !i + 2; b := !b lsr 2 end;
+    if !b land 0x1 = 0 then i := !i + 1;
+    !i
+
+  let iter f s =
+    for w = 0 to Array.length s.words - 1 do
+      let m = ref s.words.(w) in
+      let base = w * bits in
+      while !m <> 0 do
+        (* isolate and clear the lowest set bit *)
+        f (base + bit_index (!m land - !m));
+        m := !m land (!m - 1)
+      done
+    done
+
+  let fold f s init =
+    let acc = ref init in
+    iter (fun i -> acc := f i !acc) s;
+    !acc
+
+  let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+  (* Many same-width rows in one flat word array: the allocation pattern
+     of per-component reachability closures (one row per SCC), where
+     creating hundreds of individual [t] values would dominate. *)
+  module Matrix = struct
+    type t = { rows : int; len : int; nw : int; words : int array }
+
+    let create ~rows ~len =
+      if rows < 0 || len < 0 then invalid_arg "Bitset.Dense.Matrix.create";
+      let nw = (len + bits - 1) / bits in
+      { rows; len; nw; words = Array.make (rows * nw) 0 }
+
+    let rows m = m.rows
+    let length m = m.len
+
+    let check m r i =
+      if r < 0 || r >= m.rows || i < 0 || i >= m.len then
+        invalid_arg "Bitset.Dense.Matrix: out of range"
+
+    let add m r i =
+      check m r i;
+      let w = (r * m.nw) + (i / bits) in
+      m.words.(w) <- m.words.(w) lor (1 lsl (i mod bits))
+
+    let mem m r i =
+      check m r i;
+      m.words.((r * m.nw) + (i / bits)) land (1 lsl (i mod bits)) <> 0
+
+    let union_rows m ~into ~src =
+      if into < 0 || into >= m.rows || src < 0 || src >= m.rows then
+        invalid_arg "Bitset.Dense.Matrix.union_rows";
+      let a = into * m.nw and b = src * m.nw in
+      for k = 0 to m.nw - 1 do
+        m.words.(a + k) <- m.words.(a + k) lor m.words.(b + k)
+      done
+
+    let iter_row f m r =
+      if r < 0 || r >= m.rows then invalid_arg "Bitset.Dense.Matrix.iter_row";
+      let off = r * m.nw in
+      for w = 0 to m.nw - 1 do
+        let mask = ref m.words.(off + w) in
+        let base = w * bits in
+        while !mask <> 0 do
+          f (base + bit_index (!mask land - !mask));
+          mask := !mask land (!mask - 1)
+        done
+      done
+  end
+end

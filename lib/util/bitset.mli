@@ -36,3 +36,55 @@ val subsets : t -> t list
 (** All subsets, the empty set first.  Cardinal must be at most 16. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Mutable fixed-length bitsets over [0, len), backed by an [int array]
+    (62 bits per word).  The BWG builder uses one row per SCC of a
+    per-destination move graph, so unioning a successor component's
+    reachability closure into a predecessor's is one word-parallel [lor]
+    sweep instead of a per-element set insertion. *)
+module Dense : sig
+  type t
+
+  val create : int -> t
+  (** All bits clear. *)
+
+  val length : t -> int
+  val mem : t -> int -> bool
+  val add : t -> int -> unit
+
+  val union_into : into:t -> t -> unit
+  (** [union_into ~into src] sets [into := into ∪ src]; lengths must
+      match. *)
+
+  val cardinal : t -> int
+  val iter : (int -> unit) -> t -> unit
+  (** Ascending order. *)
+
+  val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+  val elements : t -> int list
+
+  (** Many same-width rows packed into one flat word array.  This is the
+      allocation shape of the BWG builder's per-component closures: one
+      [Matrix.create] per destination instead of one heap object per
+      component. *)
+  module Matrix : sig
+    type t
+
+    val create : rows:int -> len:int -> t
+    (** All bits clear. *)
+
+    val rows : t -> int
+    val length : t -> int
+
+    val add : t -> int -> int -> unit
+    (** [add m r i] sets bit [i] of row [r]. *)
+
+    val mem : t -> int -> int -> bool
+
+    val union_rows : t -> into:int -> src:int -> unit
+    (** Word-parallel [lor] of row [src] into row [into]. *)
+
+    val iter_row : (int -> unit) -> t -> int -> unit
+    (** Set bits of one row, ascending. *)
+  end
+end

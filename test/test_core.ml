@@ -67,7 +67,7 @@ let test_move_graph_matches_outputs () =
       if dest = 3 then
         List.iter
           (fun o ->
-            check Alcotest.bool "edge present" true (Dfr_graph.Digraph.mem_edge g buf o))
+            check Alcotest.bool "edge present" true (Dfr_graph.Csr.mem_edge g buf o))
           (State_space.outputs space ~buf ~dest))
 
 (* ---------------- BWG structure ---------------- *)

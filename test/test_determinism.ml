@@ -1,0 +1,82 @@
+(* The parallel paths (Bwg.build ~domains, Checker's classification scan)
+   must be bit-for-bit identical to their serial counterparts: same graph,
+   same witness lists in the same order, same verdict with the same
+   witness cycle.  DESIGN.md "Graph core architecture" explains why the
+   merge orders make this hold; these tests pin it. *)
+
+open Dfr_topology
+open Dfr_network
+open Dfr_routing
+open Dfr_core
+
+let check = Alcotest.check
+
+let cube2 = Net.wormhole (Topology.hypercube 2) ~vcs:2
+let cube3 = Net.wormhole (Topology.hypercube 3) ~vcs:2
+let saf33 = Net.store_and_forward (Topology.mesh [| 3; 3 |]) ~classes:2
+
+(* graph + every edge's witness list, serial vs ~domains *)
+let check_build_identical name net algo =
+  let space = State_space.build net algo in
+  let serial = Bwg.build space in
+  let parallel = Bwg.build ~domains:4 space in
+  let gs = Bwg.graph serial and gp = Bwg.graph parallel in
+  check Alcotest.bool (name ^ ": same graph") true (Dfr_graph.Digraph.equal gs gp);
+  Dfr_graph.Digraph.iter_edges
+    (fun q1 q2 ->
+      if Bwg.witnesses serial q1 q2 <> Bwg.witnesses parallel q1 q2 then
+        Alcotest.failf "%s: witnesses of %d->%d differ" name q1 q2)
+    gs
+
+let test_build_efa_relaxed () =
+  (* cyclic wormhole BWG: exercises the closure path and the Tarjan
+     fallback inside it *)
+  check_build_identical "efa-relaxed 2-cube" cube2 Hypercube_wormhole.efa_relaxed
+
+let test_build_efa_3cube () =
+  check_build_identical "efa 3-cube" cube3 Hypercube_wormhole.efa
+
+let test_build_saf () =
+  (* store-and-forward: the non-wormhole emit path *)
+  check_build_identical "two-buffer 3x3" saf33 Mesh_saf.two_buffer
+
+let test_build_domains_exceed_dests () =
+  (* more domains than destinations: chunking must still cover them all *)
+  let space = State_space.build cube2 Hypercube_wormhole.efa_relaxed in
+  let serial = Bwg.build space in
+  let parallel = Bwg.build ~domains:16 space in
+  check Alcotest.bool "same graph" true
+    (Dfr_graph.Digraph.equal (Bwg.graph serial) (Bwg.graph parallel))
+
+(* the classification scan must report the same True Cycle — the one of
+   minimal index in shortest-first order — no matter how many domains
+   race over the cycle list *)
+let check_verdict_identical name net algo =
+  let serial = Checker.verdict net algo in
+  let parallel = Checker.verdict ~domains:4 net algo in
+  if serial <> parallel then Alcotest.failf "%s: verdicts differ" name
+
+let test_verdict_efa_relaxed () =
+  check_verdict_identical "efa-relaxed 2-cube" cube2 Hypercube_wormhole.efa_relaxed
+
+let test_verdict_efa_3cube () =
+  check_verdict_identical "efa 3-cube" cube3 Hypercube_wormhole.efa
+
+let test_verdict_registry () =
+  (* every registered algorithm on its smallest network *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let net = Registry.network_for e None in
+      check_verdict_identical e.Registry.name net e.Registry.algo)
+    Registry.all
+
+let suite =
+  [
+    Alcotest.test_case "build: efa-relaxed 2-cube" `Quick test_build_efa_relaxed;
+    Alcotest.test_case "build: efa 3-cube" `Quick test_build_efa_3cube;
+    Alcotest.test_case "build: store-and-forward" `Quick test_build_saf;
+    Alcotest.test_case "build: domains > dests" `Quick test_build_domains_exceed_dests;
+    Alcotest.test_case "verdict: efa-relaxed 2-cube" `Quick test_verdict_efa_relaxed;
+    Alcotest.test_case "verdict: efa 3-cube" `Quick test_verdict_efa_3cube;
+    Alcotest.test_case "verdict: registry sweep" `Slow test_verdict_registry;
+  ]

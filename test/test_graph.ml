@@ -272,6 +272,75 @@ let prop_cycles_iff_cyclic =
       let g = Digraph.of_edges n es in
       Cycles.enumerate g <> [] = not (Traversal.is_acyclic g))
 
+(* ---------------- csr ---------------- *)
+
+let test_csr_freeze_roundtrip () =
+  let g = Digraph.of_edges 4 [ (0, 2); (0, 1); (2, 3); (3, 0); (0, 1) ] in
+  let c = Digraph.freeze g in
+  check Alcotest.int "vertices" 4 (Csr.num_vertices c);
+  check Alcotest.int "edges deduped" 4 (Csr.num_edges c);
+  check (Alcotest.list Alcotest.int) "rows sorted" [ 1; 2 ] (Csr.succ c 0);
+  check Alcotest.bool "mem" true (Csr.mem_edge c 3 0);
+  check Alcotest.bool "not mem" false (Csr.mem_edge c 1 0);
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "edge list"
+    [ (0, 1); (0, 2); (2, 3); (3, 0) ]
+    (Csr.edges c)
+
+let test_csr_row_cursor () =
+  let c = Csr.of_edges 3 [ (0, 2); (0, 1); (2, 0) ] in
+  let lo, hi = Csr.row c 0 in
+  check Alcotest.int "row width" 2 (hi - lo);
+  check Alcotest.int "first" 1 (Csr.target c lo);
+  check Alcotest.int "second" 2 (Csr.target c (lo + 1));
+  let lo1, hi1 = Csr.row c 1 in
+  check Alcotest.int "empty row" 0 (hi1 - lo1)
+
+let test_csr_transpose_equal () =
+  let c = Csr.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 1) ] in
+  check Alcotest.bool "double transpose" true
+    (Csr.equal c (Csr.transpose (Csr.transpose c)));
+  check Alcotest.bool "transpose differs" false (Csr.equal c (Csr.transpose c))
+
+let prop_freeze_preserves_edges =
+  QCheck.Test.make ~name:"freeze preserves the edge set" ~count:200
+    arbitrary_digraph (fun (n, es) ->
+      let g = Digraph.of_edges n es in
+      let c = Digraph.freeze g in
+      List.sort compare (Csr.edges c) = List.sort compare (Digraph.edges g))
+
+let prop_digraph_equal_matches_edge_sets =
+  QCheck.Test.make ~name:"Digraph.equal = edge-set equality" ~count:200
+    (QCheck.pair arbitrary_digraph arbitrary_digraph)
+    (fun ((n1, es1), (n2, es2)) ->
+      let g1 = Digraph.of_edges n1 es1 and g2 = Digraph.of_edges n2 es2 in
+      Digraph.equal g1 g2
+      = (n1 = n2
+        && List.sort compare (Digraph.edges g1)
+           = List.sort compare (Digraph.edges g2)))
+
+let prop_scc_bounded =
+  QCheck.Test.make ~name:"compute_bounded restricts to vertices >= least"
+    ~count:200
+    (QCheck.pair arbitrary_digraph (QCheck.int_range 0 12))
+    (fun ((n, es), least) ->
+      let least = min least n in
+      let c = Digraph.freeze (Digraph.of_edges n es) in
+      let r = Scc.compute_bounded c ~least in
+      let ok = ref true in
+      (* excluded vertices hold -1, included ones a valid component *)
+      for v = 0 to n - 1 do
+        if v < least then (if r.Scc.component.(v) <> -1 then ok := false)
+        else if r.Scc.component.(v) < 0 || r.Scc.component.(v) >= r.Scc.count
+        then ok := false
+      done;
+      (* reverse topological numbering within the induced subgraph *)
+      Csr.iter_edges
+        (fun u v ->
+          if u >= least && v >= least then
+            if r.Scc.component.(u) < r.Scc.component.(v) then ok := false)
+        c;
+      !ok)
+
 (* ---------------- dot ---------------- *)
 
 let contains s sub =
@@ -309,8 +378,14 @@ let suite =
     Alcotest.test_case "cycles disjoint" `Quick test_cycles_two_disjoint;
     Alcotest.test_case "cycles cap" `Quick test_cycles_cap;
     Alcotest.test_case "cycles length cap" `Quick test_cycles_length_cap;
+    Alcotest.test_case "csr freeze roundtrip" `Quick test_csr_freeze_roundtrip;
+    Alcotest.test_case "csr row cursor" `Quick test_csr_row_cursor;
+    Alcotest.test_case "csr transpose/equal" `Quick test_csr_transpose_equal;
     Alcotest.test_case "dot output" `Quick test_dot_output;
     qtest prop_edges_roundtrip;
+    qtest prop_freeze_preserves_edges;
+    qtest prop_digraph_equal_matches_edge_sets;
+    qtest prop_scc_bounded;
     qtest prop_topo_sound;
     qtest prop_scc_condensation_dag;
     qtest prop_scc_reverse_topological;

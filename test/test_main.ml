@@ -9,6 +9,7 @@ let () =
       ("network", Test_network.suite);
       ("routing", Test_routing.suite);
       ("core", Test_core.suite);
+      ("determinism", Test_determinism.suite);
       ("incoherent-example", Test_incoherent.suite);
       ("adaptiveness", Test_adaptiveness.suite);
       ("sim", Test_sim.suite);

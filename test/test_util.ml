@@ -113,6 +113,90 @@ let prop_bitset_fold_ascending =
       let xs = List.rev (Bitset.fold (fun i acc -> i :: acc) s []) in
       xs = List.sort compare xs)
 
+(* ---------------- dense bitsets ---------------- *)
+
+let test_dense_basic () =
+  let s = Bitset.Dense.create 100 in
+  check Alcotest.int "length" 100 (Bitset.Dense.length s);
+  check Alcotest.int "empty cardinal" 0 (Bitset.Dense.cardinal s);
+  List.iter (Bitset.Dense.add s) [ 0; 61; 62; 99 ];
+  (* straddles the 62-bit word boundary *)
+  check Alcotest.bool "mem 62" true (Bitset.Dense.mem s 62);
+  check Alcotest.bool "not mem 63" false (Bitset.Dense.mem s 63);
+  check (Alcotest.list Alcotest.int) "elements ascending" [ 0; 61; 62; 99 ]
+    (Bitset.Dense.elements s);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Bitset.Dense: element out of range") (fun () ->
+      Bitset.Dense.add s 100)
+
+let test_dense_union () =
+  let a = Bitset.Dense.create 70 and b = Bitset.Dense.create 70 in
+  List.iter (Bitset.Dense.add a) [ 1; 65 ];
+  List.iter (Bitset.Dense.add b) [ 2; 65; 69 ];
+  Bitset.Dense.union_into ~into:a b;
+  check (Alcotest.list Alcotest.int) "union" [ 1; 2; 65; 69 ]
+    (Bitset.Dense.elements a);
+  check (Alcotest.list Alcotest.int) "src untouched" [ 2; 65; 69 ]
+    (Bitset.Dense.elements b)
+
+let prop_dense_matches_list_set =
+  QCheck.Test.make ~name:"Dense agrees with a reference set" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 60) (int_range 0 199))
+    (fun xs ->
+      let s = Bitset.Dense.create 200 in
+      List.iter (Bitset.Dense.add s) xs;
+      let ref_set = List.sort_uniq compare xs in
+      Bitset.Dense.elements s = ref_set
+      && Bitset.Dense.cardinal s = List.length ref_set
+      && List.for_all (Bitset.Dense.mem s) ref_set)
+
+let test_matrix_rows_independent () =
+  let m = Bitset.Dense.Matrix.create ~rows:3 ~len:70 in
+  check Alcotest.int "rows" 3 (Bitset.Dense.Matrix.rows m);
+  check Alcotest.int "length" 70 (Bitset.Dense.Matrix.length m);
+  Bitset.Dense.Matrix.add m 0 5;
+  Bitset.Dense.Matrix.add m 2 5;
+  Bitset.Dense.Matrix.add m 2 65;
+  check Alcotest.bool "row 0 has 5" true (Bitset.Dense.Matrix.mem m 0 5);
+  check Alcotest.bool "row 1 clear" false (Bitset.Dense.Matrix.mem m 1 5);
+  check Alcotest.bool "row 2 has 65" true (Bitset.Dense.Matrix.mem m 2 65)
+
+let test_matrix_union_iter () =
+  let m = Bitset.Dense.Matrix.create ~rows:2 ~len:130 in
+  List.iter (Bitset.Dense.Matrix.add m 0) [ 0; 63 ];
+  List.iter (Bitset.Dense.Matrix.add m 1) [ 63; 129 ];
+  Bitset.Dense.Matrix.union_rows m ~into:0 ~src:1;
+  let row r =
+    let acc = ref [] in
+    Bitset.Dense.Matrix.iter_row (fun i -> acc := i :: !acc) m r;
+    List.rev !acc
+  in
+  check (Alcotest.list Alcotest.int) "union ascending" [ 0; 63; 129 ] (row 0);
+  check (Alcotest.list Alcotest.int) "src untouched" [ 63; 129 ] (row 1)
+
+let prop_matrix_matches_dense =
+  QCheck.Test.make ~name:"Matrix rows behave like independent Dense sets"
+    ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 0 80)
+        (pair (int_range 0 3) (int_range 0 149)))
+    (fun adds ->
+      let m = Bitset.Dense.Matrix.create ~rows:4 ~len:150 in
+      let refs = Array.init 4 (fun _ -> Bitset.Dense.create 150) in
+      List.iter
+        (fun (r, i) ->
+          Bitset.Dense.Matrix.add m r i;
+          Bitset.Dense.add refs.(r) i)
+        adds;
+      let row r =
+        let acc = ref [] in
+        Bitset.Dense.Matrix.iter_row (fun i -> acc := i :: !acc) m r;
+        List.rev !acc
+      in
+      List.for_all
+        (fun r -> row r = Bitset.Dense.elements refs.(r))
+        [ 0; 1; 2; 3 ])
+
 (* ---------------- prng ---------------- *)
 
 let test_prng_deterministic () =
@@ -181,6 +265,10 @@ let suite =
     Alcotest.test_case "bitset empty" `Quick test_bitset_empty;
     Alcotest.test_case "bitset full" `Quick test_bitset_full;
     Alcotest.test_case "bitset subsets" `Quick test_bitset_subsets;
+    Alcotest.test_case "dense basics" `Quick test_dense_basic;
+    Alcotest.test_case "dense union" `Quick test_dense_union;
+    Alcotest.test_case "matrix rows independent" `Quick test_matrix_rows_independent;
+    Alcotest.test_case "matrix union/iter" `Quick test_matrix_union_iter;
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
     Alcotest.test_case "prng split independence" `Quick test_prng_split_independent;
     Alcotest.test_case "prng shuffle permutes" `Quick test_prng_shuffle_permutes;
@@ -191,6 +279,8 @@ let suite =
     qtest prop_bitset_add_remove;
     qtest prop_bitset_union_cardinal;
     qtest prop_bitset_fold_ascending;
+    qtest prop_dense_matches_list_set;
+    qtest prop_matrix_matches_dense;
     qtest prop_prng_int_bounds;
     qtest prop_prng_float_bounds;
   ]
