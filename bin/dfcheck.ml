@@ -19,27 +19,10 @@ open Dfr_sim
 (* shared argument parsing                                             *)
 
 let parse_topology s =
-  let fail msg = Error (`Msg msg) in
-  match String.split_on_char ':' s with
-  | [ "hypercube"; d ] -> (
-    match int_of_string_opt d with
-    | Some d when d >= 1 && d <= 10 -> Ok (Topology.hypercube d)
-    | _ -> fail "hypercube dimension must be in 1..10")
-  | [ "ring"; k ] -> (
-    match int_of_string_opt k with
-    | Some k when k >= 3 -> Ok (Topology.ring k)
-    | _ -> fail "ring size must be >= 3")
-  | [ kind; dims ] when kind = "mesh" || kind = "torus" -> (
-    let parts = String.split_on_char 'x' dims in
-    let radices = List.filter_map int_of_string_opt parts in
-    if List.length radices <> List.length parts || radices = [] then
-      fail "bad dimension list, expected e.g. mesh:4x4"
-    else
-      try
-        let arr = Array.of_list radices in
-        Ok (if kind = "mesh" then Topology.mesh arr else Topology.torus arr)
-      with Invalid_argument m -> fail m)
-  | _ -> fail "expected hypercube:N, mesh:AxB, torus:AxB or ring:N"
+  (* shared with the spec language's `topology' clause *)
+  match Topology.of_string s with
+  | Ok t -> Ok t
+  | Error msg -> Error (`Msg msg)
 
 let topology_conv =
   Arg.conv ((fun s -> parse_topology s), fun fmt t -> Format.fprintf fmt "%s" (Topology.name t))
@@ -286,6 +269,109 @@ let simulate_cmd =
           $ horizon $ seed $ router)
 
 (* ------------------------------------------------------------------ *)
+(* spec: user-supplied .dfr networks, no recompilation needed          *)
+
+let spec_file_arg =
+  let doc = "Network/routing specification (.dfr file; see DESIGN.md for the grammar)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let with_spec file k =
+  match Dfr_spec.Spec.load_file file with
+  | Error e ->
+    prerr_endline (Dfr_spec.Spec.error_to_string ~file e);
+    1
+  | Ok spec -> k spec
+
+let spec_check_run file replay certificate json domains =
+  with_spec file (fun spec ->
+      let net = spec.Dfr_spec.Spec.net and algo = spec.Dfr_spec.Spec.algo in
+      let report = Checker.check ~domains net algo in
+      if json then print_endline (Report_json.to_string net algo report)
+      else if certificate then Certificate.print net algo report
+      else
+        Format.printf "%s on %s:@.  %a@." algo.Algo.name (Net.name net)
+          (Checker.pp_verdict net) report.Checker.verdict;
+      (match report.Checker.verdict with
+      | Checker.Deadlock_possible failure when replay ->
+        (match Scenario.replay net algo failure with
+        | Some true -> Format.printf "  replay: deadlock confirmed in simulation@."
+        | Some false -> Format.printf "  replay: configuration drained (not confirmed)@."
+        | None -> Format.printf "  replay: nothing to replay for this failure@.")
+      | _ -> ());
+      match report.Checker.verdict with Checker.Unknown _ -> 2 | _ -> 0)
+
+let spec_check_cmd =
+  let replay =
+    Arg.(value & flag & info [ "replay" ] ~doc:"Replay a deadlock verdict in the simulator.")
+  in
+  let certificate =
+    Arg.(value & flag & info [ "certificate" ] ~doc:"Print a full proof certificate.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.") in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Build the BWG and classify its cycles in parallel with this many OCaml domains.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Decide deadlock freedom for a spec-defined network")
+    Term.(const spec_check_run $ spec_file_arg $ replay $ certificate $ json $ domains)
+
+let write_or_print output what content =
+  match output with
+  | None -> print_string content
+  | Some file ->
+    let oc = open_out file in
+    output_string oc content;
+    close_out oc;
+    Printf.printf "wrote %s (%s)\n" file what
+
+let spec_bwg_run file output =
+  with_spec file (fun spec ->
+      let net = spec.Dfr_spec.Spec.net and algo = spec.Dfr_spec.Spec.algo in
+      let space = State_space.build net algo in
+      let bwg = Bwg.build space in
+      let g = Bwg.graph bwg in
+      write_or_print output
+        (Printf.sprintf "%d vertices, %d edges" (Dfr_graph.Digraph.num_vertices g)
+           (Dfr_graph.Digraph.num_edges g))
+        (Bwg.to_dot bwg);
+      0)
+
+let spec_bwg_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output DOT file.")
+  in
+  Cmd.v
+    (Cmd.info "bwg" ~doc:"Export a spec-defined network's buffer waiting graph as DOT")
+    Term.(const spec_bwg_run $ spec_file_arg $ output)
+
+let spec_dot_run file output =
+  with_spec file (fun spec ->
+      write_or_print output
+        (Printf.sprintf "%d nodes" (Net.num_nodes spec.Dfr_spec.Spec.net))
+        (Dfr_spec.Spec.to_dot spec);
+      0)
+
+let spec_dot_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output DOT file.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a spec-defined network's channel graph as DOT")
+    Term.(const spec_dot_run $ spec_file_arg $ output)
+
+let spec_cmd =
+  Cmd.group
+    (Cmd.info "spec"
+       ~doc:
+         "Verify user-supplied networks: parse a .dfr specification and run the unchanged \
+          checker pipeline on it")
+    [ spec_check_cmd; spec_bwg_cmd; spec_dot_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* audit: the whole catalogue, optionally as JSON                      *)
 
 let audit_run json domains =
@@ -370,4 +456,5 @@ let () =
             matrix_cmd;
             simulate_cmd;
             audit_cmd;
+            spec_cmd;
           ]))

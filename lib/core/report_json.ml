@@ -103,3 +103,69 @@ let of_report net algo (report : Checker.report) =
     ]
 
 let to_string net algo report = Json.to_string_pretty (of_report net algo report)
+
+(* ------------------------------------------------------------------ *)
+(* parsing, for downstream tooling that consumes checker output        *)
+
+type summary = {
+  algorithm : string;
+  waiting : Algo.wait_discipline;
+  network : string;
+  nodes : int;
+  buffers : int;
+  bwg_vertices : int;
+  bwg_edges : int;
+  bwg_cycles : int option;
+  result : string;
+  theorem : int option;
+  failure_kind : string option;
+  cycle : string list;
+}
+
+let of_string s =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let field name conv doc =
+    match Option.bind (Json.member name doc) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "report is missing field %S" name)
+  in
+  let* doc = Json.of_string s in
+  let* algorithm = field "algorithm" Json.to_str doc in
+  let* waiting_s = field "waiting" Json.to_str doc in
+  let* waiting =
+    match waiting_s with
+    | "specific" -> Ok Algo.Specific_wait
+    | "any" -> Ok Algo.Any_wait
+    | w -> Error (Printf.sprintf "unknown waiting discipline %S" w)
+  in
+  let* network = field "network" Json.to_str doc in
+  let* nodes = field "nodes" Json.to_int doc in
+  let* buffers = field "buffers" Json.to_int doc in
+  let* bwg = field "bwg" Option.some doc in
+  let* bwg_vertices = field "vertices" Json.to_int bwg in
+  let* bwg_edges = field "edges" Json.to_int bwg in
+  let bwg_cycles = Option.bind (Json.member "cycles" bwg) Json.to_int in
+  let* verdict = field "verdict" Option.some doc in
+  let* result = field "result" Json.to_str verdict in
+  let theorem = Option.bind (Json.member "theorem" verdict) Json.to_int in
+  let failure_kind = Option.bind (Json.member "kind" verdict) Json.to_str in
+  let cycle =
+    match Option.bind (Json.member "cycle" verdict) Json.to_list with
+    | Some items -> List.filter_map Json.to_str items
+    | None -> []
+  in
+  Ok
+    {
+      algorithm;
+      waiting;
+      network;
+      nodes;
+      buffers;
+      bwg_vertices;
+      bwg_edges;
+      bwg_cycles;
+      result;
+      theorem;
+      failure_kind;
+      cycle;
+    }

@@ -8,3 +8,27 @@ val of_report : Net.t -> Algo.t -> Checker.report -> Dfr_util.Json.t
 
 val to_string : Net.t -> Algo.t -> Checker.report -> string
 (** Pretty-printed {!of_report}. *)
+
+(** {2 Round-tripping}
+
+    The structured part of a report can be read back, so scripts (or a
+    future verification service) can consume checker output instead of
+    only producing it. *)
+
+type summary = {
+  algorithm : string;
+  waiting : Algo.wait_discipline;
+  network : string;
+  nodes : int;
+  buffers : int;
+  bwg_vertices : int;
+  bwg_edges : int;
+  bwg_cycles : int option;  (** [None] when cycle counting was skipped *)
+  result : string;  (** ["deadlock-free"], ["deadlock"] or ["unknown"] *)
+  theorem : int option;  (** which of Theorems 1-3 proved freedom *)
+  failure_kind : string option;  (** e.g. ["true-cycle"], ["knot"] *)
+  cycle : string list;  (** buffer names of the offending cycle, if any *)
+}
+
+val of_string : string -> (summary, string) result
+(** Parse the output of {!to_string}. *)

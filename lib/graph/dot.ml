@@ -2,8 +2,15 @@ let escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
     (fun c ->
-      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
-      Buffer.add_char buf c)
+      match c with
+      | '"' | '\\' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      (* line breaks become DOT's \n escape so a label can never split a
+         quoted string across lines *)
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> ()
+      | _ -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
 

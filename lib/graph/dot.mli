@@ -1,5 +1,11 @@
 (** Graphviz DOT export, for inspecting buffer waiting graphs by eye. *)
 
+val escape : string -> string
+(** Escape a string for use inside a double-quoted DOT attribute: quotes
+    and backslashes are backslash-escaped, newlines become the [\n] label
+    escape, carriage returns are dropped.  Safe on user-controlled names
+    (spec-defined channel labels flow through here). *)
+
 val to_string :
   ?name:string ->
   ?vertex_label:(int -> string) ->

@@ -1,0 +1,52 @@
+(* Located abstract syntax of .dfr network/routing specifications.
+
+   The concrete syntax is line-oriented: one declaration per line,
+   [#] comments, free token spacing.  Every node of the tree carries the
+   source position of its first token so that validation and elaboration
+   can report errors the way a compiler does. *)
+
+type pos = { line : int; col : int }
+
+let pp_pos fmt p = Format.fprintf fmt "%d:%d" p.line p.col
+
+type 'a located = { v : 'a; pos : pos }
+
+type switching = Wormhole | Saf | Vct
+type waiting = Specific | Any
+
+type selector =
+  | At_node of int  (** any buffer whose head node is the given node *)
+  | At_any  (** any buffer *)
+  | In_channel of string  (** the named channel/buffer *)
+  | Inj of int  (** the injection buffer of a node *)
+
+type dest = Dest of int | Any_dest
+
+type outputs =
+  | Chans of string located list  (** explicit buffer names *)
+  | No_outputs  (** the literal [none] *)
+  | Minimal of int option
+      (** all minimal next-hop channels (topology specs only), optionally
+          restricted to one virtual channel *)
+
+type rule_kind = Route | Wait
+
+type rule = {
+  rule_kind : rule_kind;
+  sel : selector located;
+  dst : dest located;
+  outs : outputs located;
+}
+
+type decl =
+  | Network of string
+  | Switching of switching
+  | Waiting of waiting
+  | Nodes of int
+  | Topology of string
+      (** raw shorthand text, canonicalized and parsed during validation *)
+  | Vcs of int
+  | Channel of { cname : string located; src : int; dst : int; vc : int }
+  | Rule of rule
+
+type t = decl located list

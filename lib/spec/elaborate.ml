@@ -1,0 +1,202 @@
+(* Elaboration: lower a resolved spec to the engine's core types —
+   [Net.custom] plus an [Algo.t] whose route/wait relations are
+   precomputed (buffer, destination)-indexed tables.
+
+   The whole-network semantic checks live here because they need those
+   tables: wait sets must be subsets of the matched route sets, explicit
+   outputs must be adjacent to the packet's head node, and every
+   destination must be reachable from every source.  All errors carry the
+   position of the offending rule (or of the size declaration for
+   whole-spec properties). *)
+
+open Dfr_topology
+open Dfr_network
+open Dfr_routing
+
+exception Error of Ast.pos * string
+
+let error pos fmt = Printf.ksprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+type channel_info = {
+  ch_name : string;
+  ch_src : int;
+  ch_dst : int;
+  ch_vc : int;
+  ch_buffer : int;  (* buffer id in the elaborated network *)
+}
+
+type t = {
+  spec : Validate.t;
+  net : Net.t;
+  algo : Algo.t;
+  channel_infos : channel_info list;  (* declaration order *)
+}
+
+let build_net (s : Validate.t) =
+  Net.custom ~name:s.Validate.name ~switching:s.Validate.switching
+    ~num_nodes:s.Validate.num_nodes
+    ~channels:
+      (Array.to_list s.Validate.channels
+      |> List.map (fun c -> (c.Validate.csrc, c.Validate.cdst, c.Validate.cvc)))
+
+(* buffer id of each declared channel *)
+let buffer_ids (s : Validate.t) net =
+  Array.map
+    (fun (c : Validate.channel) ->
+      match s.Validate.switching with
+      | Net.Wormhole ->
+        Buf.id (Net.find_custom_channel net ~src:c.Validate.csrc ~dst:c.Validate.cdst ~vc:c.Validate.cvc)
+      | Net.Store_and_forward | Net.Virtual_cut_through ->
+        Buf.id (Net.node_buffer net ~node:c.Validate.cdst ~cls:c.Validate.cvc))
+    s.Validate.channels
+
+let sel_matches buf_of_channel b = function
+  | Validate.At_all -> true
+  | Validate.At n -> Buf.head_node b = n
+  | Validate.In ci -> Buf.id b = buf_of_channel.(ci)
+  | Validate.Inj n -> ( match Buf.kind b with Buf.Injection m -> m = n | _ -> false)
+
+let describe_state net b dest =
+  Printf.sprintf "%s dest %d" (Net.describe_buffer net (Buf.id b)) dest
+
+(* outputs of a matched rule at a concrete (buffer, dest) state *)
+let rule_outputs (s : Validate.t) net buf_of_channel triple_index (r : Validate.rule) b dest =
+  let head = Buf.head_node b in
+  match r.Validate.outs with
+  | Validate.Empty -> []
+  | Validate.Explicit outs ->
+    List.map
+      (fun (ci, opos) ->
+        let c = s.Validate.channels.(ci) in
+        (match s.Validate.switching with
+        | Net.Wormhole when c.Validate.csrc <> head ->
+          error opos "channel %S starts at node %d, not at the packet's head node %d (state %s)"
+            c.Validate.cname c.Validate.csrc head (describe_state net b dest)
+        | _ -> ());
+        buf_of_channel.(ci))
+      outs
+  | Validate.Min vc_filter ->
+    let topo =
+      match s.Validate.topology with
+      | Some t -> t
+      | None -> assert false (* ruled out in Validate *)
+    in
+    List.concat_map
+      (fun (dim, dir) ->
+        match Topology.neighbor topo head dim dir with
+        | None -> []
+        | Some v ->
+          List.filter_map
+            (fun k ->
+              match vc_filter with
+              | Some f when f <> k -> None
+              | _ -> Some (Hashtbl.find triple_index (head, v, k)))
+            (List.init s.Validate.vcs Fun.id))
+      (Topology.minimal_moves topo ~src:head ~dst:dest)
+
+let run (s : Validate.t) =
+  let net = build_net s in
+  let buf_of_channel = buffer_ids s net in
+  let triple_index = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (c : Validate.channel) ->
+      let key = (c.Validate.csrc, c.Validate.cdst, c.Validate.cvc) in
+      if not (Hashtbl.mem triple_index key) then Hashtbl.add triple_index key buf_of_channel.(i))
+    s.Validate.channels;
+  let num_buffers = Net.num_buffers net in
+  let num_nodes = Net.num_nodes net in
+  let route_tbl = Array.make_matrix num_buffers num_nodes [] in
+  let wait_tbl = Array.make_matrix num_buffers num_nodes [] in
+  let route_rules = List.filter (fun r -> r.Validate.kind = Ast.Route) s.Validate.rules in
+  let wait_rules = List.filter (fun r -> r.Validate.kind = Ast.Wait) s.Validate.rules in
+  let first_match rules b dest =
+    List.find_opt
+      (fun r ->
+        sel_matches buf_of_channel b r.Validate.sel
+        && match r.Validate.dst with None -> true | Some d -> d = dest)
+      rules
+  in
+  Array.iter
+    (fun b ->
+      if not (Buf.is_delivery b) then
+        for dest = 0 to num_nodes - 1 do
+          if Buf.head_node b <> dest then begin
+            let route =
+              match first_match route_rules b dest with
+              | Some r -> rule_outputs s net buf_of_channel triple_index r b dest
+              | None -> []
+            in
+            route_tbl.(Buf.id b).(dest) <- route;
+            match first_match wait_rules b dest with
+            | None -> wait_tbl.(Buf.id b).(dest) <- route
+            | Some r ->
+              let waits = rule_outputs s net buf_of_channel triple_index r b dest in
+              List.iter
+                (fun w ->
+                  if not (List.mem w route) then
+                    error r.Validate.rpos
+                      "wait buffer %s is not among the permitted outputs of state %s \
+                       (wait sets must be subsets of route sets)"
+                      (Net.describe_buffer net w) (describe_state net b dest))
+                waits;
+              wait_tbl.(Buf.id b).(dest) <- waits
+          end
+        done)
+    (Net.buffers net);
+  (* every destination must be reachable from every source *)
+  let unreachable = ref [] in
+  for d = num_nodes - 1 downto 0 do
+    for src = num_nodes - 1 downto 0 do
+      if src <> d then begin
+        let seen = Array.make num_buffers false in
+        let arrived = ref false in
+        let rec visit id =
+          if (not seen.(id)) && not !arrived then begin
+            seen.(id) <- true;
+            if Buf.head_node (Net.buffer net id) = d then arrived := true
+            else List.iter visit route_tbl.(id).(d)
+          end
+        in
+        visit (Buf.id (Net.injection net src));
+        if not !arrived then unreachable := (src, d) :: !unreachable
+      end
+    done
+  done;
+  (match !unreachable with
+  | [] -> ()
+  | pairs ->
+    let show (s', d) = Printf.sprintf "%d -> %d" s' d in
+    let shown = List.filteri (fun i _ -> i < 5) pairs in
+    error s.Validate.size_pos
+      "routing cannot deliver %d source/destination pair%s: %s%s"
+      (List.length pairs)
+      (if List.length pairs = 1 then "" else "s")
+      (String.concat ", " (List.map show shown))
+      (if List.length pairs > 5 then ", ..." else ""));
+  let algo =
+    Algo.make ~name:s.Validate.name ~wait:s.Validate.waiting
+      ~route:(fun _ b ~dest -> route_tbl.(Buf.id b).(dest))
+      ~waits:(fun _ b ~dest -> wait_tbl.(Buf.id b).(dest))
+      ()
+  in
+  (* belt and braces: the structural contract the engine would enforce
+     anyway, surfaced as a positioned error instead of an exception *)
+  (match Algo.validate algo net with
+  | Ok () -> ()
+  | Error msg -> error s.Validate.size_pos "internal elaboration error: %s" msg);
+  let channel_infos =
+    Array.to_list
+      (Array.mapi
+         (fun i (c : Validate.channel) ->
+           {
+             ch_name = c.Validate.cname;
+             ch_src = c.Validate.csrc;
+             ch_dst = c.Validate.cdst;
+             ch_vc = c.Validate.cvc;
+             ch_buffer = buf_of_channel.(i);
+           })
+         s.Validate.channels)
+  in
+  { spec = s; net; algo; channel_infos }
+
+let check s = try Ok (run s) with Error (pos, msg) -> Error (pos, msg)

@@ -1,0 +1,133 @@
+(* Hand-rolled lexer for .dfr specifications.
+
+   Tokens are produced on demand so the parser can switch to raw
+   line-capture for the [topology] clause (whose shorthand grammar —
+   [mesh:4x4] or [mesh 4 4] — is shared with the dfcheck CLI and lexes
+   poorly as ordinary tokens). *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | COLON
+  | ARROW
+  | STAR
+  | NEWLINE
+  | EOF
+
+exception Error of Ast.pos * string
+
+type t = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the beginning of the current line *)
+  mutable last_start : int;  (* start offset of the last token returned *)
+}
+
+let create src = { src; off = 0; line = 1; bol = 0; last_start = 0 }
+
+let pos_at t off = { Ast.line = t.line; Ast.col = off - t.bol + 1 }
+let pos t = pos_at t t.off
+
+let error t off fmt =
+  Printf.ksprintf (fun msg -> raise (Error (pos_at t off, msg))) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_char t = if t.off < String.length t.src then Some t.src.[t.off] else None
+let peek_char2 t =
+  if t.off + 1 < String.length t.src then Some t.src.[t.off + 1] else None
+
+(* Skip spaces, tabs, carriage returns and [#] comments — but not
+   newlines, which are tokens. *)
+let rec skip_blanks t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r') ->
+    t.off <- t.off + 1;
+    skip_blanks t
+  | Some '#' ->
+    while peek_char t <> None && peek_char t <> Some '\n' do
+      t.off <- t.off + 1
+    done;
+    skip_blanks t
+  | _ -> ()
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | COLON -> "':'"
+  | ARROW -> "'->'"
+  | STAR -> "'*'"
+  | NEWLINE -> "end of line"
+  | EOF -> "end of file"
+
+let next t =
+  skip_blanks t;
+  let start = t.off in
+  t.last_start <- start;
+  let p = pos_at t start in
+  match peek_char t with
+  | None -> (EOF, p)
+  | Some '\n' ->
+    t.off <- t.off + 1;
+    t.line <- t.line + 1;
+    t.bol <- t.off;
+    (NEWLINE, p)
+  | Some ':' ->
+    t.off <- t.off + 1;
+    (COLON, p)
+  | Some '*' ->
+    t.off <- t.off + 1;
+    (STAR, p)
+  | Some '-' when peek_char2 t = Some '>' ->
+    t.off <- t.off + 2;
+    (ARROW, p)
+  | Some c when is_digit c ->
+    while (match peek_char t with Some c -> is_digit c | None -> false) do
+      t.off <- t.off + 1
+    done;
+    (match peek_char t with
+    | Some c when is_ident_start c ->
+      error t start "identifier may not start with a digit: %S"
+        (String.sub t.src start (t.off - start + 1))
+    | _ -> ());
+    (INT (int_of_string (String.sub t.src start (t.off - start))), p)
+  | Some c when is_ident_start c ->
+    let continue_ident () =
+      match peek_char t with
+      | Some c when is_ident_char c -> true
+      (* '-' belongs to the identifier unless it opens an '->' arrow *)
+      | Some '-' when peek_char2 t <> Some '>' -> true
+      | _ -> false
+    in
+    t.off <- t.off + 1;
+    while continue_ident () do
+      t.off <- t.off + 1
+    done;
+    (IDENT (String.sub t.src start (t.off - start)), p)
+  | Some c -> error t start "unexpected character %C" c
+
+(* Raw text of the rest of the line containing the last-returned token,
+   starting at that token (comment stripped, trimmed) — for the
+   [topology] clause, which re-lexes its shorthand itself.  Repositions
+   the lexer at the terminating newline without consuming it; the caller
+   must refresh its lookahead afterwards. *)
+let capture_line_from_last t =
+  let start = t.last_start in
+  let stop =
+    match String.index_from_opt t.src start '\n' with
+    | Some i -> i
+    | None -> String.length t.src
+  in
+  t.off <- stop;
+  let raw = String.sub t.src start (stop - start) in
+  let raw =
+    match String.index_opt raw '#' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  String.trim raw

@@ -1,0 +1,213 @@
+(* Recursive-descent parser for .dfr specifications.
+
+   One declaration per line.  The grammar (see DESIGN.md for the full
+   reference):
+
+     spec     := { decl NEWLINE }
+     decl     := "network" IDENT
+               | "switching" ("wormhole" | "saf" | "vct")
+               | "waiting"  ("specific" | "any")
+               | "nodes" INT
+               | "topology" REST-OF-LINE        (shared CLI shorthand)
+               | "vcs" INT
+               | "channel" IDENT ":" INT "->" INT [ "vc" INT ]
+               | ("route" | "wait") selector "to" dest ":" outputs
+     selector := "at" (INT | "*") | "in" IDENT | "inj" INT
+     dest     := INT | "*"
+     outputs  := "none" | "minimal" [ "vc" INT ] | IDENT+ *)
+
+exception Error of Ast.pos * string
+
+type t = {
+  lx : Lexer.t;
+  mutable tok : Lexer.token;
+  mutable tok_pos : Ast.pos;
+}
+
+let error pos fmt = Printf.ksprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+let advance p =
+  let tok, pos = Lexer.next p.lx in
+  p.tok <- tok;
+  p.tok_pos <- pos
+
+let make src =
+  let lx = Lexer.create src in
+  let p = { lx; tok = Lexer.EOF; tok_pos = { Ast.line = 1; col = 1 } } in
+  advance p;
+  p
+
+let expect_int p ~what =
+  match p.tok with
+  | Lexer.INT n ->
+    let pos = p.tok_pos in
+    advance p;
+    (n, pos)
+  | tok -> error p.tok_pos "expected %s (an integer), found %s" what (Lexer.describe tok)
+
+let expect_ident p ~what =
+  match p.tok with
+  | Lexer.IDENT s ->
+    let pos = p.tok_pos in
+    advance p;
+    (s, pos)
+  | tok -> error p.tok_pos "expected %s, found %s" what (Lexer.describe tok)
+
+let expect_tok p want ~what =
+  if p.tok = want then advance p
+  else error p.tok_pos "expected %s, found %s" what (Lexer.describe p.tok)
+
+let end_of_decl p =
+  match p.tok with
+  | Lexer.NEWLINE -> advance p
+  | Lexer.EOF -> ()
+  | tok -> error p.tok_pos "trailing %s at end of declaration" (Lexer.describe tok)
+
+(* [vc N] suffix, defaulting *)
+let opt_vc p =
+  match p.tok with
+  | Lexer.IDENT "vc" ->
+    advance p;
+    let n, _ = expect_int p ~what:"a virtual-channel index after 'vc'" in
+    Some n
+  | _ -> None
+
+let parse_selector p =
+  let pos = p.tok_pos in
+  match p.tok with
+  | Lexer.IDENT "at" -> (
+    advance p;
+    match p.tok with
+    | Lexer.STAR ->
+      advance p;
+      { Ast.v = Ast.At_any; pos }
+    | Lexer.INT n ->
+      advance p;
+      { Ast.v = Ast.At_node n; pos }
+    | tok -> error p.tok_pos "expected a node number or '*' after 'at', found %s" (Lexer.describe tok))
+  | Lexer.IDENT "in" ->
+    advance p;
+    let name, _ = expect_ident p ~what:"a channel name after 'in'" in
+    { Ast.v = Ast.In_channel name; pos }
+  | Lexer.IDENT "inj" ->
+    advance p;
+    let n, _ = expect_int p ~what:"a node number after 'inj'" in
+    { Ast.v = Ast.Inj n; pos }
+  | tok ->
+    error pos "expected a selector ('at N', 'at *', 'in CHANNEL' or 'inj N'), found %s"
+      (Lexer.describe tok)
+
+let parse_dest p =
+  let pos = p.tok_pos in
+  match p.tok with
+  | Lexer.STAR ->
+    advance p;
+    { Ast.v = Ast.Any_dest; pos }
+  | Lexer.INT n ->
+    advance p;
+    { Ast.v = Ast.Dest n; pos }
+  | tok -> error pos "expected a destination node or '*', found %s" (Lexer.describe tok)
+
+let parse_outputs p =
+  let pos = p.tok_pos in
+  match p.tok with
+  | Lexer.IDENT "none" ->
+    advance p;
+    { Ast.v = Ast.No_outputs; pos }
+  | Lexer.IDENT "minimal" ->
+    advance p;
+    let vc = opt_vc p in
+    { Ast.v = Ast.Minimal vc; pos }
+  | Lexer.IDENT _ ->
+    let rec names acc =
+      match p.tok with
+      | Lexer.IDENT s ->
+        let npos = p.tok_pos in
+        advance p;
+        names ({ Ast.v = s; pos = npos } :: acc)
+      | _ -> List.rev acc
+    in
+    { Ast.v = Ast.Chans (names []); pos }
+  | tok ->
+    error pos "expected output buffers ('none', 'minimal' or channel names), found %s"
+      (Lexer.describe tok)
+
+let parse_rule p kind pos =
+  let sel = parse_selector p in
+  (match p.tok with
+  | Lexer.IDENT "to" -> advance p
+  | tok -> error p.tok_pos "expected 'to' after the selector, found %s" (Lexer.describe tok));
+  let dst = parse_dest p in
+  expect_tok p Lexer.COLON ~what:"':' before the output list";
+  let outs = parse_outputs p in
+  { Ast.v = Ast.Rule { Ast.rule_kind = kind; sel; dst; outs }; Ast.pos }
+
+let parse_decl p pos = function
+  | "network" ->
+    let name, _ = expect_ident p ~what:"a network name" in
+    { Ast.v = Ast.Network name; pos }
+  | "switching" -> (
+    let kw, kpos = expect_ident p ~what:"a switching mode (wormhole, saf or vct)" in
+    match kw with
+    | "wormhole" -> { Ast.v = Ast.Switching Ast.Wormhole; pos }
+    | "saf" | "store-and-forward" -> { Ast.v = Ast.Switching Ast.Saf; pos }
+    | "vct" | "virtual-cut-through" -> { Ast.v = Ast.Switching Ast.Vct; pos }
+    | other -> error kpos "unknown switching mode %S (expected wormhole, saf or vct)" other)
+  | "waiting" -> (
+    let kw, kpos = expect_ident p ~what:"a waiting discipline (specific or any)" in
+    match kw with
+    | "specific" -> { Ast.v = Ast.Waiting Ast.Specific; pos }
+    | "any" -> { Ast.v = Ast.Waiting Ast.Any; pos }
+    | other -> error kpos "unknown waiting discipline %S (expected specific or any)" other)
+  | "nodes" ->
+    let n, _ = expect_int p ~what:"the number of nodes" in
+    { Ast.v = Ast.Nodes n; pos }
+  | "vcs" ->
+    let n, _ = expect_int p ~what:"the number of virtual channels" in
+    { Ast.v = Ast.Vcs n; pos }
+  | "topology" ->
+    (* the lookahead already sits on the first clause token; recapture the
+       raw line from there and re-lex the shorthand separately *)
+    let rpos = p.tok_pos in
+    let raw = Lexer.capture_line_from_last p.lx in
+    advance p;
+    (* the lookahead is now the NEWLINE (or EOF) ending the clause *)
+    if raw = "" then error rpos "expected a topology shorthand, e.g. 'mesh 4 4' or 'mesh:4x4'";
+    { Ast.v = Ast.Topology raw; pos }
+  | "channel" ->
+    let cname =
+      let name, npos = expect_ident p ~what:"a channel name" in
+      { Ast.v = name; Ast.pos = npos }
+    in
+    expect_tok p Lexer.COLON ~what:"':' after the channel name";
+    let src, _ = expect_int p ~what:"the source node" in
+    expect_tok p Lexer.ARROW ~what:"'->' between the channel endpoints";
+    let dst, _ = expect_int p ~what:"the destination node" in
+    let vc = Option.value (opt_vc p) ~default:0 in
+    { Ast.v = Ast.Channel { cname; src; dst; vc }; pos }
+  | "route" -> parse_rule p Ast.Route pos
+  | "wait" -> parse_rule p Ast.Wait pos
+  | other ->
+    error pos
+      "unknown declaration %S (expected network, switching, waiting, nodes, topology, vcs, \
+       channel, route or wait)"
+      other
+
+let parse_string src =
+  let p = make src in
+  let rec loop acc =
+    match p.tok with
+    | Lexer.NEWLINE ->
+      advance p;
+      loop acc
+    | Lexer.EOF -> List.rev acc
+    | Lexer.IDENT kw ->
+      let pos = p.tok_pos in
+      advance p;
+      let decl = parse_decl p pos kw in
+      end_of_decl p;
+      loop (decl :: acc)
+    | tok -> error p.tok_pos "expected a declaration keyword, found %s" (Lexer.describe tok)
+  in
+  try Ok (loop []) with
+  | Error (pos, msg) | Lexer.Error (pos, msg) -> (Error (pos, msg) : (Ast.t, _) result)

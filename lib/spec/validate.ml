@@ -1,0 +1,263 @@
+(* Validation: from a located AST to a resolved spec, or the first error
+   with its source position.
+
+   Everything that can be checked without building the network happens
+   here: declaration well-formedness, the topology shorthand, channel
+   table construction (including the channels a topology clause
+   generates), name resolution and range checks.  Whole-network semantic
+   checks (wait ⊆ route, adjacency, destination reachability) live in
+   {!Elaborate}, which owns the routing tables. *)
+
+open Dfr_topology
+open Dfr_network
+open Dfr_routing
+
+type channel = {
+  cname : string;
+  csrc : int;
+  cdst : int;
+  cvc : int;
+  cpos : Ast.pos;
+}
+
+type sel = At of int | At_all | In of int | Inj of int
+
+type outs =
+  | Explicit of (int * Ast.pos) list  (* channel indices *)
+  | Empty
+  | Min of int option
+
+type rule = {
+  kind : Ast.rule_kind;
+  sel : sel;
+  dst : int option;  (* [None] is the wildcard *)
+  outs : outs;
+  rpos : Ast.pos;
+}
+
+type t = {
+  name : string;
+  switching : Net.switching;
+  waiting : Algo.wait_discipline;
+  num_nodes : int;
+  topology : Topology.t option;
+  vcs : int;
+  channels : channel array;  (* declaration order = buffer creation order *)
+  rules : rule list;
+  size_pos : Ast.pos;  (* the nodes/topology clause, anchor for global errors *)
+}
+
+exception Error of Ast.pos * string
+
+let error pos fmt = Printf.ksprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+let generated_channel_name ~src ~dst ~vc = Printf.sprintf "c%d_%d_%d" src dst vc
+
+(* `mesh 4 4' / `hypercube 3' -> the canonical CLI shorthand `mesh:4x4' /
+   `hypercube:3'; single-word clauses pass through untouched. *)
+let canonical_topology raw =
+  match
+    String.split_on_char ' ' raw
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "")
+  with
+  | [] -> raw
+  | [ w ] -> w
+  | kind :: dims -> kind ^ ":" ^ String.concat "x" dims
+
+let run (decls : Ast.t) =
+  let name = ref None
+  and switching = ref None
+  and waiting = ref None
+  and nodes = ref None
+  and topo_raw = ref None
+  and vcs = ref None in
+  let channels = ref [] (* reversed *) in
+  let rules_raw = ref [] (* reversed *) in
+  let once what slot pos v =
+    match !slot with
+    | Some (_, first) ->
+      error pos "duplicate %s declaration (first at %d:%d)" what first.Ast.line first.Ast.col
+    | None -> slot := Some (v, pos)
+  in
+  List.iter
+    (fun { Ast.v; pos } ->
+      match v with
+      | Ast.Network n -> once "network" name pos n
+      | Ast.Switching s -> once "switching" switching pos s
+      | Ast.Waiting w -> once "waiting" waiting pos w
+      | Ast.Nodes n -> once "nodes" nodes pos n
+      | Ast.Topology raw -> once "topology" topo_raw pos raw
+      | Ast.Vcs n -> once "vcs" vcs pos n
+      | Ast.Channel { cname; src; dst; vc } -> channels := ((cname, src, dst, vc), pos) :: !channels
+      | Ast.Rule r -> rules_raw := (r, pos) :: !rules_raw)
+    decls;
+  let channels = List.rev !channels and rules_raw = List.rev !rules_raw in
+  let switching =
+    match !switching with
+    | Some (Ast.Wormhole, _) | None -> Net.Wormhole
+    | Some (Ast.Saf, _) -> Net.Store_and_forward
+    | Some (Ast.Vct, _) -> Net.Virtual_cut_through
+  in
+  let waiting =
+    match !waiting with
+    | Some (Ast.Specific, _) -> Algo.Specific_wait
+    | Some (Ast.Any, _) | None -> Algo.Any_wait
+  in
+  (* network size: exactly one of `nodes' and `topology' *)
+  let num_nodes, topology, size_pos =
+    match (!nodes, !topo_raw) with
+    | Some (_, npos), Some (_, tpos) ->
+      error (if npos.Ast.line > tpos.Ast.line then npos else tpos)
+        "'nodes' and 'topology' cannot both be declared; a topology fixes the node count"
+    | Some (n, pos), None ->
+      if n < 1 then error pos "nodes must be >= 1, got %d" n;
+      (n, None, pos)
+    | None, Some (raw, pos) -> (
+      match Topology.of_string (canonical_topology raw) with
+      | Ok t -> (Topology.num_nodes t, Some t, pos)
+      | Error msg -> error pos "bad topology shorthand: %s" msg)
+    | None, None -> (
+      match decls with
+      | [] -> error { Ast.line = 1; col = 1 } "empty specification: declare 'nodes N' or 'topology ...'"
+      | { Ast.pos; _ } :: _ -> error pos "missing 'nodes N' or 'topology ...' declaration")
+  in
+  let vcs =
+    match (!vcs, topology) with
+    | Some (_, pos), None ->
+      error pos "'vcs' only applies to topology specs; explicit channels carry their own 'vc N'"
+    | Some (n, pos), Some _ ->
+      if n < 1 then error pos "vcs must be >= 1, got %d" n;
+      n
+    | None, _ -> 1
+  in
+  (match (topology, switching) with
+  | Some _, (Net.Store_and_forward | Net.Virtual_cut_through) ->
+    error size_pos
+      "topology shorthands are wormhole-only; declare saf/vct networks with explicit channels"
+  | _ -> ());
+  (* channel table: topology-generated channels first, then explicit ones *)
+  let generated =
+    match topology with
+    | None -> []
+    | Some t ->
+      List.concat_map
+        (fun (u, v) ->
+          List.init vcs (fun k ->
+              {
+                cname = generated_channel_name ~src:u ~dst:v ~vc:k;
+                csrc = u;
+                cdst = v;
+                cvc = k;
+                cpos = size_pos;
+              }))
+        (Topology.channels t)
+  in
+  let explicit =
+    List.map
+      (fun ((cname, src, dst, vc), pos) ->
+        if src < 0 || src >= num_nodes then
+          error pos "channel %S: source node %d out of range 0..%d" cname.Ast.v src (num_nodes - 1);
+        if dst < 0 || dst >= num_nodes then
+          error pos "channel %S: destination node %d out of range 0..%d" cname.Ast.v dst
+            (num_nodes - 1);
+        if vc < 0 then error pos "channel %S: vc must be >= 0, got %d" cname.Ast.v vc;
+        { cname = cname.Ast.v; csrc = src; cdst = dst; cvc = vc; cpos = cname.Ast.pos })
+      channels
+  in
+  let channels = Array.of_list (generated @ explicit) in
+  (* duplicate names and duplicate physical keys *)
+  let by_name = Hashtbl.create 64 in
+  let by_key = Hashtbl.create 64 in
+  Array.iteri
+    (fun i c ->
+      (match Hashtbl.find_opt by_name c.cname with
+      | Some j ->
+        let first = channels.(j) in
+        error c.cpos "duplicate channel name %S (first declared at %d:%d)" c.cname
+          first.cpos.Ast.line first.cpos.Ast.col
+      | None -> Hashtbl.add by_name c.cname i);
+      let key =
+        match switching with
+        | Net.Wormhole -> (c.csrc, c.cdst, c.cvc)
+        | Net.Store_and_forward | Net.Virtual_cut_through ->
+          (* custom saf/vct channels elaborate to the whole-packet buffer
+             (dst, vc); the source endpoint is not part of the identity *)
+          (-1, c.cdst, c.cvc)
+      in
+      match Hashtbl.find_opt by_key key with
+      | Some j ->
+        let first = channels.(j) in
+        (match switching with
+        | Net.Wormhole ->
+          error c.cpos "duplicate channel %d -> %d vc %d (first declared as %S at %d:%d)" c.csrc
+            c.cdst c.cvc first.cname first.cpos.Ast.line first.cpos.Ast.col
+        | _ ->
+          error c.cpos
+            "duplicate saf/vct buffer: node %d class %d already declared as %S at %d:%d \
+             (under saf/vct a channel names the whole-packet buffer (dst, vc))"
+            c.cdst c.cvc first.cname first.cpos.Ast.line first.cpos.Ast.col)
+      | None -> Hashtbl.add by_key key i)
+    channels;
+  (* rules: name resolution and range checks *)
+  let node_in_range pos what n =
+    if n < 0 || n >= num_nodes then error pos "%s %d out of range 0..%d" what n (num_nodes - 1)
+  in
+  let resolve_channel { Ast.v = cname; pos } =
+    match Hashtbl.find_opt by_name cname with
+    | Some i -> i
+    | None -> error pos "unknown channel %S" cname
+  in
+  let rules =
+    List.map
+      (fun ((r : Ast.rule), pos) ->
+        let sel =
+          match r.Ast.sel.Ast.v with
+          | Ast.At_any -> At_all
+          | Ast.At_node n ->
+            node_in_range r.Ast.sel.Ast.pos "selector node" n;
+            At n
+          | Ast.In_channel cname -> In (resolve_channel { Ast.v = cname; pos = r.Ast.sel.Ast.pos })
+          | Ast.Inj n ->
+            node_in_range r.Ast.sel.Ast.pos "selector node" n;
+            Inj n
+        in
+        let dst =
+          match r.Ast.dst.Ast.v with
+          | Ast.Any_dest -> None
+          | Ast.Dest d ->
+            node_in_range r.Ast.dst.Ast.pos "destination node" d;
+            Some d
+        in
+        let outs =
+          match r.Ast.outs.Ast.v with
+          | Ast.No_outputs -> Empty
+          | Ast.Minimal vcf -> (
+            match topology with
+            | None ->
+              error r.Ast.outs.Ast.pos
+                "'minimal' requires a topology clause (explicit-channel specs must list outputs)"
+            | Some _ ->
+              (match vcf with
+              | Some k when k < 0 || k >= vcs ->
+                error r.Ast.outs.Ast.pos "minimal vc %d out of range 0..%d" k (vcs - 1)
+              | _ -> ());
+              Min vcf)
+          | Ast.Chans names ->
+            let resolved = List.map (fun n -> (resolve_channel n, n.Ast.pos)) names in
+            let seen = Hashtbl.create 8 in
+            List.iter
+              (fun (i, npos) ->
+                if Hashtbl.mem seen i then
+                  error npos "channel %S repeated in the output list" channels.(i).cname
+                else Hashtbl.add seen i ())
+              resolved;
+            Explicit resolved
+        in
+        { kind = r.Ast.rule_kind; sel; dst; outs; rpos = pos })
+      rules_raw
+  in
+  let name = match !name with Some (n, _) -> n | None -> "spec" in
+  { name; switching; waiting; num_nodes; topology; vcs; channels; rules; size_pos }
+
+let check decls = try Ok (run decls) with Error (pos, msg) -> Error (pos, msg)

@@ -140,3 +140,62 @@ let pp_node t fmt node =
 let pp_direction fmt = function
   | Plus -> Format.pp_print_char fmt '+'
   | Minus -> Format.pp_print_char fmt '-'
+
+(* ------------------------------------------------------------------ *)
+(* the textual shorthand grammar, shared by the dfcheck CLI and the
+   spec language's `topology' clause *)
+
+let grammar_summary = "hypercube:N, mesh:AxBx..., torus:AxBx... or ring:N"
+
+let of_string s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let int_tok kind tok ~what ~lo ~hi =
+    let range =
+      if hi = max_int then Printf.sprintf ">= %d" lo
+      else Printf.sprintf "in %d..%d" lo hi
+    in
+    match int_of_string_opt tok with
+    | None -> err "%s: %S is not an integer (expected %s %s)" kind tok what range
+    | Some n when n < lo || n > hi ->
+      err "%s: %s %d out of range (%s expected)" kind what n range
+    | Some n -> Ok n
+  in
+  let dims kind tok ~min_radix build =
+    let parts = String.split_on_char 'x' tok in
+    if parts = [ "" ] then
+      err "%s: empty dimension list; expected e.g. %s:4x4" kind kind
+    else
+      let rec collect i acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | p :: rest -> (
+          match int_of_string_opt p with
+          | None ->
+            err "%s: dimension %d token %S is not an integer (expected e.g. %s:4x4)"
+              kind i p kind
+          | Some r when r < min_radix ->
+            err "%s: dimension %d has radix %d (from %S); %s radices must be >= %d"
+              kind i r p kind min_radix
+          | Some r -> collect (i + 1) (r :: acc) rest)
+      in
+      match collect 1 [] parts with
+      | Error _ as e -> e
+      | Ok radices -> Ok (build radices)
+  in
+  match String.index_opt s ':' with
+  | None ->
+    err "missing ':' in topology %S; expected %s" s grammar_summary
+  | Some i -> (
+    let kind = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match kind with
+    | "hypercube" -> (
+      match int_tok kind rest ~what:"dimension" ~lo:1 ~hi:10 with
+      | Ok n -> Ok (hypercube n)
+      | Error _ as e -> e)
+    | "ring" -> (
+      match int_tok kind rest ~what:"size" ~lo:3 ~hi:max_int with
+      | Ok k -> Ok (ring k)
+      | Error _ as e -> e)
+    | "mesh" -> dims kind rest ~min_radix:1 mesh
+    | "torus" -> dims kind rest ~min_radix:3 torus
+    | _ -> err "unknown topology kind %S; expected %s" kind grammar_summary)

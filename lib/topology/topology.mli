@@ -62,6 +62,15 @@ val channels : t -> (int * int) list
 val to_digraph : t -> Dfr_graph.Digraph.t
 (** The directed physical-channel graph over nodes. *)
 
+val of_string : string -> (t, string) result
+(** Parse the textual shorthand shared by the [dfcheck] CLI and the spec
+    language's [topology] clause: [hypercube:N] (N in 1..10), [mesh:AxBx...]
+    (radices >= 1), [torus:AxBx...] (radices >= 3) and [ring:N] (N >= 3).
+    Errors name the offending token and the valid range. *)
+
+val grammar_summary : string
+(** One-line reminder of the accepted forms, for error messages. *)
+
 val pp_node : t -> Format.formatter -> int -> unit
 (** Prints the coordinate vector, e.g. ["(2,0,1)"]. *)
 

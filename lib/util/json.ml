@@ -85,3 +85,200 @@ let to_string_pretty t =
   let buf = Buffer.create 256 in
   emit buf ~indent:true ~level:0 t;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* parsing, so checker reports can be consumed as well as emitted      *)
+
+exception Parse_error of int * string
+(* offset, message *)
+
+type parser_state = { src : string; mutable off : int }
+
+let parse_fail p fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (p.off, msg))) fmt
+
+let peek p = if p.off < String.length p.src then Some p.src.[p.off] else None
+
+let skip_ws p =
+  while
+    match peek p with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      p.off <- p.off + 1;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect_char p c =
+  match peek p with
+  | Some d when d = c -> p.off <- p.off + 1
+  | Some d -> parse_fail p "expected %C, found %C" c d
+  | None -> parse_fail p "expected %C, found end of input" c
+
+let parse_literal p lit value =
+  if
+    p.off + String.length lit <= String.length p.src
+    && String.sub p.src p.off (String.length lit) = lit
+  then begin
+    p.off <- p.off + String.length lit;
+    value
+  end
+  else parse_fail p "bad literal (expected %s)" lit
+
+let hex_digit p c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> parse_fail p "bad \\u escape digit %C" c
+
+let parse_string_body p =
+  expect_char p '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek p with
+    | None -> parse_fail p "unterminated string"
+    | Some '"' -> p.off <- p.off + 1
+    | Some '\\' -> (
+      p.off <- p.off + 1;
+      match peek p with
+      | None -> parse_fail p "unterminated escape"
+      | Some c ->
+        p.off <- p.off + 1;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if p.off + 4 > String.length p.src then parse_fail p "truncated \\u escape";
+          let code =
+            List.fold_left
+              (fun acc i -> (acc * 16) + hex_digit p p.src.[p.off + i])
+              0 [ 0; 1; 2; 3 ]
+          in
+          p.off <- p.off + 4;
+          (* the emitter only produces \u escapes for control characters;
+             encode anything else as UTF-8 *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+          end
+        | c -> parse_fail p "unknown escape \\%c" c);
+        loop ())
+    | Some c ->
+      p.off <- p.off + 1;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number p =
+  let start = p.off in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while (match peek p with Some c -> is_num_char c | None -> false) do
+    p.off <- p.off + 1
+  done;
+  let tok = String.sub p.src start (p.off - start) in
+  match int_of_string_opt tok with
+  | Some n -> Int n
+  | None -> (
+    match float_of_string_opt tok with
+    | Some f -> Float f
+    | None ->
+      p.off <- start;
+      parse_fail p "bad number %S" tok)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> parse_fail p "unexpected end of input"
+  | Some 'n' -> parse_literal p "null" Null
+  | Some 't' -> parse_literal p "true" (Bool true)
+  | Some 'f' -> parse_literal p "false" (Bool false)
+  | Some '"' -> String (parse_string_body p)
+  | Some '[' ->
+    p.off <- p.off + 1;
+    skip_ws p;
+    if peek p = Some ']' then begin
+      p.off <- p.off + 1;
+      List []
+    end
+    else
+      let rec items acc =
+        let v = parse_value p in
+        skip_ws p;
+        match peek p with
+        | Some ',' ->
+          p.off <- p.off + 1;
+          items (v :: acc)
+        | Some ']' ->
+          p.off <- p.off + 1;
+          List (List.rev (v :: acc))
+        | _ -> parse_fail p "expected ',' or ']' in list"
+      in
+      items []
+  | Some '{' ->
+    p.off <- p.off + 1;
+    skip_ws p;
+    if peek p = Some '}' then begin
+      p.off <- p.off + 1;
+      Obj []
+    end
+    else
+      let field () =
+        skip_ws p;
+        let k = parse_string_body p in
+        skip_ws p;
+        expect_char p ':';
+        let v = parse_value p in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws p;
+        match peek p with
+        | Some ',' ->
+          p.off <- p.off + 1;
+          fields (kv :: acc)
+        | Some '}' ->
+          p.off <- p.off + 1;
+          Obj (List.rev (kv :: acc))
+        | _ -> parse_fail p "expected ',' or '}' in object"
+      in
+      fields []
+  | Some c when c = '-' || (c >= '0' && c <= '9') -> parse_number p
+  | Some c -> parse_fail p "unexpected character %C" c
+
+let of_string s =
+  let p = { src = s; off = 0 } in
+  match parse_value p with
+  | v ->
+    skip_ws p;
+    if p.off <> String.length s then
+      Error (Printf.sprintf "offset %d: trailing garbage after JSON value" p.off)
+    else Ok v
+  | exception Parse_error (off, msg) -> Error (Printf.sprintf "offset %d: %s" off msg)
+
+(* ------------------------------------------------------------------ *)
+(* accessors for consuming parsed documents                            *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function Int n -> Some n | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None

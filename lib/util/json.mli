@@ -1,7 +1,8 @@
-(** Minimal JSON emitter (no parsing).
+(** Minimal JSON emitter and parser.
 
     The sealed build environment has no JSON library; this is just enough
-    to export checker reports and experiment tables machine-readably. *)
+    to export checker reports and experiment tables machine-readably, and
+    to read them back for downstream tooling. *)
 
 type t =
   | Null
@@ -17,3 +18,18 @@ val to_string : t -> string
 
 val to_string_pretty : t -> string
 (** Two-space indentation. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document.  Accepts everything {!to_string} and
+    {!to_string_pretty} emit (round-trip safe); [\u] escapes outside the
+    ASCII range are decoded to UTF-8.  Errors carry the byte offset. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** [member key json] is the value bound to [key] when [json] is an
+    object that has it. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1074,3 +1074,53 @@ let test_scaled_audit () =
 
 let suite =
   suite @ [ Alcotest.test_case "scaled audit" `Slow test_scaled_audit ]
+
+(* ---------------- report JSON round-trip ---------------- *)
+
+let test_report_json_roundtrip () =
+  let run net algo expect_result =
+    let report = Checker.check net algo in
+    let s = Report_json.to_string net algo report in
+    match Report_json.of_string s with
+    | Error e -> Alcotest.fail e
+    | Ok summary ->
+      check Alcotest.string "algorithm" algo.Algo.name summary.Report_json.algorithm;
+      check Alcotest.string "network" (Net.name net) summary.Report_json.network;
+      check Alcotest.bool "waiting" true
+        (summary.Report_json.waiting = algo.Algo.wait);
+      check Alcotest.int "nodes" (Net.num_nodes net) summary.Report_json.nodes;
+      check Alcotest.int "buffers" (Net.num_buffers net) summary.Report_json.buffers;
+      check Alcotest.string "result" expect_result summary.Report_json.result;
+      summary
+  in
+  (* a deadlock-free proof: Theorem recorded, no failure kind *)
+  let free = run cube3 Hypercube_wormhole.ecube "deadlock-free" in
+  check Alcotest.bool "theorem present" true (free.Report_json.theorem <> None);
+  check (Alcotest.option Alcotest.string) "no failure kind" None
+    free.Report_json.failure_kind;
+  (* a deadlock verdict: failure kind and cycle inventory survive *)
+  let net = Incoherent_example.network () in
+  let bad = run net Incoherent_example.algo "deadlock" in
+  check (Alcotest.option Alcotest.string) "failure kind" (Some "true-cycle")
+    bad.Report_json.failure_kind;
+  check Alcotest.bool "cycle nonempty" true (bad.Report_json.cycle <> [])
+
+let test_report_json_rejects_garbage () =
+  let fails s =
+    match Report_json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  check Alcotest.bool "not json" true (fails "not json");
+  check Alcotest.bool "missing fields" true (fails "{\"algorithm\":\"x\"}");
+  check Alcotest.bool "bad waiting" true
+    (fails
+       "{\"algorithm\":\"x\",\"waiting\":\"sometimes\",\"network\":\"n\",\
+        \"nodes\":1,\"buffers\":2,\"bwg\":{\"vertices\":1,\"edges\":0},\
+        \"verdict\":{\"result\":\"unknown\"}}")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "report json round-trip" `Quick test_report_json_roundtrip;
+      Alcotest.test_case "report json rejects garbage" `Quick
+        test_report_json_rejects_garbage;
+    ]

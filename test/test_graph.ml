@@ -435,3 +435,29 @@ let suite =
       Alcotest.test_case "dot to_file" `Quick test_dot_to_file;
       qtest prop_bfs_path_valid;
     ]
+
+(* ---------------- DOT escaping ---------------- *)
+
+let test_dot_escape () =
+  let e = Dot.escape in
+  Alcotest.check Alcotest.string "plain" "abc" (e "abc");
+  Alcotest.check Alcotest.string "quote" "say \\\"hi\\\"" (e "say \"hi\"");
+  Alcotest.check Alcotest.string "backslash" "a\\\\b" (e "a\\b");
+  Alcotest.check Alcotest.string "newline becomes \\n" "a\\nb" (e "a\nb");
+  Alcotest.check Alcotest.string "carriage return dropped" "a\\nb" (e "a\r\nb");
+  (* the result can always sit inside a double-quoted DOT string: no raw
+     quote, no raw line break *)
+  let hostile = "l1\n\"l2\"\\\r\nend" in
+  let escaped = e hostile in
+  String.iter
+    (fun c ->
+      if c = '\n' || c = '\r' then Alcotest.fail "raw line break survived")
+    escaped;
+  let unescaped_quote = ref false in
+  String.iteri
+    (fun i c ->
+      if c = '"' && (i = 0 || escaped.[i - 1] <> '\\') then unescaped_quote := true)
+    escaped;
+  Alcotest.check Alcotest.bool "no unescaped quote" false !unescaped_quote
+
+let suite = suite @ [ Alcotest.test_case "dot escape" `Quick test_dot_escape ]

@@ -11,6 +11,7 @@ let () =
       ("core", Test_core.suite);
       ("determinism", Test_determinism.suite);
       ("incoherent-example", Test_incoherent.suite);
+      ("spec", Test_spec.suite);
       ("adaptiveness", Test_adaptiveness.suite);
       ("sim", Test_sim.suite);
       ("fuzz", Test_fuzz.suite);

@@ -432,3 +432,30 @@ let suite =
       Alcotest.test_case "efa relaxed pair shape" `Quick test_efa_relaxed_pair_shape;
       Alcotest.test_case "duato-torus routes" `Quick test_duato_torus_routes;
     ]
+
+(* ---------------- catalogue golden test ----------------
+
+   Every registry entry must resolve by name, build its default network,
+   and run the full checker to the verdict the literature predicts (when
+   it predicts one).  This is the CLI `audit` command as a test. *)
+
+let test_registry_golden () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      (match Registry.find e.Registry.name with
+      | Some found when found.Registry.name = e.Registry.name -> ()
+      | _ -> Alcotest.failf "%s: not found by its own name" e.Registry.name);
+      let net = Registry.network_for e None in
+      let report = Dfr_core.Checker.check net e.Registry.algo in
+      match (report.Dfr_core.Checker.verdict, e.Registry.expected_deadlock_free) with
+      | Dfr_core.Checker.Unknown reason, _ ->
+        Alcotest.failf "%s: checker gave up: %s" e.Registry.name reason
+      | Dfr_core.Checker.Deadlock_free _, Some false ->
+        Alcotest.failf "%s: expected deadlock, proved free" e.Registry.name
+      | Dfr_core.Checker.Deadlock_possible _, Some true ->
+        Alcotest.failf "%s: expected deadlock-free, found deadlock" e.Registry.name
+      | _, _ -> ())
+    Registry.all
+
+let suite =
+  suite @ [ Alcotest.test_case "registry golden" `Quick test_registry_golden ]

@@ -204,3 +204,48 @@ let suite =
     qtest prop_distance_matches_bfs;
     qtest prop_minimal_moves_nonempty;
   ]
+
+(* ---------------- textual topology grammar ---------------- *)
+
+let test_of_string_ok () =
+  let ok s = match Topology.of_string s with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  check Alcotest.int "mesh:3x4" 12 (Topology.num_nodes (ok "mesh:3x4"));
+  check Alcotest.int "torus:3x3" 9 (Topology.num_nodes (ok "torus:3x3"));
+  check Alcotest.int "hypercube:3" 8 (Topology.num_nodes (ok "hypercube:3"));
+  check Alcotest.int "ring:5" 5 (Topology.num_nodes (ok "ring:5"))
+
+let test_of_string_errors () =
+  let err s = match Topology.of_string s with
+    | Ok _ -> Alcotest.failf "%s: expected an error" s
+    | Error e -> e
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let expect s needle =
+    let e = err s in
+    if not (contains e needle) then
+      Alcotest.failf "%s: error %S does not mention %S" s e needle
+  in
+  (* the offending token and the valid range must both be named *)
+  expect "mesh:0x4" "radix 0";
+  expect "mesh:0x4" ">= 1";
+  expect "hypercube:99" "99";
+  expect "hypercube:99" "1..10";
+  expect "ring:2" ">= 3";
+  expect "torus:2x2" ">= 3";
+  expect "mesh:3xbanana" "banana";
+  expect "blorp:3" "blorp";
+  expect "mesh:" "mesh"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "topology of_string" `Quick test_of_string_ok;
+      Alcotest.test_case "topology of_string errors" `Quick test_of_string_errors;
+    ]

@@ -314,3 +314,115 @@ let suite =
       Alcotest.test_case "json escaping" `Quick test_json_escaping;
       Alcotest.test_case "json structures" `Quick test_json_structures;
     ]
+
+(* ---------------- json parsing / round-trip ---------------- *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Int x, Json.Int y -> x = y
+  | Json.Float x, Json.Float y -> x = y
+  | Json.String x, Json.String y -> x = y
+  | Json.List xs, Json.List ys ->
+    List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Json.Obj xs, Json.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> k1 = k2 && json_equal v1 v2)
+         xs ys
+  | _ -> false
+
+let test_json_parse_scalars () =
+  let ok s = match Json.of_string s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  check Alcotest.bool "null" true (json_equal Json.Null (ok "null"));
+  check Alcotest.bool "true" true (json_equal (Json.Bool true) (ok " true "));
+  check Alcotest.bool "int" true (json_equal (Json.Int (-42)) (ok "-42"));
+  check Alcotest.bool "float" true (json_equal (Json.Float 2.5) (ok "2.5"));
+  check Alcotest.bool "string" true (json_equal (Json.String "hi") (ok "\"hi\""))
+
+let test_json_parse_escapes () =
+  let ok s = match Json.of_string s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  check Alcotest.bool "escapes" true
+    (json_equal (Json.String "a\"b\\c\nd\te")
+       (ok "\"a\\\"b\\\\c\\nd\\te\""));
+  check Alcotest.bool "unicode control" true
+    (json_equal (Json.String "\001") (ok "\"\\u0001\""))
+
+let test_json_parse_errors () =
+  let fails s = match Json.of_string s with Ok _ -> false | Error _ -> true in
+  check Alcotest.bool "empty" true (fails "");
+  check Alcotest.bool "trailing" true (fails "1 2");
+  check Alcotest.bool "unterminated" true (fails "\"abc");
+  check Alcotest.bool "bad literal" true (fails "nil");
+  check Alcotest.bool "open list" true (fails "[1, 2");
+  check Alcotest.bool "missing colon" true (fails "{\"a\" 1}")
+
+(* everything the emitter can produce parses back to the same tree, in
+   both compact and pretty form *)
+let arbitrary_json =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) small_signed_int;
+        (* quarters print exactly under both float formats, so equality
+           round-trips *)
+        map (fun i -> Json.Float (float_of_int i /. 4.0)) small_signed_int;
+        map (fun s -> Json.String s) (string_size (int_bound 8) ~gen:printable);
+      ]
+  in
+  let tree =
+    fix
+      (fun self depth ->
+        if depth = 0 then scalar
+        else
+          frequency
+            [
+              (2, scalar);
+              (1, map (fun l -> Json.List l) (list_size (int_bound 4) (self (depth - 1))));
+              ( 1,
+                map
+                  (fun ps -> Json.Obj ps)
+                  (list_size (int_bound 4)
+                     (pair (string_size (int_bound 6) ~gen:printable) (self (depth - 1))))
+              );
+            ])
+      2
+  in
+  QCheck.make tree
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"json emit/parse round-trip" ~count:200 arbitrary_json
+    (fun t ->
+      match (Json.of_string (Json.to_string t), Json.of_string (Json.to_string_pretty t)) with
+      | Ok a, Ok b -> json_equal t a && json_equal t b
+      | _ -> false)
+
+let test_json_accessors () =
+  let doc = Json.Obj [ ("n", Json.Int 3); ("xs", Json.List [ Json.String "a" ]) ] in
+  check Alcotest.(option int) "member int" (Some 3)
+    (Option.bind (Json.member "n" doc) Json.to_int);
+  check Alcotest.(option string) "nested" (Some "a")
+    (match Option.bind (Json.member "xs" doc) Json.to_list with
+    | Some [ x ] -> Json.to_str x
+    | _ -> None);
+  check Alcotest.bool "absent" true (Json.member "zzz" doc = None)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "json parse scalars" `Quick test_json_parse_scalars;
+      Alcotest.test_case "json parse escapes" `Quick test_json_parse_escapes;
+      Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+      Alcotest.test_case "json accessors" `Quick test_json_accessors;
+      qtest prop_json_roundtrip;
+    ]
