@@ -23,6 +23,11 @@ let timed f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+let fmt_mean_latency s =
+  match Stats.mean_latency s with
+  | Some m -> Printf.sprintf "%.1f" m
+  | None -> "-"
+
 (* ------------------------------------------------------------------ E1 *)
 
 let fig3 () =
@@ -219,7 +224,7 @@ let perf () =
             | Wormhole_sim.Timeout _ -> "~"
             | Wormhole_sim.Completed _ -> " "
           in
-          Printf.printf " %10.1f%s" (Stats.mean_latency s) marker)
+          Printf.printf " %10s%s" (fmt_mean_latency s) marker)
         outcomes;
       let total = float_of_int (max 1 (Traffic.count traffic)) in
       List.iter
@@ -349,7 +354,7 @@ let perf_router () =
               net algo traffic
           in
           let s = Router_sim.stats o in
-          Printf.printf " %10.1f%s" (Stats.mean_latency s)
+          Printf.printf " %10s%s" (fmt_mean_latency s)
             (match o with
             | Router_sim.Deadlocked _ -> "!"
             | Router_sim.Timeout _ -> "~"

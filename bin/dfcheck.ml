@@ -46,6 +46,59 @@ let lookup name =
       (Printf.sprintf "unknown algorithm %S; known: %s" name
          (String.concat ", " (Registry.names ())))
 
+(* Exit codes (kept machine-checkable, see test/cli_exit_codes.sh):
+     0  deadlock-free / success
+     1  deadlock found (or, for audit, a catalogue mismatch)
+     2  usage error: unknown algorithm, malformed spec, bad command line
+     3  verdict Unknown (a cap or budget was hit)                       *)
+let exit_of_verdict = function
+  | Checker.Deadlock_free _ -> 0
+  | Checker.Deadlock_possible _ -> 1
+  | Checker.Unknown _ -> 3
+
+(* ------------------------------------------------------------------ *)
+(* observability: --trace / --metrics on the checking subcommands      *)
+
+module Obs = Dfr_obs.Obs
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event timeline of this run to $(docv) \
+           (open in chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect counters and gauges; JSON reports gain a $(b,metrics) \
+           field, text output is followed by a metrics block.")
+
+let obs_setup ~trace ~metrics = if trace <> None || metrics then Obs.enable ()
+
+let obs_teardown ~trace =
+  match trace with
+  | Some file ->
+    Obs.write_trace file;
+    Printf.eprintf "wrote trace %s\n%!" file
+  | None -> ()
+
+(* the report parser ignores unknown fields, so appending is compatible *)
+let with_metrics ~metrics doc =
+  match (metrics, doc) with
+  | true, Dfr_util.Json.Obj fields ->
+    Dfr_util.Json.Obj (fields @ [ ("metrics", Obs.metrics_json ()) ])
+  | _ -> doc
+
+let print_text_metrics ~metrics =
+  if metrics then
+    Printf.printf "metrics:\n%s\n"
+      (Dfr_util.Json.to_string_pretty (Obs.metrics_json ()))
+
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)
 
@@ -68,19 +121,25 @@ let list_cmd =
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
 
-let check_run name topo replay certificate json domains =
+let check_run name topo replay certificate json domains trace metrics =
   match lookup name with
   | Error msg ->
     prerr_endline msg;
-    1
+    2
   | Ok e ->
+    obs_setup ~trace ~metrics;
     let net = Registry.network_for e topo in
     let report = Checker.check ~domains net e.Registry.algo in
-    if json then print_endline (Report_json.to_string net e.Registry.algo report)
+    if json then
+      print_endline
+        (Dfr_util.Json.to_string_pretty
+           (with_metrics ~metrics (Report_json.of_report net e.Registry.algo report)))
     else if certificate then Certificate.print net e.Registry.algo report
-    else
+    else begin
       Format.printf "%s on %s:@.  %a@." e.Registry.name (Net.name net)
         (Checker.pp_verdict net) report.Checker.verdict;
+      print_text_metrics ~metrics
+    end;
     (match report.Checker.verdict with
     | Checker.Deadlock_possible failure when replay ->
       (match Scenario.replay net e.Registry.algo failure with
@@ -88,7 +147,8 @@ let check_run name topo replay certificate json domains =
       | Some false -> Format.printf "  replay: configuration drained (not confirmed)@."
       | None -> Format.printf "  replay: nothing to replay for this failure@.")
     | _ -> ());
-    (match report.Checker.verdict with Checker.Unknown _ -> 2 | _ -> 0)
+    obs_teardown ~trace;
+    exit_of_verdict report.Checker.verdict
 
 let check_cmd =
   let replay =
@@ -110,7 +170,7 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc:"Decide deadlock freedom with the BWG checker")
     Term.(const check_run $ algo_arg $ topo_arg $ replay $ certificate $ json
-          $ domains)
+          $ domains $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bwg: DOT export                                                     *)
@@ -119,7 +179,7 @@ let bwg_run name topo output =
   match lookup name with
   | Error msg ->
     prerr_endline msg;
-    1
+    2
   | Ok e ->
     let net = Registry.network_for e topo in
     let space = State_space.build net e.Registry.algo in
@@ -220,31 +280,45 @@ let parse_pattern = function
 
 let pattern_conv = Arg.conv (parse_pattern, fun fmt _ -> Format.fprintf fmt "<pattern>")
 
-let simulate_run name topo pattern rate length horizon seed router =
+let simulate_run name topo pattern rate length horizon seed router json trace
+    metrics =
   match lookup name with
   | Error msg ->
     prerr_endline msg;
-    1
+    2
   | Ok e ->
+    obs_setup ~trace ~metrics;
     let net = Registry.network_for e topo in
     let t =
       match Net.topology net with
       | Some t -> t
       | None -> failwith "simulate: custom networks not supported"
     in
+    let nodes = Net.num_nodes net in
     let traffic = Traffic.generate t ~pattern ~rate ~length ~horizon ~seed in
-    Printf.printf "workload: %d packets over %d cycles\n" (Traffic.count traffic) horizon;
-    (match Net.switching net with
-    | Net.Wormhole when router ->
-      Format.printf "%a@." Router_sim.pp_outcome
-        (Router_sim.run net e.Registry.algo traffic)
-    | Net.Wormhole ->
-      Format.printf "%a@." Wormhole_sim.pp_outcome
-        (Wormhole_sim.run net e.Registry.algo traffic)
-    | Net.Store_and_forward | Net.Virtual_cut_through ->
-      Format.printf "%a@." Saf_sim.pp_outcome
-        (Saf_sim.run net e.Registry.algo traffic));
-    0
+    if not json then
+      Printf.printf "workload: %d packets over %d cycles\n" (Traffic.count traffic)
+        horizon;
+    let deadlocked, doc =
+      match Net.switching net with
+      | Net.Wormhole when router ->
+        let o = Router_sim.run net e.Registry.algo traffic in
+        if not json then Format.printf "%a@." Router_sim.pp_outcome o;
+        (Router_sim.is_deadlocked o, Sim_report.router o ~nodes)
+      | Net.Wormhole ->
+        let o = Wormhole_sim.run net e.Registry.algo traffic in
+        if not json then Format.printf "%a@." Wormhole_sim.pp_outcome o;
+        (Wormhole_sim.is_deadlocked o, Sim_report.wormhole o ~nodes)
+      | Net.Store_and_forward | Net.Virtual_cut_through ->
+        let o = Saf_sim.run net e.Registry.algo traffic in
+        if not json then Format.printf "%a@." Saf_sim.pp_outcome o;
+        (Saf_sim.is_deadlocked o, Sim_report.saf o ~nodes)
+    in
+    if json then
+      print_endline (Dfr_util.Json.to_string_pretty (with_metrics ~metrics doc))
+    else print_text_metrics ~metrics;
+    obs_teardown ~trace;
+    if deadlocked then 1 else 0
 
 let simulate_cmd =
   let pattern =
@@ -264,9 +338,12 @@ let simulate_cmd =
              ~doc:"Use the pipelined credit-based router model instead of \
                    the plain flit simulator.")
   in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the outcome as JSON.")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the flit-level simulator on a workload")
     Term.(const simulate_run $ algo_arg $ topo_arg $ pattern $ rate $ length
-          $ horizon $ seed $ router)
+          $ horizon $ seed $ router $ json $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* spec: user-supplied .dfr networks, no recompilation needed          *)
@@ -279,18 +356,24 @@ let with_spec file k =
   match Dfr_spec.Spec.load_file file with
   | Error e ->
     prerr_endline (Dfr_spec.Spec.error_to_string ~file e);
-    1
+    2
   | Ok spec -> k spec
 
-let spec_check_run file replay certificate json domains =
+let spec_check_run file replay certificate json domains trace metrics =
   with_spec file (fun spec ->
+      obs_setup ~trace ~metrics;
       let net = spec.Dfr_spec.Spec.net and algo = spec.Dfr_spec.Spec.algo in
       let report = Checker.check ~domains net algo in
-      if json then print_endline (Report_json.to_string net algo report)
+      if json then
+        print_endline
+          (Dfr_util.Json.to_string_pretty
+             (with_metrics ~metrics (Report_json.of_report net algo report)))
       else if certificate then Certificate.print net algo report
-      else
+      else begin
         Format.printf "%s on %s:@.  %a@." algo.Algo.name (Net.name net)
           (Checker.pp_verdict net) report.Checker.verdict;
+        print_text_metrics ~metrics
+      end;
       (match report.Checker.verdict with
       | Checker.Deadlock_possible failure when replay ->
         (match Scenario.replay net algo failure with
@@ -298,7 +381,8 @@ let spec_check_run file replay certificate json domains =
         | Some false -> Format.printf "  replay: configuration drained (not confirmed)@."
         | None -> Format.printf "  replay: nothing to replay for this failure@.")
       | _ -> ());
-      match report.Checker.verdict with Checker.Unknown _ -> 2 | _ -> 0)
+      obs_teardown ~trace;
+      exit_of_verdict report.Checker.verdict)
 
 let spec_check_cmd =
   let replay =
@@ -317,7 +401,8 @@ let spec_check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Decide deadlock freedom for a spec-defined network")
-    Term.(const spec_check_run $ spec_file_arg $ replay $ certificate $ json $ domains)
+    Term.(const spec_check_run $ spec_file_arg $ replay $ certificate $ json
+          $ domains $ trace_arg $ metrics_arg)
 
 let write_or_print output what content =
   match output with
@@ -374,7 +459,8 @@ let spec_cmd =
 (* ------------------------------------------------------------------ *)
 (* audit: the whole catalogue, optionally as JSON                      *)
 
-let audit_run json domains =
+let audit_run json domains trace metrics =
+  obs_setup ~trace ~metrics;
   let reports =
     List.map
       (fun (e : Registry.entry) ->
@@ -397,7 +483,16 @@ let audit_run json domains =
             ])
         reports
     in
-    print_endline (Dfr_util.Json.to_string_pretty (Dfr_util.Json.List items))
+    let doc =
+      (* --metrics changes the top level from a list to an object so the
+         aggregate counters have somewhere to live *)
+      if metrics then
+        Dfr_util.Json.Obj
+          [ ("audit", Dfr_util.Json.List items);
+            ("metrics", Obs.metrics_json ()) ]
+      else Dfr_util.Json.List items
+    in
+    print_endline (Dfr_util.Json.to_string_pretty doc)
   end
   else
     List.iter
@@ -412,6 +507,8 @@ let audit_run json domains =
         Format.printf "%-10s %-24s %a@." ok e.Registry.name
           (Checker.pp_verdict net) report.Checker.verdict)
       reports;
+  if not json then print_text_metrics ~metrics;
+  obs_teardown ~trace;
   let mismatches =
     List.filter
       (fun ((e : Registry.entry), _, report) ->
@@ -436,7 +533,7 @@ let audit_cmd =
   Cmd.v
     (Cmd.info "audit"
        ~doc:"Check the entire catalogue against its expected verdicts")
-    Term.(const audit_run $ json $ domains)
+    Term.(const audit_run $ json $ domains $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -445,16 +542,19 @@ let () =
     Cmd.info "dfcheck" ~version:"1.0.0"
       ~doc:"Deadlock-freedom analysis of interconnection-network routing"
   in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            list_cmd;
-            check_cmd;
-            bwg_cmd;
-            adaptiveness_cmd;
-            matrix_cmd;
-            simulate_cmd;
-            audit_cmd;
-            spec_cmd;
-          ]))
+  let code =
+    Cmd.eval'
+      (Cmd.group info
+         [
+           list_cmd;
+           check_cmd;
+           bwg_cmd;
+           adaptiveness_cmd;
+           matrix_cmd;
+           simulate_cmd;
+           audit_cmd;
+           spec_cmd;
+         ])
+  in
+  (* fold cmdliner's usage-error code into the documented "2 = usage error" *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

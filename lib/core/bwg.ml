@@ -1,5 +1,6 @@
 open Dfr_network
 open Dfr_graph
+module Obs = Dfr_obs.Obs
 
 type wait_sets = buf:int -> dest:int -> int list
 type witness = { dest : int; head : int }
@@ -70,7 +71,7 @@ let edges_for_dest space ~wait_sets ~wormhole dest ~emit =
         List.iter (fun w -> emit q1 w wit) (wait_sets ~buf:q1 ~dest))
       (State_space.reachable_with space ~dest)
   else begin
-    let g = State_space.move_graph space ~dest in
+    let g = State_space.move_graph_quiet space ~dest in
     let n = Csr.num_vertices g in
     let reach = State_space.reachable_with space ~dest in
     (* The closure pass needs components numbered in reverse topological
@@ -189,6 +190,7 @@ let edges_for_dest space ~wait_sets ~wormhole dest ~emit =
   end
 
 let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1) space =
+  Obs.span "bwg.build" @@ fun () ->
   let wait_sets =
     match wait_sets with
     | Some w -> w
@@ -199,6 +201,7 @@ let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1) space
   let num_bufs = State_space.num_buffers space in
   let graph = Digraph.create num_bufs in
   let witnesses = Array.make num_bufs [] in
+  let num_edges = ref 0 in
   (* the witness cell doubles as the duplicate-edge check: only the first
      witness of an edge touches the adjacency structure *)
   let add_edge q1 q2 w =
@@ -208,22 +211,26 @@ let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1) space
         cell.ws <- w :: cell.ws;
         cell.count <- cell.count + 1
       end
+      else Obs.count "bwg.witnesses.capped" 1
     | None ->
       witnesses.(q1) <- (q2, { count = 1; ws = [ w ] }) :: witnesses.(q1);
+      incr num_edges;
       Digraph.unsafe_add_edge graph q1 q2
   in
   let wormhole = indirect && Net.switching net = Net.Wormhole in
+  (* the closure pass walks every destination's move graph; building them
+     eagerly costs nothing extra serially and is mandatory before a domain
+     fan-out (the lazy cache is not safe to populate concurrently) *)
+  if wormhole then State_space.materialize_move_graphs space;
   let dests = List.init num_nodes Fun.id in
   if domains <= 1 || num_nodes <= 1 then
     (* serial: stream edges straight into the recorder, no staging lists *)
     List.iter
-      (fun d -> edges_for_dest space ~wait_sets ~wormhole d ~emit:add_edge)
+      (fun d ->
+        Obs.span "bwg.closure" (fun () ->
+            edges_for_dest space ~wait_sets ~wormhole d ~emit:add_edge))
       dests
   else begin
-    (* the lazily cached move graphs are not safe to build concurrently:
-       materialize them first, then fan the per-destination closures out
-       over OCaml 5 domains *)
-    List.iter (fun dest -> ignore (State_space.move_graph space ~dest)) dests;
     let n_dom = min domains num_nodes in
     let chunks = Array.make n_dom [] in
     List.iteri (fun i d -> chunks.(i mod n_dom) <- d :: chunks.(i mod n_dom)) dests;
@@ -232,8 +239,10 @@ let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1) space
       Array.map
         (fun chunk ->
           Domain.spawn (fun () ->
+              Obs.span "bwg.build.worker" @@ fun () ->
               List.map
                 (fun d ->
+                  Obs.span "bwg.closure" @@ fun () ->
                   let acc = ref [] in
                   edges_for_dest space ~wait_sets ~wormhole d
                     ~emit:(fun q w wit -> acc := (q, w, wit) :: !acc);
@@ -250,6 +259,8 @@ let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1) space
       (fun es -> List.iter (fun (q, w, wit) -> add_edge q w wit) (List.rev es))
       results
   end;
+  Obs.gauge "bwg.vertices" (float_of_int num_bufs);
+  Obs.gauge "bwg.edges" (float_of_int !num_edges);
   { space; graph; frozen = None; witnesses; wait_sets; witness_cap }
 
 let is_acyclic t = Traversal.is_acyclic_csr (frozen_graph t)

@@ -1,5 +1,6 @@
 open Dfr_network
 open Dfr_routing
+module Obs = Dfr_obs.Obs
 
 type proof =
   | Acyclic_bwg
@@ -41,33 +42,47 @@ type report = {
    can never be the minimum, so skipping preserves the result while still
    giving an early exit. *)
 let scan_cycles ?class_limits ?(domains = 1) bwg cycles =
+  Obs.span "checker.classify" @@ fun () ->
   let cycles =
     List.sort (fun a b -> compare (List.length a) (List.length b)) cycles
   in
   let classify c = Cycle_class.classify ?limits:class_limits bwg c in
   let n = List.length cycles in
+  (* [checker.cycles.classified] counts classifications that contribute to
+     the verdict: with a True Cycle at sorted index i that is i + 1 (every
+     cycle below it plus the witness), otherwise all n — identical between
+     the serial and parallel scans even though parallel workers may
+     opportunistically classify further cycles before the short-circuit
+     propagates. *)
+  let classified k = Obs.count "checker.cycles.classified" k in
   if domains <= 1 || n <= 1 then
     let rec go uncertain examined = function
-      | [] -> `All_false (examined, uncertain)
+      | [] ->
+        classified examined;
+        `All_false (examined, uncertain)
       | c :: rest -> (
         match classify c with
-        | Cycle_class.True_cycle packets -> `True (c, packets)
+        | Cycle_class.True_cycle packets ->
+          classified (examined + 1);
+          `True (c, packets)
         | Cycle_class.False_resource_cycle { exhaustive } ->
           go (uncertain || not exhaustive) (examined + 1) rest)
     in
     go false 0 cycles
   else begin
-    (* classification walks lazily cached per-destination move graphs:
-       materialize them before the fan-out *)
+    (* wormhole classification walks lazily cached per-destination move
+       graphs: materialize them before the fan-out (SAF/VCT classification
+       never touches them, and materializing here would make the cache
+       counters depend on [--domains]) *)
     let space = Bwg.space bwg in
-    for dest = 0 to State_space.num_nodes space - 1 do
-      ignore (State_space.move_graph space ~dest)
-    done;
+    if Net.switching (State_space.net space) = Net.Wormhole then
+      State_space.materialize_move_graphs space;
     let arr = Array.of_list cycles in
     let verdicts = Array.make n None in
     let best = Atomic.make max_int in
     let n_dom = min domains n in
     let worker k () =
+      Obs.span "checker.classify.worker" @@ fun () ->
       let i = ref k in
       while !i < n do
         if Atomic.get best > !i then
@@ -87,10 +102,15 @@ let scan_cycles ?class_limits ?(domains = 1) bwg cycles =
     let workers = Array.init n_dom (fun k -> Domain.spawn (worker k)) in
     Array.iter Domain.join workers;
     let rec collect uncertain examined i =
-      if i >= n then `All_false (examined, uncertain)
+      if i >= n then begin
+        classified examined;
+        `All_false (examined, uncertain)
+      end
       else
         match verdicts.(i) with
-        | Some (Cycle_class.True_cycle packets) -> `True (arr.(i), packets)
+        | Some (Cycle_class.True_cycle packets) ->
+          classified (examined + 1);
+          `True (arr.(i), packets)
         | Some (Cycle_class.False_resource_cycle { exhaustive }) ->
           collect (uncertain || not exhaustive) (examined + 1) (i + 1)
         | None ->
@@ -101,10 +121,23 @@ let scan_cycles ?class_limits ?(domains = 1) bwg cycles =
   end
 
 let check ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) net algo =
+  Obs.span "checker.check" @@ fun () ->
   let space = State_space.build net algo in
   let bwg = Bwg.build ~domains space in
   let n_cycles = ref None in
-  let finish verdict = { verdict; space; bwg; bwg_cycles = !n_cycles } in
+  let ran_knot = ref false and ran_scan = ref false and ran_classify = ref false in
+  let stage ran name f =
+    ran := true;
+    Obs.span name f
+  in
+  let finish verdict =
+    (* every trace carries the full pipeline: stages an early verdict made
+       unnecessary appear as zero-duration spans *)
+    if not !ran_knot then Obs.span "checker.knot" (fun () -> ());
+    if not !ran_scan then Obs.span "checker.cycle-scan" (fun () -> ());
+    if not !ran_classify then Obs.span "checker.classify" (fun () -> ());
+    { verdict; space; bwg; bwg_cycles = !n_cycles }
+  in
   match State_space.stuck_states space with
   | _ :: _ as stuck -> finish (Deadlock_possible (Stuck_states stuck))
   | [] -> (
@@ -117,11 +150,17 @@ let check ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) net algo 
            single-buffer packets survives in every BWG', so it is a
            deadlock under either waiting discipline (Theorems 2-3,
            necessity). *)
-        match Deadlock_config.find space with
+        match stage ran_knot "checker.knot" (fun () -> Deadlock_config.find space)
+        with
         | Some config -> finish (Deadlock_possible (Knot config))
         | None -> (
-          let cycles, cycles_exhaustive = Bwg.cycles ?limits:cycle_limits bwg in
+          let cycles, cycles_exhaustive =
+            stage ran_scan "checker.cycle-scan" (fun () ->
+                Bwg.cycles ?limits:cycle_limits bwg)
+          in
           n_cycles := Some (List.length cycles);
+          Obs.count "checker.cycles.enumerated" (List.length cycles);
+          ran_classify := true;
           match scan_cycles ?class_limits ~domains bwg cycles with
           | `True (cycle, packets) -> (
             match algo.Algo.wait with

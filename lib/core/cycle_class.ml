@@ -1,4 +1,5 @@
 open Dfr_network
+module Obs = Dfr_obs.Obs
 
 type packet = { dest : int; path : int list; waits_for : int }
 type verdict = True_cycle of packet list | False_resource_cycle of { exhaustive : bool }
@@ -71,7 +72,11 @@ let edge_candidates ~limits bwg q w =
 
 exception Found of packet list
 
+(* Timed but not counted: the parallel scan may classify cycles past the
+   short-circuit point, so a call counter would vary with [--domains];
+   [Checker] counts the verdict-relevant classifications instead. *)
 let classify ?(limits = default_limits) bwg cycle =
+  Obs.span "classify.cycle" @@ fun () ->
   let g = Bwg.graph bwg in
   let edges =
     match cycle with

@@ -1,4 +1,5 @@
 open Dfr_network
+module Obs = Dfr_obs.Obs
 
 type removed = { head : int; dest : int; target : int }
 
@@ -28,6 +29,7 @@ let verify_hint ?cycle_limits ?class_limits space =
   match State_space.reduced_waits space with
   | None -> None
   | Some wait_sets ->
+    Obs.span "reduction.verify-hint" @@ fun () ->
     let bwg = Bwg.build ~wait_sets space in
     if not (Bwg.is_wait_connected bwg) then
       Some (Gave_up "reduced-waits hint is not wait-connected")
@@ -66,6 +68,7 @@ let generating_entries space current ~wormhole q w =
   !acc
 
 let search ?cycle_limits ?class_limits ?(budget = 2000) space =
+  Obs.span "reduction.search" @@ fun () ->
   let wormhole = Net.switching (State_space.net space) = Net.Wormhole in
   let num_nodes = State_space.num_nodes space in
   (* mutable copy of the waiting rule, indexed like the state space *)
@@ -84,6 +87,7 @@ let search ?cycle_limits ?class_limits ?(budget = 2000) space =
     if !remaining <= 0 then uncertain := Some "reduction budget exhausted"
     else begin
       decr remaining;
+      Obs.count "reduction.attempts" 1;
       let bwg = Bwg.build ~wait_sets:current space in
       match true_cycle_status ?cycle_limits ?class_limits bwg with
       | Error reason -> uncertain := Some reason

@@ -1,5 +1,6 @@
 open Dfr_network
 open Dfr_routing
+module Obs = Dfr_obs.Obs
 
 type t = {
   net : Net.t;
@@ -36,6 +37,7 @@ let reduced_waits t =
     t.reduced
 
 let build net algo =
+  Obs.span "space.build" @@ fun () ->
   (match Algo.validate algo net with
   | Ok () -> ()
   | Error msg -> invalid_arg ("State_space.build: " ^ msg));
@@ -78,6 +80,8 @@ let build net algo =
       List.iter (fun o -> visit o dest) outs
     end
   done;
+  Obs.count "space.states"
+    (Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 reachable);
   {
     net;
     algo;
@@ -97,7 +101,14 @@ let iter_reachable t f =
     done
   done
 
-let move_graph t ~dest =
+(* The quiet accessor exists for counter determinism: the serial BWG build
+   resolves move graphs lazily while the parallel build pre-materializes
+   them, so any hit/build counting on the structural pass would make the
+   metrics depend on [--domains].  Structural consumers go through
+   [move_graph_quiet]/[materialize_move_graphs]; only the classification
+   paths (which run after materialization on every configuration) use the
+   counted [move_graph]. *)
+let move_graph_quiet t ~dest =
   match t.move_graphs.(dest) with
   | Some g -> g
   | None ->
@@ -111,6 +122,20 @@ let move_graph t ~dest =
     let frozen = Dfr_graph.Digraph.freeze g in
     t.move_graphs.(dest) <- Some frozen;
     frozen
+
+let move_graph t ~dest =
+  (match t.move_graphs.(dest) with
+  | Some _ -> Obs.count "space.move-graph.hits" 1
+  | None -> Obs.count "space.move-graph.builds" 1);
+  move_graph_quiet t ~dest
+
+let materialize_move_graphs t =
+  for dest = 0 to t.num_nodes - 1 do
+    (match t.move_graphs.(dest) with
+    | None -> Obs.count "space.move-graph.builds" 1
+    | Some _ -> ());
+    ignore (move_graph_quiet t ~dest)
+  done
 
 let reachable_with t ~dest =
   let acc = ref [] in

@@ -44,7 +44,19 @@ val move_graph : t -> dest:int -> Dfr_graph.Csr.t
 (** Buffer-to-buffer moves available to packets destined for [dest]
     (restricted to reachable states), frozen to CSR and cached.  The lazy
     cache is not safe to populate from several domains at once — callers
-    that fan work out materialize every destination first. *)
+    that fan work out call {!materialize_move_graphs} first.
+
+    Records [space.move-graph.hits]/[.builds] observability counters; use
+    {!move_graph_quiet} on paths whose cache behaviour varies with the
+    domain count (see DESIGN.md, observability architecture). *)
+
+val move_graph_quiet : t -> dest:int -> Dfr_graph.Csr.t
+(** [move_graph] without the cache counters. *)
+
+val materialize_move_graphs : t -> unit
+(** Populate the move-graph cache for every destination (required before
+    fanning work out over domains).  Counts cache builds but not hits, so
+    the counters agree between lazy serial and eager parallel builds. *)
 
 val reachable_with : t -> dest:int -> int list
 (** Buffers some [dest]-bound packet can occupy, ascending. *)

@@ -1,0 +1,170 @@
+open Dfr_util
+
+type event = {
+  name : string;
+  start_us : float; (* relative to the collector's epoch *)
+  dur_us : float;
+  domain : int;
+  depth : int;
+}
+
+type collector = {
+  mutable events : event list; (* most recent first *)
+  counters : (string, int) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  mutex : Mutex.t;
+  epoch : float;
+}
+
+(* One global slot.  Probes read it with a single [Atomic.get]; [None]
+   (the default) makes every probe a near-free no-op. *)
+let state : collector option Atomic.t = Atomic.make None
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let enable () =
+  Atomic.set state
+    (Some
+       {
+         events = [];
+         counters = Hashtbl.create 32;
+         gauges = Hashtbl.create 16;
+         mutex = Mutex.create ();
+         epoch = now_us ();
+       })
+
+let disable () = Atomic.set state None
+let enabled () = Atomic.get state <> None
+
+(* Nesting depth is tracked per domain: spans recorded inside a spawned
+   worker nest relative to that worker, not to the spawning domain. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let locked c f =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
+
+let span name f =
+  match Atomic.get state with
+  | None -> f ()
+  | Some c ->
+    let d = Domain.DLS.get depth_key in
+    let depth = !d in
+    d := depth + 1;
+    let t0 = now_us () in
+    let record () =
+      let t1 = now_us () in
+      d := depth;
+      let ev =
+        {
+          name;
+          start_us = t0 -. c.epoch;
+          dur_us = t1 -. t0;
+          domain = (Domain.self () :> int);
+          depth;
+        }
+      in
+      locked c (fun () -> c.events <- ev :: c.events)
+    in
+    Fun.protect ~finally:record f
+
+let count name n =
+  match Atomic.get state with
+  | None -> ()
+  | Some c ->
+    locked c (fun () ->
+        let cur = Option.value (Hashtbl.find_opt c.counters name) ~default:0 in
+        Hashtbl.replace c.counters name (cur + n))
+
+let gauge name v =
+  match Atomic.get state with
+  | None -> ()
+  | Some c -> locked c (fun () -> Hashtbl.replace c.gauges name v)
+
+(* ------------------------------------------------------------------ *)
+(* reading                                                             *)
+
+let sorted_bindings tbl =
+  List.sort (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let counters () =
+  match Atomic.get state with
+  | None -> []
+  | Some c -> locked c (fun () -> sorted_bindings c.counters)
+
+let gauges () =
+  match Atomic.get state with
+  | None -> []
+  | Some c -> locked c (fun () -> sorted_bindings c.gauges)
+
+let events () =
+  match Atomic.get state with
+  | None -> []
+  | Some c ->
+    let evs = locked c (fun () -> c.events) in
+    (* chronological, ties broken by depth so a parent precedes the
+       children that started in the same clock tick *)
+    List.sort
+      (fun a b ->
+        match compare a.start_us b.start_us with
+        | 0 -> compare a.depth b.depth
+        | n -> n)
+      evs
+
+let span_totals () =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let n, total =
+        Option.value (Hashtbl.find_opt tbl ev.name) ~default:(0, 0.0)
+      in
+      Hashtbl.replace tbl ev.name (n + 1, total +. ev.dur_us))
+    (events ());
+  sorted_bindings tbl
+
+(* ------------------------------------------------------------------ *)
+(* exporters                                                           *)
+
+let metrics_json () =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters ())) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (gauges ())) );
+      ( "spans",
+        Json.Obj
+          (List.map
+             (fun (k, (n, total)) ->
+               ( k,
+                 Json.Obj
+                   [ ("count", Json.Int n); ("total_us", Json.Float total) ] ))
+             (span_totals ())) );
+    ]
+
+let trace_json () =
+  let event ev =
+    Json.Obj
+      [
+        ("name", Json.String ev.name);
+        ("cat", Json.String "dfr");
+        ("ph", Json.String "X");
+        ("ts", Json.Float ev.start_us);
+        ("dur", Json.Float ev.dur_us);
+        ("pid", Json.Int 0);
+        ("tid", Json.Int ev.domain);
+        ("args", Json.Obj [ ("depth", Json.Int ev.depth) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event (events ())));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_trace file =
+  let oc = open_out file in
+  output_string oc (Json.to_string_pretty (trace_json ()));
+  output_char oc '\n';
+  close_out oc

@@ -276,6 +276,7 @@ let collect_stats sim cycle =
   }
 
 let run ?(config = default_config) net algo traffic =
+  Dfr_obs.Obs.span "sim.router.run" @@ fun () ->
   let packets =
     Array.of_list
       (List.mapi
@@ -320,6 +321,7 @@ let run ?(config = default_config) net algo traffic =
     }
   in
   let silent = ref 0 in
+  let total_events = ref 0 and stalls = ref 0 in
   let result = ref None in
   let cycle = ref 0 in
   while !result = None && !cycle < config.max_cycles do
@@ -350,13 +352,18 @@ let run ?(config = default_config) net algo traffic =
       if !silent >= 3 then result := Some (`Deadlock (!cycle, in_flight))
     end
     else silent := 0;
+    total_events := !total_events + sim.events;
+    if sim.events = 0 then incr stalls;
     incr cycle
   done;
+  let finish stats =
+    Stats.observe stats ~sim:"router" ~events:!total_events ~stalls:!stalls
+  in
   match !result with
-  | Some (`Done c) -> Completed (collect_stats sim c)
+  | Some (`Done c) -> Completed (finish (collect_stats sim c))
   | Some (`Deadlock (c, in_flight)) ->
-    Deadlocked { cycle = c; in_flight; stats = collect_stats sim c }
-  | None -> Timeout (collect_stats sim config.max_cycles)
+    Deadlocked { cycle = c; in_flight; stats = finish (collect_stats sim c) }
+  | None -> Timeout (finish (collect_stats sim config.max_cycles))
 
 let is_deadlocked = function
   | Deadlocked _ -> true

@@ -26,6 +26,7 @@ type pkt = {
 }
 
 let run_generic ?(config = default_config) net algo packets =
+  Dfr_obs.Obs.span "sim.saf.run" @@ fun () ->
   let owner = Array.make (Net.num_buffers net) (-1) in
   let rng = Prng.create config.seed in
   Array.iter
@@ -93,6 +94,7 @@ let run_generic ?(config = default_config) net algo packets =
       end
   in
   let silent = ref 0 in
+  let total_events = ref 0 and stalls = ref 0 in
   let result = ref None in
   let cycle = ref 0 in
   while !result = None && !cycle < config.max_cycles do
@@ -122,6 +124,8 @@ let run_generic ?(config = default_config) net algo packets =
       if !silent >= 3 then result := Some (`Deadlock (!cycle, in_flight))
     end
     else silent := 0;
+    total_events := !total_events + !events;
+    if !events = 0 then incr stalls;
     incr cycle
   done;
   let collect c =
@@ -143,11 +147,14 @@ let run_generic ?(config = default_config) net algo packets =
       latencies = !latencies;
     }
   in
+  let finish stats =
+    Stats.observe stats ~sim:"saf" ~events:!total_events ~stalls:!stalls
+  in
   match !result with
-  | Some (`Done c) -> Completed (collect c)
+  | Some (`Done c) -> Completed (finish (collect c))
   | Some (`Deadlock (c, in_flight)) ->
-    Deadlocked { cycle = c; in_flight; stats = collect c }
-  | None -> Timeout (collect config.max_cycles)
+    Deadlocked { cycle = c; in_flight; stats = finish (collect c) }
+  | None -> Timeout (finish (collect config.max_cycles))
 
 let run ?config net algo traffic =
   let packets =

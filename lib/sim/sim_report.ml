@@ -1,0 +1,42 @@
+open Dfr_util
+
+let make ~simulator ~outcome ~stats ~nodes extra =
+  Json.Obj
+    (("simulator", Json.String simulator)
+    :: ("outcome", Json.String outcome)
+    :: (extra @ [ ("stats", Stats.to_json stats ~nodes) ]))
+
+let wormhole outcome ~nodes =
+  let make = make ~simulator:"wormhole" ~nodes in
+  match outcome with
+  | Wormhole_sim.Completed s -> make ~outcome:"completed" ~stats:s []
+  | Wormhole_sim.Timeout s -> make ~outcome:"timeout" ~stats:s []
+  | Wormhole_sim.Deadlocked { cycle; in_flight; stats; wait_for } ->
+    make ~outcome:"deadlock" ~stats
+      [
+        ("deadlock_cycle", Json.Int cycle);
+        ("in_flight", Json.Int in_flight);
+        ( "wait_for",
+          Json.List
+            (List.map
+               (fun (p, q) -> Json.List [ Json.Int p; Json.Int q ])
+               wait_for) );
+      ]
+
+let saf outcome ~nodes =
+  let make = make ~simulator:"saf" ~nodes in
+  match outcome with
+  | Saf_sim.Completed s -> make ~outcome:"completed" ~stats:s []
+  | Saf_sim.Timeout s -> make ~outcome:"timeout" ~stats:s []
+  | Saf_sim.Deadlocked { cycle; in_flight; stats } ->
+    make ~outcome:"deadlock" ~stats
+      [ ("deadlock_cycle", Json.Int cycle); ("in_flight", Json.Int in_flight) ]
+
+let router outcome ~nodes =
+  let make = make ~simulator:"router" ~nodes in
+  match outcome with
+  | Router_sim.Completed s -> make ~outcome:"completed" ~stats:s []
+  | Router_sim.Timeout s -> make ~outcome:"timeout" ~stats:s []
+  | Router_sim.Deadlocked { cycle; in_flight; stats } ->
+    make ~outcome:"deadlock" ~stats
+      [ ("deadlock_cycle", Json.Int cycle); ("in_flight", Json.Int in_flight) ]

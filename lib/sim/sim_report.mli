@@ -1,0 +1,10 @@
+(** Machine-readable simulation reports (JSON), the simulator-side
+    counterpart of {!Dfr_core.Report_json}.
+
+    The emitted document is always valid JSON even for an idle run that
+    delivered nothing: the mean latency field degrades to [null] rather
+    than a literal [nan] token (see {!Stats.to_json}). *)
+
+val wormhole : Wormhole_sim.outcome -> nodes:int -> Dfr_util.Json.t
+val saf : Saf_sim.outcome -> nodes:int -> Dfr_util.Json.t
+val router : Router_sim.outcome -> nodes:int -> Dfr_util.Json.t

@@ -11,25 +11,57 @@ let empty =
 
 let mean_latency t =
   match t.latencies with
-  | [] -> nan
+  | [] -> None
   | ls ->
-    float_of_int (List.fold_left ( + ) 0 ls) /. float_of_int (List.length ls)
+    Some
+      (float_of_int (List.fold_left ( + ) 0 ls) /. float_of_int (List.length ls))
 
 let max_latency t = List.fold_left max 0 t.latencies
 
 let percentile_latency t p =
-  match List.sort compare t.latencies with
+  match t.latencies with
   | [] -> 0
-  | sorted ->
-    let n = List.length sorted in
-    let idx = min (n - 1) (int_of_float (p *. float_of_int n)) in
-    List.nth sorted idx
+  | ls ->
+    let sorted = Array.of_list ls in
+    Array.sort Int.compare sorted;
+    let n = Array.length sorted in
+    let idx = max 0 (min (n - 1) (int_of_float (p *. float_of_int n))) in
+    sorted.(idx)
 
 let throughput t ~nodes =
   if t.cycles = 0 then 0.0
   else float_of_int t.flits_delivered /. float_of_int t.cycles /. float_of_int nodes
 
 let pp fmt t =
-  Format.fprintf fmt
-    "cycles=%d injected=%d delivered=%d flits=%d mean-latency=%.1f" t.cycles
-    t.injected t.delivered t.flits_delivered (mean_latency t)
+  Format.fprintf fmt "cycles=%d injected=%d delivered=%d flits=%d mean-latency=%s"
+    t.cycles t.injected t.delivered t.flits_delivered
+    (match mean_latency t with
+    | None -> "n/a"
+    | Some m -> Printf.sprintf "%.1f" m)
+
+let observe t ~sim ~events ~stalls =
+  let module Obs = Dfr_obs.Obs in
+  let name k = "sim." ^ sim ^ "." ^ k in
+  Obs.count (name "cycles") t.cycles;
+  Obs.count (name "events") events;
+  Obs.count (name "stalls") stalls;
+  if t.cycles > 0 then
+    Obs.gauge (name "flits-per-kcycle")
+      (1000.0 *. float_of_int t.flits_delivered /. float_of_int t.cycles);
+  t
+
+let to_json t ~nodes =
+  let module J = Dfr_util.Json in
+  J.Obj
+    [
+      ("cycles", J.Int t.cycles);
+      ("injected", J.Int t.injected);
+      ("delivered", J.Int t.delivered);
+      ("flits_delivered", J.Int t.flits_delivered);
+      ( "mean_latency",
+        match mean_latency t with None -> J.Null | Some m -> J.Float m );
+      ("max_latency", J.Int (max_latency t));
+      ("p50_latency", J.Int (percentile_latency t 0.5));
+      ("p95_latency", J.Int (percentile_latency t 0.95));
+      ("throughput", J.Float (throughput t ~nodes));
+    ]

@@ -1,4 +1,4 @@
-(** Latency/throughput accounting shared by both simulators. *)
+(** Latency/throughput accounting shared by the simulators. *)
 
 type t = {
   cycles : int;  (** cycles simulated *)
@@ -10,10 +10,13 @@ type t = {
 
 val empty : t
 
-val mean_latency : t -> float
-(** [nan] when nothing was delivered. *)
+val mean_latency : t -> float option
+(** [None] when nothing was delivered — an idle-node run has no mean
+    latency, and the former [nan] result leaked into printed tables and
+    JSON reports as an unparseable token. *)
 
 val max_latency : t -> int
+
 val percentile_latency : t -> float -> int
 (** e.g. [percentile_latency t 0.95]; 0 when nothing was delivered. *)
 
@@ -21,3 +24,12 @@ val throughput : t -> nodes:int -> float
 (** Flits delivered per node per cycle. *)
 
 val pp : Format.formatter -> t -> unit
+
+val observe : t -> sim:string -> events:int -> stalls:int -> t
+(** Record a finished run under the [sim.<name>.*] observability names —
+    cycle/event/stall counters plus a flits-per-1k-cycles gauge — and
+    return [t] unchanged.  No-op while {!Dfr_obs.Obs} is disabled. *)
+
+val to_json : t -> nodes:int -> Dfr_util.Json.t
+(** All of the above as one object; [mean_latency] is [null] when nothing
+    was delivered, so the emitted document is always valid JSON. *)

@@ -279,8 +279,10 @@ let wait_for_edges sim cycle =
   List.rev !edges
 
 let run_loop sim =
+  Dfr_obs.Obs.span "sim.wormhole.run" @@ fun () ->
   let n = Array.length sim.packets in
   let silent = ref 0 in
+  let total_events = ref 0 and stalls = ref 0 in
   let outcome = ref None in
   let cycle = ref 0 in
   while !outcome = None && !cycle < sim.cfg.max_cycles do
@@ -322,13 +324,19 @@ let run_loop sim =
         outcome := Some (`Deadlock (!cycle, in_flight, wait_for_edges sim !cycle))
     end
     else silent := 0;
+    total_events := !total_events + sim.events;
+    if sim.events = 0 then incr stalls;
     incr cycle
   done;
+  let finish stats =
+    Stats.observe stats ~sim:"wormhole" ~events:!total_events ~stalls:!stalls
+  in
   match !outcome with
-  | Some (`Done c) -> Completed (collect_stats sim c)
+  | Some (`Done c) -> Completed (finish (collect_stats sim c))
   | Some (`Deadlock (c, in_flight, wait_for)) ->
-    Deadlocked { cycle = c; in_flight; stats = collect_stats sim c; wait_for }
-  | None -> Timeout (collect_stats sim sim.cfg.max_cycles)
+    Deadlocked
+      { cycle = c; in_flight; stats = finish (collect_stats sim c); wait_for }
+  | None -> Timeout (finish (collect_stats sim sim.cfg.max_cycles))
 
 let packets_of_traffic traffic =
   Array.of_list

@@ -24,8 +24,14 @@ let escape s =
   Buffer.contents buf
 
 let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.12g" f
+  match Float.classify_float f with
+  | Float.FP_nan | Float.FP_infinite ->
+    (* JSON has no non-finite numbers; a literal nan/inf token makes the
+       whole document unparseable for every consumer, so degrade to null *)
+    "null"
+  | Float.FP_zero | Float.FP_normal | Float.FP_subnormal ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.12g" f
 
 let rec emit buf ~indent ~level t =
   let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
@@ -156,24 +162,58 @@ let parse_string_body p =
         | 'b' -> Buffer.add_char buf '\b'
         | 'f' -> Buffer.add_char buf '\012'
         | 'u' ->
-          if p.off + 4 > String.length p.src then parse_fail p "truncated \\u escape";
-          let code =
-            List.fold_left
-              (fun acc i -> (acc * 16) + hex_digit p p.src.[p.off + i])
-              0 [ 0; 1; 2; 3 ]
+          let hex4 () =
+            if p.off + 4 > String.length p.src then
+              parse_fail p "truncated \\u escape";
+            let code =
+              List.fold_left
+                (fun acc i -> (acc * 16) + hex_digit p p.src.[p.off + i])
+                0 [ 0; 1; 2; 3 ]
+            in
+            p.off <- p.off + 4;
+            code
           in
-          p.off <- p.off + 4;
-          (* the emitter only produces \u escapes for control characters;
-             encode anything else as UTF-8 *)
-          if code < 0x80 then Buffer.add_char buf (Char.chr code)
-          else if code < 0x800 then begin
-            Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
-            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+          let code = hex4 () in
+          (* \u escapes are UTF-16 code units: a code point above the BMP
+             arrives as a surrogate pair that must be recombined into one
+             scalar; an unpaired surrogate encodes no character at all *)
+          let scalar =
+            if code >= 0xd800 && code <= 0xdbff then
+              if
+                p.off + 2 <= String.length p.src
+                && p.src.[p.off] = '\\'
+                && p.src.[p.off + 1] = 'u'
+              then begin
+                p.off <- p.off + 2;
+                let low = hex4 () in
+                if low >= 0xdc00 && low <= 0xdfff then
+                  0x10000 + ((code - 0xd800) lsl 10) + (low - 0xdc00)
+                else
+                  parse_fail p
+                    "\\u%04x after high surrogate \\u%04x is not a low \
+                     surrogate"
+                    low code
+              end
+              else parse_fail p "lone high surrogate \\u%04x" code
+            else if code >= 0xdc00 && code <= 0xdfff then
+              parse_fail p "lone low surrogate \\u%04x" code
+            else code
+          in
+          if scalar < 0x80 then Buffer.add_char buf (Char.chr scalar)
+          else if scalar < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xc0 lor (scalar lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (scalar land 0x3f)))
+          end
+          else if scalar < 0x10000 then begin
+            Buffer.add_char buf (Char.chr (0xe0 lor (scalar lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((scalar lsr 6) land 0x3f)));
+            Buffer.add_char buf (Char.chr (0x80 lor (scalar land 0x3f)))
           end
           else begin
-            Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
-            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
-            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+            Buffer.add_char buf (Char.chr (0xf0 lor (scalar lsr 18)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((scalar lsr 12) land 0x3f)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((scalar lsr 6) land 0x3f)));
+            Buffer.add_char buf (Char.chr (0x80 lor (scalar land 0x3f)))
           end
         | c -> parse_fail p "unknown escape \\%c" c);
         loop ())

@@ -14,15 +14,24 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
-(** Compact, single line. *)
+(** Compact, single line.
+
+    Non-finite floats ([nan], [infinity], [neg_infinity]) are emitted as
+    [null]: JSON has no representation for them, and a literal [nan]/[inf]
+    token renders the whole document unparseable for every downstream
+    consumer.  A [Float nan] therefore round-trips through {!of_string} as
+    {!Null} — emit {!Null} (or guard upstream, as {!Dfr_sim.Stats} does)
+    when the distinction matters. *)
 
 val to_string_pretty : t -> string
-(** Two-space indentation. *)
+(** Two-space indentation; same non-finite float policy as {!to_string}. *)
 
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document.  Accepts everything {!to_string} and
     {!to_string_pretty} emit (round-trip safe); [\u] escapes outside the
-    ASCII range are decoded to UTF-8.  Errors carry the byte offset. *)
+    ASCII range are decoded to UTF-8, with UTF-16 surrogate pairs
+    recombined into the encoded code point and lone surrogates rejected.
+    Errors carry the byte offset. *)
 
 (** {2 Accessors} *)
 

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Exit-code contract of dfcheck (see the table in bin/dfcheck.ml):
+#   0  deadlock-free / success
+#   1  deadlock found
+#   2  usage or spec error
+#   3  verdict unknown
+# Run by a dune rule with the dfcheck binary as $1; spec fixtures are
+# resolved relative to this script's sandbox copy of the workspace.
+set -u
+dfcheck=$1
+specs=../examples/specs
+fail=0
+
+expect() {
+  want=$1
+  shift
+  "$dfcheck" "$@" >/dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: dfcheck $* -> exit $got, want $want"
+    fail=1
+  else
+    echo "ok: dfcheck $* -> $got"
+  fi
+}
+
+# deadlock-free algorithms -> 0
+expect 0 check -a efa
+expect 0 check -t hypercube:3 -a ecube
+expect 0 spec check "$specs/updown.dfr"
+
+# deadlock witnesses (knot or True Cycle) -> 1
+expect 1 check -a efa-relaxed
+expect 1 check -a duato-incoherent
+expect 1 spec check "$specs/incoherent.dfr"
+
+# usage and spec errors -> 2
+expect 2 check -a no-such-algorithm
+expect 2 check
+expect 2 no-such-subcommand
+expect 2 check -a efa --no-such-flag
+expect 2 spec check /dev/null
+
+exit $fail

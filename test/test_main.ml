@@ -14,5 +14,6 @@ let () =
       ("spec", Test_spec.suite);
       ("adaptiveness", Test_adaptiveness.suite);
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -1,0 +1,143 @@
+(* dfr_obs: span nesting, counter determinism across --domains, trace
+   export validity, and the no-op guarantee of the disabled sink. *)
+
+open Dfr_routing
+open Dfr_core
+module Obs = Dfr_obs.Obs
+module Json = Dfr_util.Json
+
+let check = Alcotest.check
+
+let test_span_nesting () =
+  Obs.enable ();
+  let r =
+    Obs.span "outer" (fun () ->
+        Obs.span "inner" (fun () -> 7) + Obs.span "inner" (fun () -> 1))
+  in
+  check Alcotest.int "result passes through" 8 r;
+  (try ignore (Obs.span "boom" (fun () -> failwith "x") : int)
+   with Failure _ -> ());
+  let totals = Obs.span_totals () in
+  let count name =
+    match List.assoc_opt name totals with
+    | Some (n, _) -> n
+    | None -> Alcotest.failf "span %S not recorded" name
+  in
+  check Alcotest.int "outer once" 1 (count "outer");
+  check Alcotest.int "inner twice" 2 (count "inner");
+  check Alcotest.int "recorded despite raise" 1 (count "boom");
+  (* the trace carries the nesting depth per event *)
+  let depth_of name =
+    match Json.member "traceEvents" (Obs.trace_json ()) with
+    | Some (Json.List evs) ->
+      List.filter_map
+        (fun e ->
+          match (Json.member "name" e, Json.member "args" e) with
+          | Some (Json.String n), Some args when n = name ->
+            Option.bind (Json.member "depth" args) Json.to_int
+          | _ -> None)
+        evs
+    | _ -> Alcotest.fail "no traceEvents"
+  in
+  check Alcotest.(list int) "outer at depth 0" [ 0 ] (depth_of "outer");
+  check Alcotest.(list int) "inner at depth 1" [ 1; 1 ] (depth_of "inner");
+  Obs.disable ();
+  check Alcotest.(list (pair string int)) "disabled sink reads empty" []
+    (Obs.counters ())
+
+(* counters must not depend on how many domains did the work; these two
+   fixtures exercise both checker shapes that reach the parallel paths
+   deterministically (efa: wormhole, acyclic BWG; two-buffer: SAF with a
+   full cycle scan) *)
+let counters_for name domains =
+  let e =
+    match Registry.find name with
+    | Some e -> e
+    | None -> Alcotest.failf "no registry entry %S" name
+  in
+  let net = Registry.network_for e None in
+  Obs.enable ();
+  ignore (Checker.check ~domains net e.Registry.algo : Checker.report);
+  let cs = Obs.counters () in
+  Obs.disable ();
+  cs
+
+let test_counters_deterministic () =
+  List.iter
+    (fun name ->
+      let serial = counters_for name 1 in
+      let parallel = counters_for name 4 in
+      check
+        Alcotest.(list (pair string int))
+        (name ^ ": counters agree across domains")
+        serial parallel;
+      check Alcotest.bool (name ^ ": counters nonempty") true (serial <> []))
+    [ "efa"; "two-buffer" ]
+
+let test_trace_exports_valid_json () =
+  let e = Option.get (Registry.find "efa") in
+  let net = Registry.network_for e None in
+  Obs.enable ();
+  ignore (Checker.check ~domains:2 net e.Registry.algo : Checker.report);
+  let trace = Json.to_string_pretty (Obs.trace_json ()) in
+  let metrics = Json.to_string (Obs.metrics_json ()) in
+  Obs.disable ();
+  (match Json.of_string metrics with
+  | Ok _ -> ()
+  | Error err -> Alcotest.failf "metrics JSON unparseable: %s" err);
+  match Json.of_string trace with
+  | Error err -> Alcotest.failf "trace JSON unparseable: %s" err
+  | Ok doc -> (
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+    | None | Some [] -> Alcotest.fail "empty or missing traceEvents"
+    | Some evs ->
+      List.iter
+        (fun ev ->
+          check Alcotest.(option string) "complete event" (Some "X")
+            (Option.bind (Json.member "ph" ev) Json.to_str);
+          List.iter
+            (fun key ->
+              if Json.member key ev = None then
+                Alcotest.failf "trace event lacks %S" key)
+            [ "name"; "cat"; "ts"; "dur"; "pid"; "tid" ])
+        evs;
+      (* the per-stage pipeline spans are always present, even for a
+         Theorem 1 verdict where the later stages did no work *)
+      let names =
+        List.filter_map (fun e -> Option.bind (Json.member "name" e) Json.to_str) evs
+      in
+      List.iter
+        (fun stage ->
+          if not (List.mem stage names) then
+            Alcotest.failf "trace lacks stage span %S" stage)
+        [
+          "space.build"; "bwg.build"; "bwg.closure"; "checker.knot";
+          "checker.cycle-scan"; "checker.classify";
+        ])
+
+(* with the collector disabled the probes must be pure pass-throughs:
+   same verdict, byte-identical JSON report *)
+let report_bytes ~instrumented =
+  if instrumented then Obs.enable () else Obs.disable ();
+  let e = Option.get (Registry.find "efa") in
+  let net = Registry.network_for e None in
+  let report = Checker.check net e.Registry.algo in
+  let s = Report_json.to_string net e.Registry.algo report in
+  Obs.disable ();
+  s
+
+let test_disabled_sink_is_noop () =
+  check Alcotest.string "report bytes identical"
+    (report_bytes ~instrumented:false)
+    (report_bytes ~instrumented:true)
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and depth" `Quick test_span_nesting;
+    Alcotest.test_case "counters deterministic across domains" `Quick
+      test_counters_deterministic;
+    Alcotest.test_case "trace and metrics export valid JSON" `Quick
+      test_trace_exports_valid_json;
+    Alcotest.test_case "disabled sink changes nothing" `Quick
+      test_disabled_sink_is_noop;
+  ]

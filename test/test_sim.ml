@@ -68,13 +68,16 @@ let test_stats () =
     { Stats.cycles = 100; injected = 5; delivered = 4; flits_delivered = 40;
       latencies = [ 10; 20; 30; 40 ] }
   in
-  check (Alcotest.float 1e-9) "mean" 25.0 (Stats.mean_latency s);
+  check (Alcotest.option (Alcotest.float 1e-9)) "mean" (Some 25.0)
+    (Stats.mean_latency s);
   check Alcotest.int "max" 40 (Stats.max_latency s);
   check Alcotest.int "p95" 40 (Stats.percentile_latency s 0.95);
   check Alcotest.int "p50" 30 (Stats.percentile_latency s 0.5);
   check (Alcotest.float 1e-9) "throughput" 0.05 (Stats.throughput s ~nodes:8);
-  check Alcotest.bool "empty mean nan" true
-    (Float.is_nan (Stats.mean_latency Stats.empty))
+  check (Alcotest.option (Alcotest.float 1e-9)) "empty mean" None
+    (Stats.mean_latency Stats.empty);
+  check Alcotest.int "empty percentile" 0
+    (Stats.percentile_latency Stats.empty 0.95)
 
 (* ---------------- wormhole simulator ---------------- *)
 
@@ -82,6 +85,23 @@ let run_wh ?(seed = 1) ?(capacity = 4) net algo traffic =
   Wormhole_sim.run
     ~config:{ Wormhole_sim.default_config with seed; capacity }
     net algo traffic
+
+(* regression: the report of an idle run (nothing delivered) used to embed
+   a literal nan for the mean latency, making the whole JSON unparseable *)
+let test_empty_stats_report_json () =
+  let module Json = Dfr_util.Json in
+  let o = run_wh cube3 Hypercube_wormhole.efa [] in
+  let doc = Sim_report.wormhole o ~nodes:8 in
+  let s = Json.to_string doc in
+  (match Json.of_string s with
+  | Error e -> Alcotest.failf "report does not re-parse: %s\n%s" e s
+  | Ok reparsed ->
+    check Alcotest.bool "round-trip preserves shape" true
+      (Json.member "stats" reparsed <> None));
+  check Alcotest.bool "mean latency degrades to null" true
+    (match Option.bind (Json.member "stats" doc) (Json.member "mean_latency") with
+    | Some Json.Null -> true
+    | _ -> false)
 
 let test_single_packet_delivery () =
   let t = [ { Traffic.src = 0; dst = 7; length = 6; inject_at = 0; mode = Traffic.Adaptive } ] in
@@ -288,6 +308,8 @@ let suite =
     Alcotest.test_case "traffic deterministic" `Quick test_traffic_deterministic;
     Alcotest.test_case "traffic patterns" `Quick test_traffic_patterns;
     Alcotest.test_case "stats accessors" `Quick test_stats;
+    Alcotest.test_case "empty-stats report JSON" `Quick
+      test_empty_stats_report_json;
     Alcotest.test_case "single packet delivery" `Quick test_single_packet_delivery;
     Alcotest.test_case "conservation under load" `Quick test_conservation_under_load;
     Alcotest.test_case "proven algorithms never deadlock" `Slow

@@ -407,6 +407,93 @@ let prop_json_roundtrip =
       | Ok a, Ok b -> json_equal t a && json_equal t b
       | _ -> false)
 
+let test_json_nonfinite () =
+  (* JSON has no nan/inf tokens; emitting them verbatim made whole reports
+     unparseable.  They degrade to null (documented in json.mli). *)
+  check Alcotest.string "nan" "null" (Json.to_string (Json.Float Float.nan));
+  check Alcotest.string "inf" "null" (Json.to_string (Json.Float Float.infinity));
+  check Alcotest.string "-inf" "null"
+    (Json.to_string (Json.Float Float.neg_infinity));
+  check Alcotest.bool "round-trips as Null" true
+    (match Json.of_string (Json.to_string (Json.Obj [ ("x", Json.Float Float.nan) ])) with
+    | Ok (Json.Obj [ ("x", Json.Null) ]) -> true
+    | _ -> false)
+
+let test_json_surrogate_pairs () =
+  let ok s =
+    match Json.of_string s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  (* U+1F600 and U+1D11E, i.e. code points above the BMP, arrive as UTF-16
+     surrogate pairs and must come out as one 4-byte UTF-8 scalar *)
+  check Alcotest.bool "emoji pair" true
+    (json_equal (Json.String "\xf0\x9f\x98\x80") (ok "\"\\ud83d\\ude00\""));
+  check Alcotest.bool "clef pair" true
+    (json_equal (Json.String "\xf0\x9d\x84\x9e") (ok "\"\\ud834\\udd1e\""));
+  let fails s = match Json.of_string s with Ok _ -> false | Error _ -> true in
+  check Alcotest.bool "lone high surrogate" true (fails "\"\\ud83d\"");
+  check Alcotest.bool "lone low surrogate" true (fails "\"\\ude00\"");
+  check Alcotest.bool "high then non-surrogate escape" true
+    (fails "\"\\ud83d\\u0041\"");
+  check Alcotest.bool "high then plain char" true (fails "\"\\ud83dx\"");
+  match Json.of_string "  \"\\ude00\"" with
+  | Ok _ -> Alcotest.fail "lone low surrogate accepted"
+  | Error e ->
+    check Alcotest.bool "error names the surrogate" true
+      (let sub = "surrogate" in
+       let n = String.length e and m = String.length sub in
+       let rec scan i = i + m <= n && (String.sub e i m = sub || scan (i + 1)) in
+       scan 0)
+
+(* hostile floats: whatever lands in a document, the serialized form must
+   stay parseable (a literal nan/inf token would not) *)
+let arbitrary_json_wild =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) small_signed_int;
+        oneofl
+          [
+            Json.Float Float.nan;
+            Json.Float Float.infinity;
+            Json.Float Float.neg_infinity;
+            Json.Float 1e308;
+            Json.Float (-0.0);
+          ];
+        map (fun f -> Json.Float f) float;
+        map (fun s -> Json.String s) (string_size (int_bound 8) ~gen:printable);
+      ]
+  in
+  let tree =
+    fix
+      (fun self depth ->
+        if depth = 0 then scalar
+        else
+          frequency
+            [
+              (2, scalar);
+              (1, map (fun l -> Json.List l) (list_size (int_bound 4) (self (depth - 1))));
+              ( 1,
+                map
+                  (fun ps -> Json.Obj ps)
+                  (list_size (int_bound 4)
+                     (pair (string_size (int_bound 6) ~gen:printable) (self (depth - 1))))
+              );
+            ])
+      2
+  in
+  QCheck.make tree
+
+let prop_json_never_emits_nonfinite =
+  QCheck.Test.make ~name:"json with non-finite floats always parses" ~count:300
+    arbitrary_json_wild (fun t ->
+      let parses s = match Json.of_string s with Ok _ -> true | Error _ -> false in
+      parses (Json.to_string t) && parses (Json.to_string_pretty t))
+
 let test_json_accessors () =
   let doc = Json.Obj [ ("n", Json.Int 3); ("xs", Json.List [ Json.String "a" ]) ] in
   check Alcotest.(option int) "member int" (Some 3)
@@ -423,6 +510,9 @@ let suite =
       Alcotest.test_case "json parse scalars" `Quick test_json_parse_scalars;
       Alcotest.test_case "json parse escapes" `Quick test_json_parse_escapes;
       Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+      Alcotest.test_case "json non-finite floats" `Quick test_json_nonfinite;
+      Alcotest.test_case "json surrogate pairs" `Quick test_json_surrogate_pairs;
       Alcotest.test_case "json accessors" `Quick test_json_accessors;
       qtest prop_json_roundtrip;
+      qtest prop_json_never_emits_nonfinite;
     ]
