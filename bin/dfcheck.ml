@@ -286,15 +286,23 @@ let simulate_run name topo pattern rate length horizon seed router json trace
   | Error msg ->
     prerr_endline msg;
     2
-  | Ok e ->
-    obs_setup ~trace ~metrics;
+  | Ok e -> (
     let net = Registry.network_for e topo in
+    let nodes = Net.num_nodes net in
+    (* user-supplied hotspot nodes are range-checked here so a bad value
+       is a usage error (exit 2), not an out-of-bounds injection *)
+    match pattern with
+    | Traffic.Hotspot h when h < 0 || h >= nodes ->
+      Printf.eprintf "hotspot node %d out of range 0..%d for %s\n" h (nodes - 1)
+        (Net.name net);
+      2
+    | _ ->
+    obs_setup ~trace ~metrics;
     let t =
       match Net.topology net with
       | Some t -> t
       | None -> failwith "simulate: custom networks not supported"
     in
-    let nodes = Net.num_nodes net in
     let traffic = Traffic.generate t ~pattern ~rate ~length ~horizon ~seed in
     if not json then
       Printf.printf "workload: %d packets over %d cycles\n" (Traffic.count traffic)
@@ -318,7 +326,7 @@ let simulate_run name topo pattern rate length horizon seed router json trace
       print_endline (Dfr_util.Json.to_string_pretty (with_metrics ~metrics doc))
     else print_text_metrics ~metrics;
     obs_teardown ~trace;
-    if deadlocked then 1 else 0
+    if deadlocked then 1 else 0)
 
 let simulate_cmd =
   let pattern =
@@ -536,6 +544,82 @@ let audit_cmd =
     Term.(const audit_run $ json $ domains $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz: differential campaign of checker vs. simulators               *)
+
+let fuzz_run trials seed max_nodes domains out_dir trace metrics =
+  obs_setup ~trace ~metrics;
+  let summary =
+    Dfr_fuzz.Fuzz.run
+      {
+        Dfr_fuzz.Fuzz.default_config with
+        trials;
+        seed;
+        max_nodes;
+        domains;
+      }
+  in
+  Format.printf "fuzz: %d trials, seed %d, max-nodes %d@." trials seed max_nodes;
+  Format.printf "%a" Dfr_fuzz.Fuzz.pp_summary summary;
+  (match out_dir with
+  | Some dir when summary.Dfr_fuzz.Fuzz.findings <> [] ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (f : Dfr_fuzz.Fuzz.finding) ->
+        match f.Dfr_fuzz.Fuzz.spec with
+        | Ok text ->
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "fuzz-s%d-t%d.dfr" seed f.Dfr_fuzz.Fuzz.trial)
+          in
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Printf.printf "wrote %s\n" path
+        | Error _ -> ())
+      summary.Dfr_fuzz.Fuzz.findings
+  | _ -> ());
+  print_text_metrics ~metrics;
+  obs_teardown ~trace;
+  if summary.Dfr_fuzz.Fuzz.findings = [] then 0 else 1
+
+let fuzz_cmd =
+  let trials =
+    Arg.(value & opt int 200
+         & info [ "trials" ] ~doc:"Number of random cases to confront.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ]
+             ~doc:
+               "Campaign seed; the whole campaign is a pure function of \
+                (seed, trials, max-nodes), independent of --domains.")
+  in
+  let max_nodes =
+    Arg.(value & opt int 9
+         & info [ "max-nodes" ]
+             ~doc:"Largest generated network, in nodes (>= 4).")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ]
+             ~doc:"Spread trials over this many OCaml domains.")
+  in
+  let out_dir =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Write each shrunk disagreement as a .dfr spec into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random routing relations, checker verdicts \
+          confronted with adversarial simulator schedules and witness replay; \
+          disagreements are shrunk and printed as .dfr specs")
+    Term.(
+      const fuzz_run $ trials $ seed $ max_nodes $ domains $ out_dir $ trace_arg
+      $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -554,6 +638,7 @@ let () =
            simulate_cmd;
            audit_cmd;
            spec_cmd;
+           fuzz_cmd;
          ])
   in
   (* fold cmdliner's usage-error code into the documented "2 = usage error" *)

@@ -15,30 +15,42 @@ let default_limits =
 
 (* Simple paths from [start] to [target] in the per-destination move graph:
    the candidate chains of buffers a single blocked packet can occupy.
-   Returns the paths found and whether enumeration was exhaustive. *)
+   Returns the paths found and whether enumeration was exhaustive.
+
+   Exhaustiveness at the path cap is decided by evidence, not position:
+   the search keeps running after [max_paths_per_edge] paths were
+   recorded, and only flips [exhaustive] the moment a (cap+1)-th path is
+   found (then aborts).  If the remaining search tree holds no further
+   path, exploring it is exactly the work a capless enumeration would
+   have needed to prove exhaustiveness, so this costs nothing extra —
+   while "cap reached" alone no longer downgrades verdicts to Unknown at
+   exactly-at-cap boundaries. *)
+exception Capped
+
 let simple_paths ~limits g ~start ~target =
   let found = ref [] in
   let count = ref 0 in
   let exhaustive = ref true in
   let on_path = Hashtbl.create 16 in
   let rec dfs v acc len =
-    if !count < limits.max_paths_per_edge then begin
-      let acc = v :: acc in
-      Hashtbl.replace on_path v ();
-      if v = target then begin
-        incr count;
-        found := List.rev acc :: !found
-      end
-      else if len >= limits.max_path_length then exhaustive := false
-      else
-        Dfr_graph.Csr.iter_succ
-          (fun w -> if not (Hashtbl.mem on_path w) then dfs w acc (len + 1))
-          g v;
-      Hashtbl.remove on_path v
+    let acc = v :: acc in
+    Hashtbl.replace on_path v ();
+    if v = target then begin
+      if !count >= limits.max_paths_per_edge then begin
+        exhaustive := false;
+        raise Capped
+      end;
+      incr count;
+      found := List.rev acc :: !found
     end
-    else exhaustive := false
+    else if len >= limits.max_path_length then exhaustive := false
+    else
+      Dfr_graph.Csr.iter_succ
+        (fun w -> if not (Hashtbl.mem on_path w) then dfs w acc (len + 1))
+        g v;
+    Hashtbl.remove on_path v
   in
-  dfs start [] 1;
+  (try dfs start [] 1 with Capped -> ());
   (List.rev !found, !exhaustive)
 
 (* Candidate realizations of one BWG edge q -> w: a destination and an
@@ -70,7 +82,7 @@ let edge_candidates ~limits bwg q w =
   List.iter per_witness (Bwg.witnesses bwg q w);
   (List.rev !candidates, !exhaustive)
 
-exception Found of packet list
+exception Found of (int * packet) list
 
 (* Timed but not counted: the parallel scan may classify cycles past the
    short-circuit point, so a call counter would vary with [--domains];
@@ -116,21 +128,24 @@ let classify ?(limits = default_limits) bwg cycle =
     let budget = ref limits.max_assignments in
     let occupied = Hashtbl.create 64 in
     let order =
-      (* fewest candidates first: fail fast *)
+      (* fewest candidates first: fail fast.  Each candidate list keeps
+         its original edge index so the witness can be put back into
+         cycle order — packet k must realize edge k of [cycle], or
+         [pp_verdict]/JSON print packets against the wrong edges. *)
       List.sort
-        (fun a b -> compare (List.length a) (List.length b))
-        candidates
+        (fun (_, a) (_, b) -> compare (List.length a) (List.length b))
+        (List.mapi (fun i cands -> (i, cands)) candidates)
     in
     let rec assign chosen = function
-      | [] -> raise (Found (List.rev chosen))
-      | cands :: rest ->
+      | [] -> raise (Found chosen)
+      | (edge, cands) :: rest ->
         let try_candidate c =
           if !budget <= 0 then exhaustive := false
           else begin
             decr budget;
             if List.for_all (fun b -> not (Hashtbl.mem occupied b)) c.path then begin
               List.iter (fun b -> Hashtbl.replace occupied b ()) c.path;
-              assign (c :: chosen) rest;
+              assign ((edge, c) :: chosen) rest;
               List.iter (fun b -> Hashtbl.remove occupied b) c.path
             end
           end
@@ -140,7 +155,10 @@ let classify ?(limits = default_limits) bwg cycle =
     (try
        assign [] order;
        False_resource_cycle { exhaustive = !exhaustive }
-     with Found packets -> True_cycle packets)
+     with Found chosen ->
+       True_cycle
+         (List.map snd
+            (List.sort (fun (i, _) (j, _) -> compare (i : int) j) chosen)))
 
 let first_true_cycle ?limits bwg cycles =
   let rec go = function

@@ -26,6 +26,9 @@ type packet = {
 
 type verdict =
   | True_cycle of packet list
+      (** one packet per cycle edge, in cycle order: packet [k] occupies a
+          path starting at cycle vertex [k] and waits for vertex [k+1]
+          (wrapping), so printers can zip packets with edges directly *)
   | False_resource_cycle of { exhaustive : bool }
 
 type limits = {
@@ -36,6 +39,19 @@ type limits = {
 
 val default_limits : limits
 (** 64 paths per edge, length 24, 100_000 assignments. *)
+
+val simple_paths :
+  limits:limits ->
+  Dfr_graph.Csr.t ->
+  start:int ->
+  target:int ->
+  int list list * bool
+(** Simple paths from [start] to [target] (internal building block,
+    exposed for the boundary tests).  At most [max_paths_per_edge] paths
+    are returned; the boolean is false only when enumeration actually
+    truncated something — a path beyond the cap exists, or an extension
+    was cut by [max_path_length] — never merely because the cap was
+    reached exactly. *)
 
 val classify : ?limits:limits -> Bwg.t -> int list -> verdict
 (** [classify bwg cycle] where [cycle] is a vertex list as returned by

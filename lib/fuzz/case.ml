@@ -1,0 +1,236 @@
+(* A fuzz case: a routing problem flattened to explicit channels and
+   fully tabulated route/wait relations.
+
+   Every generated network — regular topologies, irregular up*/down*
+   graphs, SAF node-buffer fabrics — is reduced to this one shape so a
+   single elaborator ({!to_net_algo}), a single printer (via
+   {!Dfr_spec.Printer}) and a single shrinker serve them all.  States
+   are symbolic ([S_inj] node / [S_chan] channel-list index), never raw
+   buffer ids, so shrinking transformations can renumber nodes and
+   channels without chasing the network's buffer layout.
+
+   Channel triples are [(src, dst, vc)] exactly as {!Net.custom} takes
+   them; for SAF/VCT networks a "channel" is the whole-packet buffer
+   [(node, node, cls)] (the spec language's self-channel convention). *)
+
+open Dfr_network
+open Dfr_routing
+
+type state = S_inj of int | S_chan of int
+
+type t = {
+  name : string;
+  switching : Net.switching;
+  wait : Algo.wait_discipline;
+  num_nodes : int;
+  channels : (int * int * int) array;
+  route : (state * int, int list) Hashtbl.t;
+      (* (state, dest) -> output channel indices; missing key = [] *)
+  waits : (state * int, int list) Hashtbl.t;
+      (* only keys where the wait set differs from the route set *)
+}
+
+let states c =
+  List.init c.num_nodes (fun n -> S_inj n)
+  @ List.init (Array.length c.channels) (fun i -> S_chan i)
+
+let route_of c s dest =
+  Option.value (Hashtbl.find_opt c.route (s, dest)) ~default:[]
+
+let waits_of c s dest =
+  match Hashtbl.find_opt c.waits (s, dest) with
+  | Some w -> w
+  | None -> route_of c s dest
+
+(* ---------------- elaboration to engine types ---------------- *)
+
+let to_net_algo c =
+  let net =
+    Net.custom ~name:c.name ~switching:c.switching ~num_nodes:c.num_nodes
+      ~channels:(Array.to_list c.channels)
+  in
+  let buf_of_chan =
+    Array.map
+      (fun (src, dst, vc) ->
+        match c.switching with
+        | Net.Wormhole -> Buf.id (Net.find_custom_channel net ~src ~dst ~vc)
+        | Net.Store_and_forward | Net.Virtual_cut_through ->
+          Buf.id (Net.node_buffer net ~node:dst ~cls:vc))
+      c.channels
+  in
+  let state_of = Array.make (Net.num_buffers net) None in
+  for node = 0 to c.num_nodes - 1 do
+    state_of.(Buf.id (Net.injection net node)) <- Some (S_inj node)
+  done;
+  Array.iteri (fun i id -> state_of.(id) <- Some (S_chan i)) buf_of_chan;
+  let resolve outs = List.map (fun i -> buf_of_chan.(i)) outs in
+  let route _net b ~dest =
+    match state_of.(Buf.id b) with
+    | None -> []
+    | Some s -> resolve (route_of c s dest)
+  in
+  let waits _net b ~dest =
+    match state_of.(Buf.id b) with
+    | None -> []
+    | Some s -> resolve (waits_of c s dest)
+  in
+  let algo = Algo.make ~name:c.name ~wait:c.wait ~route ~waits () in
+  (net, algo)
+
+let to_spec c =
+  let net, algo = to_net_algo c in
+  Dfr_spec.Printer.to_string net algo
+
+(* ---------------- tabulation from engine types ---------------- *)
+
+let same_set a b = List.sort compare a = List.sort compare b
+
+(* Tabulate an arbitrary (net, algo) pair into a case.  Outputs that are
+   not transit buffers (delivery shortcuts) are dropped — the simulators
+   ignore them too. *)
+let of_net_algo ~name ~wait net algo =
+  let transit = Net.transit_buffers net in
+  let channels =
+    Array.of_list
+      (List.map
+         (fun b ->
+           match Buf.kind b with
+           | Buf.Channel { src; dst; vc; _ } -> (src, dst, vc)
+           | Buf.Node_buffer { node; cls } -> (node, node, cls)
+           | _ -> assert false)
+         transit)
+  in
+  let chan_of_buf = Hashtbl.create 64 in
+  List.iteri (fun i b -> Hashtbl.replace chan_of_buf (Buf.id b) i) transit;
+  let num_nodes = Net.num_nodes net in
+  let route = Hashtbl.create 64 in
+  let waits = Hashtbl.create 64 in
+  let tabulate s b =
+    for dest = 0 to num_nodes - 1 do
+      if Buf.head_node b <> dest then begin
+        let to_chans ids =
+          List.filter_map (fun id -> Hashtbl.find_opt chan_of_buf id) ids
+        in
+        let r = to_chans (algo.Algo.route net b ~dest) in
+        if r <> [] then Hashtbl.replace route (s, dest) r;
+        let w = to_chans (algo.Algo.waits net b ~dest) in
+        if not (same_set w r) then Hashtbl.replace waits (s, dest) w
+      end
+    done
+  in
+  for node = 0 to num_nodes - 1 do
+    tabulate (S_inj node) (Net.injection net node)
+  done;
+  List.iteri (fun i b -> tabulate (S_chan i) b) transit;
+  { name; switching = Net.switching net; wait; num_nodes; channels; route; waits }
+
+(* ---------------- shrinking transformations ----------------
+
+   Each returns a structurally valid smaller case (tables remapped); the
+   shrinker decides whether the result is still interesting. *)
+
+let remap_tables c ~map_state ~map_dest ~map_out ~channels ~num_nodes =
+  let remap tbl =
+    let out = Hashtbl.create (Hashtbl.length tbl) in
+    Hashtbl.iter
+      (fun (s, d) outs ->
+        match (map_state s, map_dest d) with
+        | Some s', Some d' ->
+          Hashtbl.replace out (s', d') (List.filter_map map_out outs)
+        | _ -> ())
+      tbl;
+    out
+  in
+  { c with num_nodes; channels; route = remap c.route; waits = remap c.waits }
+
+let drop_channel c i =
+  let channels =
+    Array.of_list
+      (List.filteri (fun j _ -> j <> i) (Array.to_list c.channels))
+  in
+  let map_chan j = if j = i then None else Some (if j > i then j - 1 else j) in
+  remap_tables c ~channels ~num_nodes:c.num_nodes
+    ~map_state:(function
+      | S_inj n -> Some (S_inj n)
+      | S_chan j -> Option.map (fun j' -> S_chan j') (map_chan j))
+    ~map_dest:(fun d -> Some d)
+    ~map_out:map_chan
+
+let drop_node c v =
+  if c.num_nodes <= 2 then invalid_arg "Case.drop_node: need > 2 nodes";
+  let node n = if n > v then n - 1 else n in
+  let keep = ref [] in
+  Array.iteri
+    (fun j (src, dst, vc) ->
+      if src <> v && dst <> v then keep := (j, (node src, node dst, vc)) :: !keep)
+    c.channels;
+  let keep = List.rev !keep in
+  let chan_map = Hashtbl.create 16 in
+  List.iteri (fun j' (j, _) -> Hashtbl.replace chan_map j j') keep;
+  let map_chan j = Hashtbl.find_opt chan_map j in
+  remap_tables c
+    ~channels:(Array.of_list (List.map snd keep))
+    ~num_nodes:(c.num_nodes - 1)
+    ~map_state:(function
+      | S_inj n -> if n = v then None else Some (S_inj (node n))
+      | S_chan j -> Option.map (fun j' -> S_chan j') (map_chan j))
+    ~map_dest:(fun d -> if d = v then None else Some (node d))
+    ~map_out:map_chan
+
+let drop_route_output c s dest out =
+  let key = (s, dest) in
+  let without l = List.filter (fun o -> o <> out) l in
+  let route = Hashtbl.copy c.route in
+  let waits = Hashtbl.copy c.waits in
+  (match Hashtbl.find_opt route key with
+  | Some outs -> Hashtbl.replace route key (without outs)
+  | None -> ());
+  (match Hashtbl.find_opt waits key with
+  | Some w ->
+    let w = without w in
+    (* a wait set shrunk to the route set is no restriction at all *)
+    if same_set w (Option.value (Hashtbl.find_opt route key) ~default:[]) then
+      Hashtbl.remove waits key
+    else Hashtbl.replace waits key w
+  | None -> ());
+  { c with route; waits }
+
+let relax_waits c s dest =
+  let waits = Hashtbl.copy c.waits in
+  Hashtbl.remove waits (s, dest);
+  { c with waits }
+
+let size c = Array.length c.channels + c.num_nodes
+
+(* Every destination reachable from every injection under the route
+   tables.  Generated cases are deliverable by construction (nonempty
+   subsets of progressive relations); the shrinker uses this to refuse
+   transformations that would strand traffic — a stranded case cannot be
+   reprinted as a spec, since elaboration checks the same property. *)
+let head_of c = function
+  | S_inj n -> n
+  | S_chan i ->
+    let _, dst, _ = c.channels.(i) in
+    dst
+
+let deliverable c =
+  let reaches src dest =
+    let visited = Hashtbl.create 32 in
+    let arrived = ref false in
+    let rec walk s =
+      if not (Hashtbl.mem visited s || !arrived) then begin
+        Hashtbl.replace visited s ();
+        if head_of c s = dest then arrived := true
+        else List.iter (fun i -> walk (S_chan i)) (route_of c s dest)
+      end
+    in
+    walk (S_inj src);
+    !arrived
+  in
+  let ok = ref true in
+  for src = 0 to c.num_nodes - 1 do
+    for dest = 0 to c.num_nodes - 1 do
+      if src <> dest && not (reaches src dest) then ok := false
+    done
+  done;
+  !ok

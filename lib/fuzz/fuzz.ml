@@ -1,0 +1,185 @@
+(* The fuzzing campaign driver.
+
+   A campaign is [trials] independent trials.  Trial [t] derives its own
+   seed from the campaign seed by a fixed mix, so the generated case —
+   and hence the whole campaign outcome — depends only on [(seed,
+   trials, max_nodes)], never on how trials are spread across domains:
+   [--domains 8] and [--domains 1] produce bit-for-bit identical
+   summaries.
+
+   A trial generates a case, confronts checker and simulator through the
+   oracle and, on disagreement, greedily shrinks the case and renders it
+   as a [.dfr] spec ready to be checked in as a regression. *)
+
+open Dfr_util
+open Dfr_core
+open Dfr_obs
+
+type config = {
+  trials : int;
+  seed : int;
+  max_nodes : int;
+  domains : int;
+  shrink_budget : int;  (** oracle evaluations the shrinker may spend *)
+}
+
+let default_config =
+  { trials = 100; seed = 1; max_nodes = 9; domains = 1; shrink_budget = 150 }
+
+type finding = {
+  trial : int;
+  case_seed : int;
+  kind : Oracle.disagreement;
+  case : Case.t;  (** after shrinking *)
+  spec : (string, string) result;  (** the shrunk case as .dfr text *)
+  shrink_evals : int;
+}
+
+type verdict_class = Free | Deadlock | Unknown
+
+type trial_result = {
+  verdict_class : verdict_class;
+  replay : Oracle.replay_status;
+  finding : finding option;
+}
+
+type summary = {
+  trials : int;
+  free : int;
+  deadlock : int;
+  unknown : int;
+  confirmed : int;
+  refuted : int;
+  not_replayable : int;
+  findings : finding list;  (** in trial order *)
+}
+
+(* SplitMix-style mix so neighboring trials get unrelated streams. *)
+let trial_seed ~seed ~trial =
+  (* constants truncated to OCaml's 63-bit ints *)
+  let z = seed lxor (trial * 0x9E3779B97F4A7C1) in
+  let z = (z lxor (z lsr 30)) * 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land max_int
+
+let run_trial ?check (cfg : config) trial =
+  Obs.span "fuzz.trial" @@ fun () ->
+  let case_seed = trial_seed ~seed:cfg.seed ~trial in
+  let rng = Prng.create case_seed in
+  let case = Gen.case rng ~max_nodes:cfg.max_nodes in
+  let net, algo = Case.to_net_algo case in
+  let o = Oracle.confront ?check net algo in
+  let verdict_class =
+    match o.Oracle.verdict with
+    | Checker.Deadlock_free _ -> Free
+    | Checker.Deadlock_possible _ -> Deadlock
+    | Checker.Unknown _ -> Unknown
+  in
+  let finding =
+    Option.map
+      (fun kind ->
+        let interesting candidate =
+          (* deliverability keeps the shrunk case printable: elaboration
+             of the regression spec checks the same property *)
+          Case.deliverable candidate
+          &&
+          try
+            let net, algo = Case.to_net_algo candidate in
+            match (Oracle.confront ?check net algo).Oracle.disagreement with
+            | Some kind' -> Oracle.same_kind kind kind'
+            | None -> false
+          with _ -> false
+        in
+        let shrunk, shrink_evals =
+          Obs.span "fuzz.shrink" @@ fun () ->
+          Shrink.minimize ~interesting ~budget:cfg.shrink_budget case
+        in
+        {
+          trial;
+          case_seed;
+          kind;
+          case = shrunk;
+          spec = Case.to_spec shrunk;
+          shrink_evals;
+        })
+      o.Oracle.disagreement
+  in
+  { verdict_class; replay = o.Oracle.replay; finding }
+
+let run ?check (cfg : config) =
+  if cfg.trials < 0 then invalid_arg "Fuzz.run: trials must be >= 0";
+  if cfg.domains < 1 then invalid_arg "Fuzz.run: domains must be >= 1";
+  if cfg.max_nodes < 4 then invalid_arg "Fuzz.run: max-nodes must be >= 4";
+  let results = Array.make (max cfg.trials 1) None in
+  let worker k () =
+    let t = ref k in
+    while !t < cfg.trials do
+      results.(!t) <- Some (run_trial ?check cfg !t);
+      t := !t + cfg.domains
+    done
+  in
+  (Obs.span "fuzz.run" @@ fun () ->
+   if cfg.domains = 1 then worker 0 ()
+   else begin
+     let spawned =
+       Array.init (cfg.domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+     in
+     worker 0 ();
+     Array.iter Domain.join spawned
+   end);
+  let free = ref 0
+  and deadlock = ref 0
+  and unknown = ref 0
+  and confirmed = ref 0
+  and refuted = ref 0
+  and not_replayable = ref 0
+  and findings = ref [] in
+  for t = cfg.trials - 1 downto 0 do
+    match results.(t) with
+    | None -> assert false
+    | Some r ->
+      (match r.verdict_class with
+      | Free -> incr free
+      | Deadlock -> incr deadlock
+      | Unknown -> incr unknown);
+      (match r.replay with
+      | Oracle.Confirmed -> incr confirmed
+      | Oracle.Refuted -> incr refuted
+      | Oracle.Not_replayable -> incr not_replayable
+      | Oracle.No_witness -> ());
+      match r.finding with
+      | Some f -> findings := f :: !findings
+      | None -> ()
+  done;
+  Obs.count "fuzz.trials" cfg.trials;
+  Obs.count "fuzz.disagreements" (List.length !findings);
+  {
+    trials = cfg.trials;
+    free = !free;
+    deadlock = !deadlock;
+    unknown = !unknown;
+    confirmed = !confirmed;
+    refuted = !refuted;
+    not_replayable = !not_replayable;
+    findings = !findings;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "trials: %d@." s.trials;
+  Format.fprintf ppf "verdicts: %d free, %d deadlock, %d unknown@." s.free
+    s.deadlock s.unknown;
+  Format.fprintf ppf "witnesses: %d confirmed, %d refuted, %d not replayable@."
+    s.confirmed s.refuted s.not_replayable;
+  Format.fprintf ppf "disagreements: %d@." (List.length s.findings);
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@.trial %d (case seed %d): %s@." f.trial f.case_seed
+        (Oracle.describe f.kind);
+      Format.fprintf ppf "shrunk to %d nodes, %d channels (%d oracle evals)@."
+        f.case.Case.num_nodes
+        (Array.length f.case.Case.channels)
+        f.shrink_evals;
+      match f.spec with
+      | Ok text -> Format.fprintf ppf "%s" text
+      | Error msg -> Format.fprintf ppf "(unprintable: %s)@." msg)
+    s.findings

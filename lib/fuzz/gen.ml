@@ -1,0 +1,181 @@
+(* Seeded generation of random routing problems.
+
+   A trial draws a base network whose full relation is *progressive*
+   (every permitted move strictly decreases a well-founded measure —
+   minimal-adaptive distance on regular topologies, the up-then-down
+   phase order on irregular graphs), then restricts it: a random
+   nonempty subset of the route set at every (state, destination), a
+   random wait restriction, a random waiting discipline.  Nonempty
+   subsets of a progressive relation still deliver every packet, so
+   generated cases are never trivially broken (no stuck states, no
+   livelock) — the checker's verdict genuinely hinges on the blocking
+   structure, which is where the bugs live.
+
+   Everything is a pure function of the [Prng.t]: same seed, same case,
+   regardless of which domain runs the trial. *)
+
+open Dfr_topology
+open Dfr_network
+open Dfr_routing
+open Dfr_util
+
+type shape =
+  | Worm_mesh of int array
+  | Worm_hypercube of int
+  | Worm_ring of int
+  | Worm_torus of int array
+  | Saf_mesh of int array
+  | Vct_ring of int
+  | Up_down
+
+let shape_nodes = function
+  | Worm_mesh dims | Worm_torus dims | Saf_mesh dims ->
+    Array.fold_left ( * ) 1 dims
+  | Worm_hypercube d -> 1 lsl d
+  | Worm_ring n | Vct_ring n -> n
+  | Up_down -> 4 (* minimum; actual size drawn later, capped by max_nodes *)
+
+let all_shapes =
+  [
+    Worm_mesh [| 2; 2 |];
+    Worm_mesh [| 2; 3 |];
+    Worm_mesh [| 2; 4 |];
+    Worm_mesh [| 3; 3 |];
+    Worm_hypercube 2;
+    Worm_hypercube 3;
+    Worm_ring 3;
+    Worm_ring 4;
+    Worm_ring 5;
+    Worm_torus [| 3; 3 |];
+    Saf_mesh [| 2; 2 |];
+    Saf_mesh [| 2; 3 |];
+    Saf_mesh [| 3; 3 |];
+    Vct_ring 3;
+    Vct_ring 4;
+    Up_down;
+  ]
+
+let shape_name = function
+  | Worm_mesh d -> Printf.sprintf "mesh%dx%d" d.(0) d.(1)
+  | Worm_hypercube d -> Printf.sprintf "cube%d" d
+  | Worm_ring n -> Printf.sprintf "ring%d" n
+  | Worm_torus d -> Printf.sprintf "torus%dx%d" d.(0) d.(1)
+  | Saf_mesh d -> Printf.sprintf "saf%dx%d" d.(0) d.(1)
+  | Vct_ring n -> Printf.sprintf "vct%d" n
+  | Up_down -> "updown"
+
+(* Full minimal-adaptive relation on a wormhole topology network: every
+   (minimal move, vc) channel, for channel and injection states alike. *)
+let minimal_wormhole topo vcs =
+  let net = Net.wormhole topo ~vcs in
+  let route net' b ~dest =
+    let head = Buf.head_node b in
+    List.concat_map
+      (fun (dim, dir) ->
+        List.init vcs (fun vc -> Buf.id (Net.channel net' ~src:head ~dim ~dir ~vc)))
+      (Topology.minimal_moves topo ~src:head ~dst:dest)
+  in
+  (net, Algo.make ~name:"minimal" ~wait:Algo.Any_wait ~route ())
+
+(* Full minimal relation on a packet-buffered network: injections enter
+   any local class, transit moves claim any class at a minimal-move
+   neighbor. *)
+let minimal_saf ~vct topo classes =
+  let net =
+    if vct then Net.virtual_cut_through topo ~classes
+    else Net.store_and_forward topo ~classes
+  in
+  let route net' b ~dest =
+    let head = Buf.head_node b in
+    match Buf.kind b with
+    | Buf.Injection _ ->
+      List.init classes (fun cls -> Buf.id (Net.node_buffer net' ~node:head ~cls))
+    | _ ->
+      List.concat_map
+        (fun (dim, dir) ->
+          match Topology.neighbor topo head dim dir with
+          | None -> []
+          | Some v ->
+            List.init classes (fun cls -> Buf.id (Net.node_buffer net' ~node:v ~cls)))
+        (Topology.minimal_moves topo ~src:head ~dst:dest)
+  in
+  (net, Algo.make ~name:"minimal-saf" ~wait:Algo.Any_wait ~route ())
+
+let base_case rng ~max_nodes =
+  let candidates =
+    List.filter (fun s -> shape_nodes s <= max_nodes) all_shapes
+  in
+  let candidates = if candidates = [] then [ Worm_mesh [| 2; 2 |] ] else candidates in
+  let shape = Prng.pick rng candidates in
+  let name = shape_name shape in
+  let tabulate net algo = Case.of_net_algo ~name ~wait:Algo.Any_wait net algo in
+  match shape with
+  | Worm_mesh dims ->
+    let vcs = 1 + Prng.int rng 2 in
+    let net, algo = minimal_wormhole (Topology.mesh dims) vcs in
+    tabulate net algo
+  | Worm_hypercube d ->
+    let vcs = 1 + Prng.int rng 2 in
+    let net, algo = minimal_wormhole (Topology.hypercube d) vcs in
+    tabulate net algo
+  | Worm_ring n ->
+    let vcs = 1 + Prng.int rng 2 in
+    let net, algo = minimal_wormhole (Topology.ring n) vcs in
+    tabulate net algo
+  | Worm_torus dims ->
+    let net, algo = minimal_wormhole (Topology.torus dims) 1 in
+    tabulate net algo
+  | Saf_mesh dims ->
+    let classes = 1 + Prng.int rng 2 in
+    let net, algo = minimal_saf ~vct:false (Topology.mesh dims) classes in
+    tabulate net algo
+  | Vct_ring n ->
+    let classes = 1 + Prng.int rng 2 in
+    let net, algo = minimal_saf ~vct:true (Topology.ring n) classes in
+    tabulate net algo
+  | Up_down ->
+    let num_nodes = 4 + Prng.int rng (max 1 (max_nodes - 3)) in
+    let extra_edges = Prng.int rng 4 in
+    let ud =
+      Updown.random_connected ~seed:(Prng.int rng 1_000_000) ~num_nodes
+        ~extra_edges
+    in
+    Case.of_net_algo ~name ~wait:Algo.Any_wait ud.Updown.net ud.Updown.algo
+
+(* nonempty random subset, each element kept with probability 1/2 *)
+let subset rng l =
+  match l with
+  | [] | [ _ ] -> l
+  | _ ->
+    let chosen = List.filter (fun _ -> Prng.bool rng) l in
+    if chosen = [] then [ Prng.pick rng l ] else chosen
+
+let restrict rng (c : Case.t) =
+  let wait =
+    if Prng.bernoulli rng 0.4 then Algo.Specific_wait else Algo.Any_wait
+  in
+  let route = Hashtbl.create (Hashtbl.length c.Case.route) in
+  let waits = Hashtbl.create 16 in
+  (* canonical order keeps the draw sequence independent of hash layout *)
+  List.iter
+    (fun s ->
+      for dest = 0 to c.Case.num_nodes - 1 do
+        match Case.route_of c s dest with
+        | [] -> ()
+        | outs ->
+          let r = subset rng outs in
+          Hashtbl.replace route (s, dest) r;
+          let w =
+            match wait with
+            | Algo.Specific_wait -> [ Prng.pick rng r ]
+            | Algo.Any_wait -> if Prng.bool rng then r else subset rng r
+          in
+          if not (Case.same_set w r) then Hashtbl.replace waits (s, dest) w
+      done)
+    (Case.states c);
+  { c with Case.wait; route; waits }
+
+let case rng ~max_nodes =
+  let base = base_case rng ~max_nodes in
+  let c = restrict rng base in
+  { c with Case.name = Printf.sprintf "fuzz-%s" c.Case.name }

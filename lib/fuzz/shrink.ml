@@ -1,0 +1,69 @@
+(* Greedy witness minimization.
+
+   When the oracle finds a disagreement, the raw case is noise: dozens of
+   channels, most irrelevant.  The shrinker walks a deterministic
+   candidate order — drop a node, drop a channel, drop one output of one
+   route entry, lift one wait restriction — and keeps any candidate on
+   which the caller's [interesting] predicate still holds (same
+   disagreement kind, re-judged by the oracle).  First-improvement
+   restarts until a full pass finds nothing or the evaluation budget is
+   spent; the result is a local minimum: removing any single element
+   makes the disagreement vanish.
+
+   The predicate is the expensive part (a full checker + simulator
+   confrontation per candidate), so the budget counts predicate calls,
+   not candidates generated. *)
+
+let candidates (c : Case.t) =
+  let drop_nodes =
+    if c.Case.num_nodes > 2 then
+      List.init c.Case.num_nodes (fun v () -> Case.drop_node c v)
+    else []
+  in
+  let drop_channels =
+    List.init (Array.length c.Case.channels) (fun i () -> Case.drop_channel c i)
+  in
+  let route_outputs =
+    List.concat_map
+      (fun s ->
+        List.concat
+          (List.init c.Case.num_nodes (fun dest ->
+               match Case.route_of c s dest with
+               | [] | [ _ ] -> []
+               | outs ->
+                 List.map (fun out () -> Case.drop_route_output c s dest out) outs)))
+      (Case.states c)
+  in
+  let wait_relaxations =
+    List.concat_map
+      (fun s ->
+        List.concat
+          (List.init c.Case.num_nodes (fun dest ->
+               if Hashtbl.mem c.Case.waits (s, dest) then
+                 [ (fun () -> Case.relax_waits c s dest) ]
+               else [])))
+      (Case.states c)
+  in
+  drop_nodes @ drop_channels @ route_outputs @ wait_relaxations
+
+let minimize ~interesting ~budget c0 =
+  let evals = ref 0 in
+  let try_candidate c =
+    if !evals >= budget then None
+    else begin
+      incr evals;
+      if interesting c then Some c else None
+    end
+  in
+  let rec pass c =
+    let rec scan = function
+      | [] -> None
+      | mk :: rest -> (
+        match try_candidate (mk ()) with
+        | Some better -> Some better
+        | None -> if !evals >= budget then None else scan rest)
+    in
+    match scan (candidates c) with Some better -> pass better | None -> c
+  in
+  let result = pass c0 in
+  (result, !evals)

@@ -81,7 +81,7 @@ let saf_preloads_of_packets space packets =
     packets;
   main @ !fillers
 
-let replay ?wormhole_config ?saf_config net algo failure =
+let replay ?wormhole_config ?saf_config ?space net algo failure =
   let wormhole = Net.switching net = Net.Wormhole in
   let knot_replay states =
     if wormhole then
@@ -100,7 +100,9 @@ let replay ?wormhole_config ?saf_config net algo failure =
   match failure with
   | Checker.Knot config -> knot_replay config
   | Checker.True_cycle { packets; _ } | Checker.No_reduction { packets; _ } ->
-    let space = State_space.build net algo in
+    let space =
+      match space with Some s -> s | None -> State_space.build net algo
+    in
     if wormhole then
       Some
         (Wormhole_sim.is_deadlocked

@@ -24,6 +24,7 @@ val preloads_of_true_cycle :
 val replay :
   ?wormhole_config:Wormhole_sim.config ->
   ?saf_config:Saf_sim.config ->
+  ?space:State_space.t ->
   Net.t ->
   Algo.t ->
   Checker.failure ->
@@ -31,4 +32,8 @@ val replay :
 (** Replays a checker failure in the appropriate simulator.
     [Some true] = deadlock confirmed dynamically; [Some false] = the
     configuration drained; [None] = this failure kind has nothing to
-    replay (wait-connectivity and stuck-state failures). *)
+    replay (wait-connectivity and stuck-state failures).
+
+    [space] lets callers holding a {!Checker.report} reuse its state
+    space instead of rebuilding it (the True-Cycle filler construction
+    needs the per-state output sets). *)

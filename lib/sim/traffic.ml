@@ -41,7 +41,14 @@ let pattern_dest topo pattern rng src =
       in
       Topology.node_of_coord topo rotated
     | Bit_complement -> n - 1 - src
-    | Hotspot h -> h mod n
+    | Hotspot h ->
+      (* OCaml's [mod] keeps the sign of its argument, so a negative
+         hotspot used to leak a negative node id (an out-of-bounds
+         injection downstream); reject out-of-range nodes outright *)
+      if h < 0 || h >= n then
+        invalid_arg
+          (Printf.sprintf "Traffic: hotspot node %d out of range 0..%d" h (n - 1));
+      h
     | Shuffle ->
       let bits =
         let rec count b acc = if 1 lsl acc >= b then acc else count b (acc + 1) in
@@ -78,5 +85,23 @@ let batch topo ~pattern ~count ~length ~seed =
     done
   done;
   List.rev !acc
+
+(* Topology-free saturation batch: the differential fuzzer drives custom
+   networks, which carry no [Topology.t] to draw spatial patterns from. *)
+let batch_uniform ~num_nodes ~count ~length ~seed =
+  if num_nodes < 2 then invalid_arg "Traffic.batch_uniform: need >= 2 nodes";
+  let rng = Prng.create seed in
+  let acc = ref [] in
+  for src = 0 to num_nodes - 1 do
+    for _ = 1 to count do
+      let d = Prng.int rng (num_nodes - 1) in
+      let dst = if d >= src then d + 1 else d in
+      acc := { src; dst; length; inject_at = 0; mode = Adaptive } :: !acc
+    done
+  done;
+  List.rev !acc
+
+let scripted ?(inject_at = 0) ~src ~dst ~length chain =
+  [ { src; dst; length; inject_at; mode = Scripted chain } ]
 
 let count t = List.length t

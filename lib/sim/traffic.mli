@@ -32,7 +32,9 @@ type pattern =
 val pattern_dest :
   Dfr_topology.Topology.t -> pattern -> Dfr_util.Prng.t -> int -> int option
 (** Destination for a source under a pattern ([None] when it maps to
-    itself). *)
+    itself).  Raises [Invalid_argument] when a [Hotspot] node is outside
+    [0, num_nodes) — callers with user-supplied hotspots must validate
+    first. *)
 
 val generate :
   Dfr_topology.Topology.t ->
@@ -53,5 +55,15 @@ val batch :
   t
 (** [count] packets per node, all injected at cycle 0 (closed batch —
     the saturation workload used by the deadlock stress tests). *)
+
+val batch_uniform : num_nodes:int -> count:int -> length:int -> seed:int -> t
+(** Like {!batch} with [pattern = Uniform], but needing only the node
+    count — the entry point for custom (topology-less) networks, e.g. the
+    differential fuzzer's generated cases. *)
+
+val scripted : ?inject_at:int -> src:int -> dst:int -> length:int -> int list -> t
+(** One packet that follows the given buffer chain exactly before
+    continuing adaptively — the scripted-schedule entry point used to
+    steer a simulator into a prescribed configuration. *)
 
 val count : t -> int

@@ -1,0 +1,131 @@
+(* Printing: render an in-memory network + routing relation back to .dfr
+   text — the inverse of parse/validate/elaborate for every network
+   expressible with explicit channels (which is all of them: topology
+   networks are flattened to their channel lists).
+
+   The differential fuzzer leans on this to persist minimized
+   disagreements as regression specs, so the contract that matters is
+   *checker-level* round-tripping: compiling the printed text yields a
+   network whose buffers enumerate in the same order and whose
+   route/wait tables agree with the input relation buffer-for-buffer,
+   hence the same verdict.  (Wormhole physical-link multiplexing is the
+   one thing not preserved: the reprint gives each virtual channel its
+   own physical link, which the checker never looks at.)
+
+   Channels are named deterministically — [c<src>_<dst>_<vc>] for
+   wormhole virtual channels, [b<node>_<cls>] for SAF/VCT node buffers —
+   matching the identifiers Validate generates for topology shorthands.
+   Rules are emitted one per (buffer, destination) state with a nonempty
+   route set, using the precise selectors [in NAME] / [inj N] so
+   first-match resolution cannot shadow anything.  A [wait] rule is
+   emitted only where the wait set differs from the route set, mirroring
+   the elaborator's default. *)
+
+open Dfr_network
+open Dfr_routing
+
+exception Unprintable of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Unprintable msg)) fmt
+
+(* .dfr identifiers are [A-Za-z_][A-Za-z0-9_-]*; network names coming
+   from the engine ("wormhole(mesh-4x4,2vc)") are free-form. *)
+let sanitize_name s =
+  let ok_start c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let ok c = ok_start c || (c >= '0' && c <= '9') || c = '-' in
+  let b = Buffer.create (String.length s) in
+  String.iter (fun c -> Buffer.add_char b (if ok c then c else '-')) s;
+  let s = Buffer.contents b in
+  if s = "" then "net"
+  else if ok_start s.[0] then s
+  else "n" ^ s
+
+let channel_ident b =
+  match Buf.kind b with
+  | Buf.Channel { src; dst; vc; _ } -> Printf.sprintf "c%d_%d_%d" src dst vc
+  | Buf.Node_buffer { node; cls } -> Printf.sprintf "b%d_%d" node cls
+  | Buf.Injection _ | Buf.Delivery _ ->
+    invalid_arg "Printer.channel_ident: not a transit buffer"
+
+let to_string net algo =
+  try
+    let n = Net.num_nodes net in
+    let out = Buffer.create 1024 in
+    let pr fmt = Printf.ksprintf (Buffer.add_string out) fmt in
+    pr "network %s\n" (sanitize_name (Net.name net));
+    pr "switching %s\n"
+      (match Net.switching net with
+      | Net.Wormhole -> "wormhole"
+      | Net.Store_and_forward -> "saf"
+      | Net.Virtual_cut_through -> "vct");
+    pr "waiting %s\n"
+      (match algo.Algo.wait with
+      | Algo.Specific_wait -> "specific"
+      | Algo.Any_wait -> "any");
+    pr "nodes %d\n" n;
+    pr "\n";
+    (* Transit buffers in id order become the channel declarations, so
+       the recompiled network allocates identical buffer ids.  The spec
+       language identifies channels by (src, dst, vc) for wormhole and
+       (node, cls) for SAF/VCT; a network with duplicates cannot
+       round-trip. *)
+    let transit = Net.transit_buffers net in
+    let seen = Hashtbl.create 64 in
+    let ident_of_id = Hashtbl.create 64 in
+    List.iter
+      (fun b ->
+        let ident = channel_ident b in
+        if Hashtbl.mem seen ident then
+          fail "duplicate channel identity %s (not expressible as a spec)" ident;
+        Hashtbl.add seen ident ();
+        Hashtbl.add ident_of_id (Buf.id b) ident;
+        match Buf.kind b with
+        | Buf.Channel { src; dst; vc; _ } ->
+          pr "channel %s : %d -> %d vc %d\n" ident src dst vc
+        | Buf.Node_buffer { node; cls } ->
+          (* a node buffer is a self-channel in spec syntax: identity is
+             (destination node, class), the source endpoint is ignored *)
+          pr "channel %s : %d -> %d vc %d\n" ident node node cls
+        | _ -> assert false)
+      transit;
+    let name_of id =
+      match Hashtbl.find_opt ident_of_id id with
+      | Some s -> s
+      | None ->
+        fail "route set references buffer %d, which is not a transit channel"
+          id
+    in
+    let transit_only ids =
+      List.filter (fun id -> Buf.is_transit (Net.buffer net id)) ids
+    in
+    let same_set a b =
+      List.sort compare a = List.sort compare b
+    in
+    pr "\n";
+    Array.iter
+      (fun b ->
+        if not (Buf.is_delivery b) then
+          for dest = 0 to n - 1 do
+            if Buf.head_node b <> dest then begin
+              let route = transit_only (algo.Algo.route net b ~dest) in
+              if route <> [] then begin
+                let sel =
+                  match Buf.kind b with
+                  | Buf.Injection m -> Printf.sprintf "inj %d" m
+                  | _ -> Printf.sprintf "in %s" (name_of (Buf.id b))
+                in
+                pr "route %s to %d : %s\n" sel dest
+                  (String.concat " " (List.map name_of route));
+                let waits = transit_only (algo.Algo.waits net b ~dest) in
+                if not (same_set waits route) then
+                  pr "wait %s to %d : %s\n" sel dest
+                    (if waits = [] then "none"
+                     else String.concat " " (List.map name_of waits))
+              end
+            end
+          done)
+      (Net.buffers net);
+    Ok (Buffer.contents out)
+  with Unprintable msg -> Error msg

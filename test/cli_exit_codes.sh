@@ -41,4 +41,13 @@ expect 2 no-such-subcommand
 expect 2 check -a efa --no-such-flag
 expect 2 spec check /dev/null
 
+# hotspot nodes are range-checked before injection: a negative or
+# too-large node is a usage error, never a wild array index
+expect 2 simulate -a ecube -t hypercube:2 -p hotspot:-3 --horizon 50
+expect 2 simulate -a ecube -t hypercube:2 -p hotspot:99 --horizon 50
+expect 0 simulate -a ecube -t hypercube:2 -p hotspot:0 --horizon 50
+
+# differential fuzzing: a clean head disagrees with itself nowhere -> 0
+expect 0 fuzz --trials 10 --seed 7 --max-nodes 6
+
 exit $fail

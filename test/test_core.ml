@@ -231,6 +231,76 @@ let test_classify_relaxed_efa_true_cycle () =
              packets))
       packets
 
+(* Regression: the assignment search visits edges fewest-candidates-first,
+   and used to return the chosen packets in that search order.  Consumers
+   (pp_verdict, JSON reports) zip packets with cycle edges positionally,
+   so the witness must come back in cycle order: packet k starts at cycle
+   vertex k and waits for vertex k+1 (wrapping). *)
+let test_classify_packets_in_cycle_order () =
+  let nets =
+    [
+      (cube2, Hypercube_wormhole.efa_relaxed);
+      (mesh33_1, Mesh_wormhole.unrestricted);
+    ]
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun (net, algo) ->
+      let space = State_space.build net algo in
+      let bwg = Bwg.build space in
+      let cycles, _ = Bwg.cycles bwg in
+      List.iter
+        (fun cycle ->
+          match Cycle_class.classify bwg cycle with
+          | Cycle_class.False_resource_cycle _ -> ()
+          | Cycle_class.True_cycle packets ->
+            incr checked;
+            let len = List.length cycle in
+            check Alcotest.int "one packet per edge" len (List.length packets);
+            List.iteri
+              (fun k (p : Cycle_class.packet) ->
+                check Alcotest.int
+                  (Printf.sprintf "packet %d starts at cycle vertex %d" k k)
+                  (List.nth cycle k)
+                  (List.hd p.Cycle_class.path);
+                check Alcotest.int
+                  (Printf.sprintf "packet %d waits for vertex %d" k
+                     ((k + 1) mod len))
+                  (List.nth cycle ((k + 1) mod len))
+                  p.Cycle_class.waits_for)
+              packets)
+        cycles)
+    nets;
+  check Alcotest.bool "some True Cycles were checked" true (!checked > 0)
+
+(* Boundary regression for the path enumerator: reaching the cap exactly
+   is not truncation.  A diamond has exactly two 0->3 paths; with the cap
+   at two, the old code flagged the enumeration non-exhaustive (and the
+   checker downgraded to Unknown) although nothing was missed. *)
+let test_simple_paths_exact_cap_exhaustive () =
+  let g = Dfr_graph.Csr.of_edges 5 [ (0, 1); (0, 2); (1, 3); (2, 3); (0, 4) ] in
+  let limits = { Cycle_class.default_limits with Cycle_class.max_paths_per_edge = 2 } in
+  let paths, exhaustive = Cycle_class.simple_paths ~limits g ~start:0 ~target:3 in
+  check Alcotest.int "both paths found" 2 (List.length paths);
+  check Alcotest.bool "exactly-at-cap is exhaustive" true exhaustive
+
+let test_simple_paths_beyond_cap_truncated () =
+  let g =
+    Dfr_graph.Csr.of_edges 5
+      [ (0, 1); (0, 2); (0, 4); (1, 3); (2, 3); (4, 3) ]
+  in
+  let limits = { Cycle_class.default_limits with Cycle_class.max_paths_per_edge = 2 } in
+  let paths, exhaustive = Cycle_class.simple_paths ~limits g ~start:0 ~target:3 in
+  check Alcotest.int "cap respected" 2 (List.length paths);
+  check Alcotest.bool "third path flags truncation" false exhaustive
+
+let test_simple_paths_length_cap_truncated () =
+  let g = Dfr_graph.Csr.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let limits = { Cycle_class.default_limits with Cycle_class.max_path_length = 3 } in
+  let paths, exhaustive = Cycle_class.simple_paths ~limits g ~start:0 ~target:4 in
+  check Alcotest.int "path too long is not returned" 0 (List.length paths);
+  check Alcotest.bool "length cut flags truncation" false exhaustive
+
 let test_classify_rejects_non_cycle () =
   let space = State_space.build cube2 Hypercube_wormhole.efa_relaxed in
   let bwg = Bwg.build space in
@@ -424,6 +494,14 @@ let suite =
     Alcotest.test_case "classify relaxed-efa True Cycle" `Quick
       test_classify_relaxed_efa_true_cycle;
     Alcotest.test_case "classify rejects non-cycles" `Quick test_classify_rejects_non_cycle;
+    Alcotest.test_case "True-Cycle packets come back in cycle order" `Quick
+      test_classify_packets_in_cycle_order;
+    Alcotest.test_case "simple_paths: exact cap stays exhaustive" `Quick
+      test_simple_paths_exact_cap_exhaustive;
+    Alcotest.test_case "simple_paths: beyond cap truncates" `Quick
+      test_simple_paths_beyond_cap_truncated;
+    Alcotest.test_case "simple_paths: length cap truncates" `Quick
+      test_simple_paths_length_cap_truncated;
     Alcotest.test_case "checker matches ground truth" `Quick test_checker_matches_ground_truth;
     Alcotest.test_case "Theorem 1 proofs" `Quick test_theorem1_proofs;
     Alcotest.test_case "Theorem 3 via hint (Thm 4)" `Quick test_theorem3_two_buffer;

@@ -1,0 +1,180 @@
+(* The differential fuzzing harness, tested three ways:
+
+   1. the oracle agrees with the checker on the whole registry catalogue
+      (bounded seeds/horizon) — the curated counterpart of the random
+      campaigns;
+   2. campaigns are deterministic: same seed => identical summary,
+      regardless of the domain count;
+   3. the harness actually catches bugs: a deliberately lying checker is
+      flagged within a few trials and the disagreement shrinks to a
+      small case whose printed .dfr spec recompiles into a genuine
+      deadlock.
+
+   Plus the spec printer's round-trip property on generated cases. *)
+
+open Dfr_routing
+open Dfr_core
+open Dfr_fuzz
+
+let check = Alcotest.check
+
+(* ---------------- registry-wide agreement ---------------- *)
+
+let test_registry_agreement () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let net = Registry.network_for e None in
+      let o = Oracle.confront ~sim_seeds:[ 1 ] ~count:3 net e.Registry.algo in
+      match o.Oracle.disagreement with
+      | None -> ()
+      | Some d ->
+        Alcotest.failf "catalogue entry %s: %s" e.Registry.name
+          (Oracle.describe d))
+    Registry.all
+
+(* ---------------- campaign determinism ---------------- *)
+
+let summary_fingerprint (s : Fuzz.summary) =
+  Printf.sprintf "%d/%d/%d/%d/%d/%d/%d [%s]" s.Fuzz.trials s.Fuzz.free
+    s.Fuzz.deadlock s.Fuzz.unknown s.Fuzz.confirmed s.Fuzz.refuted
+    s.Fuzz.not_replayable
+    (String.concat ";"
+       (List.map
+          (fun (f : Fuzz.finding) ->
+            Printf.sprintf "t%d:%s" f.Fuzz.trial
+              (match f.Fuzz.spec with Ok t -> t | Error e -> "!" ^ e))
+          s.Fuzz.findings))
+
+let test_determinism () =
+  let cfg = { Fuzz.default_config with trials = 60; seed = 123 } in
+  let a = Fuzz.run cfg in
+  let b = Fuzz.run cfg in
+  check Alcotest.string "same seed, same summary" (summary_fingerprint a)
+    (summary_fingerprint b);
+  let c = Fuzz.run { cfg with Fuzz.domains = 3 } in
+  check Alcotest.string "domain split does not change the summary"
+    (summary_fingerprint a) (summary_fingerprint c)
+
+let test_head_is_clean () =
+  (* the standing claim of this harness: checker and simulators agree on
+     every generated case — a regression in either side shows up here *)
+  let s = Fuzz.run { Fuzz.default_config with trials = 150; seed = 2026 } in
+  check Alcotest.int "no disagreements at head" 0 (List.length s.Fuzz.findings);
+  check Alcotest.int "no refuted witnesses" 0 s.Fuzz.refuted;
+  check Alcotest.bool "both verdict classes exercised" true
+    (s.Fuzz.free > 0 && s.Fuzz.deadlock > 0)
+
+(* ---------------- the harness catches a planted bug ---------------- *)
+
+(* A checker that certifies freedom whenever the real checker finds a
+   deadlock: every deadlock-possible case becomes a disagreement the
+   stress schedules must expose. *)
+let lying_check net algo =
+  let report = Checker.check net algo in
+  match report.Checker.verdict with
+  | Checker.Deadlock_possible _ ->
+    { report with Checker.verdict = Checker.Deadlock_free Checker.Acyclic_bwg }
+  | _ -> report
+
+let test_planted_bug_caught_and_shrunk () =
+  let cfg = { Fuzz.default_config with trials = 25; seed = 5 } in
+  let s = Fuzz.run ~check:lying_check cfg in
+  check Alcotest.bool "planted bug found" true (s.Fuzz.findings <> []);
+  let f = List.hd s.Fuzz.findings in
+  (match f.Fuzz.kind with
+  | Oracle.Certified_free_but_deadlocked _ -> ()
+  | Oracle.Witness_refuted -> Alcotest.fail "wrong disagreement kind");
+  (* the shrunk case must still be a genuine deadlock ... *)
+  let net, algo = Case.to_net_algo f.Fuzz.case in
+  (match Checker.verdict net algo with
+  | Checker.Deadlock_possible _ -> ()
+  | v ->
+    Alcotest.failf "shrunk case is not a deadlock: %a"
+      (Checker.pp_verdict net) v);
+  (* ... smaller than anything the generator emits whole ... *)
+  check Alcotest.bool "shrinking made progress" true
+    (Array.length f.Fuzz.case.Case.channels <= 8);
+  (* ... and its printed spec must recompile to the same verdict *)
+  match f.Fuzz.spec with
+  | Error msg -> Alcotest.failf "shrunk case unprintable: %s" msg
+  | Ok text -> (
+    match Dfr_spec.Spec.compile_string text with
+    | Error e ->
+      Alcotest.failf "shrunk spec does not recompile: %s"
+        (Dfr_spec.Spec.error_to_string e)
+    | Ok spec -> (
+      match
+        Checker.verdict spec.Dfr_spec.Spec.net spec.Dfr_spec.Spec.algo
+      with
+      | Checker.Deadlock_possible _ -> ()
+      | v ->
+        Alcotest.failf "recompiled spec lost the deadlock: %a"
+          (Checker.pp_verdict spec.Dfr_spec.Spec.net) v))
+
+(* ---------------- printer round-trip ---------------- *)
+
+let verdict_class v = Checker.is_deadlock_free v
+
+let test_printer_roundtrip () =
+  (* generated cases cover wormhole and SAF/VCT switching, specific and
+     any waiting, regular and irregular shapes *)
+  List.iter
+    (fun seed ->
+      let rng = Dfr_util.Prng.create seed in
+      let case = Gen.case rng ~max_nodes:9 in
+      let net, algo = Case.to_net_algo case in
+      match Dfr_spec.Printer.to_string net algo with
+      | Error msg -> Alcotest.failf "seed %d unprintable: %s" seed msg
+      | Ok text -> (
+        match Dfr_spec.Spec.compile_string text with
+        | Error e ->
+          Alcotest.failf "seed %d: printed spec does not compile: %s\n%s" seed
+            (Dfr_spec.Spec.error_to_string e) text
+        | Ok spec ->
+          let original = verdict_class (Checker.verdict net algo) in
+          let reprinted =
+            verdict_class
+              (Checker.verdict spec.Dfr_spec.Spec.net spec.Dfr_spec.Spec.algo)
+          in
+          check
+            Alcotest.(option bool)
+            (Printf.sprintf "seed %d verdict survives the round trip" seed)
+            original reprinted))
+    (List.init 30 (fun i -> 9000 + i))
+
+let test_printer_roundtrip_registry () =
+  (* the compiled-in custom network, the one case with parallel links *)
+  match Registry.find "duato-incoherent" with
+  | None -> ()
+  | Some e ->
+    let net = Registry.network_for e None in
+    (match Dfr_spec.Printer.to_string net e.Registry.algo with
+    | Error msg -> Alcotest.failf "incoherent unprintable: %s" msg
+    | Ok text -> (
+      match Dfr_spec.Spec.compile_string text with
+      | Error err ->
+        Alcotest.failf "incoherent reprint does not compile: %s"
+          (Dfr_spec.Spec.error_to_string err)
+      | Ok spec ->
+        check
+          Alcotest.(option bool)
+          "incoherent verdict survives"
+          (verdict_class (Checker.verdict net e.Registry.algo))
+          (verdict_class
+             (Checker.verdict spec.Dfr_spec.Spec.net spec.Dfr_spec.Spec.algo))))
+
+let suite =
+  [
+    Alcotest.test_case "oracle agrees on the whole catalogue" `Quick
+      test_registry_agreement;
+    Alcotest.test_case "campaigns are deterministic across domains" `Quick
+      test_determinism;
+    Alcotest.test_case "150-trial campaign finds no disagreement" `Quick
+      test_head_is_clean;
+    Alcotest.test_case "planted checker bug is caught and shrunk" `Quick
+      test_planted_bug_caught_and_shrunk;
+    Alcotest.test_case "printer round-trips 30 generated cases" `Quick
+      test_printer_roundtrip;
+    Alcotest.test_case "printer round-trips the incoherent example" `Quick
+      test_printer_roundtrip_registry;
+  ]

@@ -16,4 +16,5 @@ let () =
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
+      ("differential", Test_differential.suite);
     ]

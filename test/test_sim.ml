@@ -52,6 +52,47 @@ let test_traffic_patterns () =
   check (Alcotest.option Alcotest.int) "transpose" (Some n12)
     (Traffic.pattern_dest m Traffic.Transpose g n21)
 
+(* Regression: OCaml's [mod] keeps the sign of its argument, so a
+   negative hotspot node used to come back as a negative destination (an
+   out-of-bounds injection downstream).  Out-of-range hotspots must raise
+   instead, in both directions. *)
+let test_traffic_hotspot_out_of_range () =
+  let g = Dfr_util.Prng.create 1 in
+  Alcotest.check_raises "negative hotspot"
+    (Invalid_argument "Traffic: hotspot node -3 out of range 0..7") (fun () ->
+      ignore (Traffic.pattern_dest topo3 (Traffic.Hotspot (-3)) g 0));
+  Alcotest.check_raises "hotspot past the last node"
+    (Invalid_argument "Traffic: hotspot node 8 out of range 0..7") (fun () ->
+      ignore (Traffic.pattern_dest topo3 (Traffic.Hotspot 8) g 0))
+
+let test_batch_uniform_topology_free () =
+  let t = Traffic.batch_uniform ~num_nodes:5 ~count:3 ~length:4 ~seed:7 in
+  check Alcotest.int "count per node" (5 * 3) (Traffic.count t);
+  List.iter
+    (fun (p : Traffic.packet) ->
+      check Alcotest.bool "destination in range" true
+        (p.Traffic.dst >= 0 && p.Traffic.dst < 5 && p.Traffic.dst <> p.Traffic.src))
+    t;
+  check Alcotest.bool "deterministic" true
+    (t = Traffic.batch_uniform ~num_nodes:5 ~count:3 ~length:4 ~seed:7)
+
+let test_scripted_entry_point () =
+  (* the scripted chain is followed exactly: on the 2-cube under e-cube
+     routing the packet may not take the adaptive channel, but a script
+     can force any permitted sequence *)
+  let net = Net.wormhole (Topology.hypercube 2) ~vcs:2 in
+  let chain =
+    [
+      Buf.id (Net.channel net ~src:0 ~dim:0 ~dir:Topology.Plus ~vc:0);
+      Buf.id (Net.channel net ~src:1 ~dim:1 ~dir:Topology.Plus ~vc:0);
+    ]
+  in
+  let t = Traffic.scripted ~src:0 ~dst:3 ~length:2 chain in
+  check Alcotest.int "one packet" 1 (Traffic.count t);
+  match Wormhole_sim.run net Hypercube_wormhole.ecube t with
+  | Wormhole_sim.Completed _ -> ()
+  | o -> Alcotest.failf "scripted packet did not deliver: %a" Wormhole_sim.pp_outcome o
+
 let prop_uniform_dest_valid =
   QCheck.Test.make ~name:"uniform destinations valid" ~count:300
     QCheck.(pair (int_range 0 7) int)
@@ -307,6 +348,11 @@ let suite =
     Alcotest.test_case "traffic rate zero" `Quick test_traffic_generate_rate_zero;
     Alcotest.test_case "traffic deterministic" `Quick test_traffic_deterministic;
     Alcotest.test_case "traffic patterns" `Quick test_traffic_patterns;
+    Alcotest.test_case "hotspot out of range raises" `Quick
+      test_traffic_hotspot_out_of_range;
+    Alcotest.test_case "topology-free uniform batch" `Quick
+      test_batch_uniform_topology_free;
+    Alcotest.test_case "scripted entry point" `Quick test_scripted_entry_point;
     Alcotest.test_case "stats accessors" `Quick test_stats;
     Alcotest.test_case "empty-stats report JSON" `Quick
       test_empty_stats_report_json;
