@@ -183,6 +183,97 @@ let run_obs () =
   close_out oc;
   Printf.printf "wrote %s\n%!" bench2_json
 
+(* ----------------- E15: serve — cold vs cached latency ---------------- *)
+
+let bench5_json = "BENCH_5.json"
+
+(* The serving claim (ISSUE: cached re-check >= 10x faster than cold on
+   efa-3cube) is measured against the engine directly: same handle/await
+   surface the stdio and TCP loops drive, no transport noise.  Cold
+   samples each use a fresh engine so the cache and the digest memo start
+   empty; the worker pool is already up, so spawn cost is excluded. *)
+let run_serve () =
+  Printf.printf "\n=== E15: serve — cold vs cached check latency ===\n%!";
+  let module J = Dfr_util.Json in
+  let module E = Dfr_serve.Engine in
+  let line =
+    J.to_string
+      (J.Obj
+         [
+           ("op", J.String "check");
+           ("algo", J.String "efa");
+           ("topology", J.String "hypercube:3");
+         ])
+  in
+  let cached resp =
+    match J.member "cached" resp with Some (J.Bool b) -> b | _ -> false
+  in
+  let ok resp = match J.member "ok" resp with Some (J.Bool b) -> b | _ -> false in
+  let request engine =
+    let t0 = Unix.gettimeofday () in
+    let resp = E.await engine (E.handle_line engine line) in
+    ((Unix.gettimeofday () -. t0) *. 1e9, resp)
+  in
+  let cold_ns =
+    median
+      (List.init 7 (fun _ ->
+           let e = E.create E.default_config in
+           let dt, resp = request e in
+           if not (ok resp) || cached resp then begin
+             Printf.eprintf "FAIL: cold serve request did not check: %s\n"
+               (J.to_string resp);
+             exit 1
+           end;
+           E.shutdown e;
+           dt))
+  in
+  let engine = E.create E.default_config in
+  let _warmup = request engine in
+  let warm_ns =
+    median
+      (List.init 501 (fun _ ->
+           let dt, resp = request engine in
+           if not (cached resp) then begin
+             Printf.eprintf "FAIL: warm serve request missed the cache\n";
+             exit 1
+           end;
+           dt))
+  in
+  let reqs = 5_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reqs do
+    ignore (E.await engine (E.handle_line engine line))
+  done;
+  let rps = float_of_int reqs /. (Unix.gettimeofday () -. t0) in
+  E.shutdown engine;
+  let speedup = cold_ns /. warm_ns in
+  Printf.printf
+    "cold %.0f ns, cached %.0f ns -> %.1fx; %.0f cached requests/s\n" cold_ns
+    warm_ns speedup rps;
+  if speedup < 10.0 then begin
+    Printf.eprintf
+      "FAIL: cached re-check only %.1fx faster than cold (budget 10x)\n" speedup;
+    exit 1
+  end;
+  let doc =
+    J.Obj
+      [
+        ("suite", J.String "serve");
+        ("problem", J.String "efa@hypercube:3");
+        ("cold_ns", J.Float cold_ns);
+        ("warm_ns", J.Float warm_ns);
+        ("speedup_warm_vs_cold", J.Float speedup);
+        ("speedup_budget", J.Float 10.0);
+        ("cached_requests_per_sec", J.Float rps);
+        ("throughput_requests", J.Int reqs);
+      ]
+  in
+  let oc = open_out bench5_json in
+  output_string oc (J.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" bench5_json
+
 let run_micro () =
   Printf.printf "\n=== E8: micro benchmarks (Bechamel, monotonic clock) ===\n%!";
   let test = Test.make_grouped ~name:"dfr" ~fmt:"%s/%s" micro_tests in
@@ -230,11 +321,13 @@ let () =
   | "turns" -> Experiments.turn_tables ()
   | "parallel" -> Experiments.parallel_bwg ()
   | "micro" -> run_micro ()
+  | "serve" -> run_serve ()
   | "all" ->
     Experiments.all ();
-    run_micro ()
+    run_micro ();
+    run_serve ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro all)\n"
+      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro serve all)\n"
       other;
     exit 1

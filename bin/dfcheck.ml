@@ -6,7 +6,9 @@
      bwg           export the buffer waiting graph as Graphviz DOT
      adaptiveness  Figure 3: degree of adaptiveness vs hypercube dimension
      matrix        verdict matrix: algorithms x proof techniques (E6)
-     simulate      flit-level simulation with a synthetic workload *)
+     simulate      flit-level simulation with a synthetic workload
+     serve         batched NDJSON checking service (stdio or TCP)
+     client        one-shot scripting client for a TCP serve instance *)
 
 open Cmdliner
 open Dfr_topology
@@ -14,6 +16,7 @@ open Dfr_network
 open Dfr_routing
 open Dfr_core
 open Dfr_sim
+open Dfr_serve
 
 (* ------------------------------------------------------------------ *)
 (* shared argument parsing                                             *)
@@ -50,11 +53,9 @@ let lookup name =
      0  deadlock-free / success
      1  deadlock found (or, for audit, a catalogue mismatch)
      2  usage error: unknown algorithm, malformed spec, bad command line
-     3  verdict Unknown (a cap or budget was hit)                       *)
-let exit_of_verdict = function
-  | Checker.Deadlock_free _ -> 0
-  | Checker.Deadlock_possible _ -> 1
-  | Checker.Unknown _ -> 3
+     3  verdict Unknown (a cap or budget was hit)
+   The verdict->code mapping itself lives in Report_json.exit_code so the
+   serve protocol reports the same numbers. *)
 
 (* ------------------------------------------------------------------ *)
 (* observability: --trace / --metrics on the checking subcommands      *)
@@ -99,24 +100,63 @@ let print_text_metrics ~metrics =
     Printf.printf "metrics:\n%s\n"
       (Dfr_util.Json.to_string_pretty (Obs.metrics_json ()))
 
+(* The one place a report becomes terminal output: `check', `spec check'
+   and (through Report_json.of_outcome directly) the serve engine all
+   agree on the JSON shape and the exit code. *)
+let run_check_report ~name ~replay ~certificate ~json ~domains ~trace ~metrics
+    net algo =
+  obs_setup ~trace ~metrics;
+  let report = Checker.check ~domains net algo in
+  if json then
+    print_endline
+      (Dfr_util.Json.to_string_pretty
+         (Report_json.of_outcome
+            ?metrics:(if metrics then Some (Obs.metrics_json ()) else None)
+            net algo report))
+  else if certificate then Certificate.print net algo report
+  else begin
+    Format.printf "%s on %s:@.  %a@." name (Net.name net)
+      (Checker.pp_verdict net) report.Checker.verdict;
+    print_text_metrics ~metrics
+  end;
+  (match report.Checker.verdict with
+  | Checker.Deadlock_possible failure when replay ->
+    (match Scenario.replay net algo failure with
+    | Some true -> Format.printf "  replay: deadlock confirmed in simulation@."
+    | Some false -> Format.printf "  replay: configuration drained (not confirmed)@."
+    | None -> Format.printf "  replay: nothing to replay for this failure@.")
+  | _ -> ());
+  obs_teardown ~trace;
+  Report_json.exit_code report.Checker.verdict
+
 (* ------------------------------------------------------------------ *)
 (* list                                                                *)
 
 let list_cmd =
-  let run () =
-    List.iter
-      (fun (e : Registry.entry) ->
-        Printf.printf "%-24s %-10s %s\n" e.Registry.name
-          (match e.Registry.expected_deadlock_free with
-          | Some true -> "[free]"
-          | Some false -> "[deadlock]"
-          | None -> "[?]")
-          e.Registry.description)
-      Registry.all;
+  let run json =
+    if json then
+      print_endline (Dfr_util.Json.to_string_pretty (Protocol.catalogue_json ()))
+    else
+      List.iter
+        (fun (e : Registry.entry) ->
+          Printf.printf "%-24s %-10s %s\n" e.Registry.name
+            (match e.Registry.expected_deadlock_free with
+            | Some true -> "[free]"
+            | Some false -> "[deadlock]"
+            | None -> "[?]")
+            e.Registry.description)
+        Registry.all;
     0
   in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Print the catalogue as JSON (the same document a serve \
+                instance returns for op $(b,catalogue)).")
+  in
   Cmd.v (Cmd.info "list" ~doc:"List the routing algorithms in the catalogue")
-    Term.(const run $ const ())
+    Term.(const run $ json)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                               *)
@@ -127,28 +167,9 @@ let check_run name topo replay certificate json domains trace metrics =
     prerr_endline msg;
     2
   | Ok e ->
-    obs_setup ~trace ~metrics;
     let net = Registry.network_for e topo in
-    let report = Checker.check ~domains net e.Registry.algo in
-    if json then
-      print_endline
-        (Dfr_util.Json.to_string_pretty
-           (with_metrics ~metrics (Report_json.of_report net e.Registry.algo report)))
-    else if certificate then Certificate.print net e.Registry.algo report
-    else begin
-      Format.printf "%s on %s:@.  %a@." e.Registry.name (Net.name net)
-        (Checker.pp_verdict net) report.Checker.verdict;
-      print_text_metrics ~metrics
-    end;
-    (match report.Checker.verdict with
-    | Checker.Deadlock_possible failure when replay ->
-      (match Scenario.replay net e.Registry.algo failure with
-      | Some true -> Format.printf "  replay: deadlock confirmed in simulation@."
-      | Some false -> Format.printf "  replay: configuration drained (not confirmed)@."
-      | None -> Format.printf "  replay: nothing to replay for this failure@.")
-    | _ -> ());
-    obs_teardown ~trace;
-    exit_of_verdict report.Checker.verdict
+    run_check_report ~name:e.Registry.name ~replay ~certificate ~json ~domains
+      ~trace ~metrics net e.Registry.algo
 
 let check_cmd =
   let replay =
@@ -369,28 +390,9 @@ let with_spec file k =
 
 let spec_check_run file replay certificate json domains trace metrics =
   with_spec file (fun spec ->
-      obs_setup ~trace ~metrics;
       let net = spec.Dfr_spec.Spec.net and algo = spec.Dfr_spec.Spec.algo in
-      let report = Checker.check ~domains net algo in
-      if json then
-        print_endline
-          (Dfr_util.Json.to_string_pretty
-             (with_metrics ~metrics (Report_json.of_report net algo report)))
-      else if certificate then Certificate.print net algo report
-      else begin
-        Format.printf "%s on %s:@.  %a@." algo.Algo.name (Net.name net)
-          (Checker.pp_verdict net) report.Checker.verdict;
-        print_text_metrics ~metrics
-      end;
-      (match report.Checker.verdict with
-      | Checker.Deadlock_possible failure when replay ->
-        (match Scenario.replay net algo failure with
-        | Some true -> Format.printf "  replay: deadlock confirmed in simulation@."
-        | Some false -> Format.printf "  replay: configuration drained (not confirmed)@."
-        | None -> Format.printf "  replay: nothing to replay for this failure@.")
-      | _ -> ());
-      obs_teardown ~trace;
-      exit_of_verdict report.Checker.verdict)
+      run_check_report ~name:algo.Algo.name ~replay ~certificate ~json ~domains
+        ~trace ~metrics net algo)
 
 let spec_check_cmd =
   let replay =
@@ -620,6 +622,208 @@ let fuzz_cmd =
       $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve: the batched NDJSON checking service                          *)
+
+let serve_run port workers queue cache timeout_ms domains trace metrics =
+  if workers < 1 || queue < 1 || domains < 1 || cache < 0 || timeout_ms < 0 then begin
+    prerr_endline
+      "dfcheck serve: --workers, --queue and --domains must be >= 1; --cache \
+       and --timeout-ms must be >= 0";
+    2
+  end
+  else begin
+    obs_setup ~trace ~metrics;
+    let engine =
+      Engine.create
+        { Engine.workers; capacity = queue; cache_capacity = cache; timeout_ms;
+          domains }
+    in
+    let code =
+      match port with
+      | None -> Server.run_stdio engine
+      | Some port -> Server.run_tcp engine ~port
+    in
+    Engine.shutdown engine;
+    (* stdout is the protocol stream, so metrics go to stderr here *)
+    if metrics then
+      Printf.eprintf "metrics:\n%s\n%!"
+        (Dfr_util.Json.to_string_pretty (Obs.metrics_json ()));
+    obs_teardown ~trace;
+    code
+  end
+
+let serve_cmd =
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:
+               "Listen on 127.0.0.1:$(docv) (0 picks a free port, announced \
+                on stderr).  Without this flag the session runs on \
+                stdin/stdout.")
+  in
+  let workers =
+    Arg.(value & opt int 1
+         & info [ "workers" ]
+             ~doc:"Domain workers running checks concurrently.")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ]
+             ~doc:
+               "Maximum outstanding checks (queued or running); beyond it \
+                requests are refused with a $(b,queue_full) error.")
+  in
+  let cache =
+    Arg.(value & opt int 256
+         & info [ "cache" ]
+             ~doc:"Verdict-cache capacity in entries (0 disables caching).")
+  in
+  let timeout_ms =
+    Arg.(value & opt int 0
+         & info [ "timeout-ms" ]
+             ~doc:"Per-request deadline in milliseconds (0 disables).")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ]
+             ~doc:"Per-check BWG/classification parallelism, as in `check'.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve checking requests over an NDJSON protocol: one JSON request \
+          per line in, one JSON response per line out, in request order.  \
+          Verdicts are cached by a digest of the elaborated problem, so \
+          re-checking the same spec (or a named problem equal to it) is \
+          answered without recomputation.")
+    Term.(const serve_run $ port $ workers $ queue $ cache $ timeout_ms
+          $ domains $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* client: one-shot scripting client for a TCP serve instance          *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let client_run op port spec algo topo ms raw =
+  let module J = Dfr_util.Json in
+  let request =
+    match op with
+    | `Ping | `Catalogue | `Stats | `Shutdown ->
+      let name =
+        match op with
+        | `Ping -> "ping"
+        | `Catalogue -> "catalogue"
+        | `Stats -> "stats"
+        | _ -> "shutdown"
+      in
+      Ok (J.Obj [ ("op", J.String name) ])
+    | `Sleep -> Ok (J.Obj [ ("op", J.String "sleep"); ("ms", J.Int ms) ])
+    | `Check -> (
+      match (spec, algo) with
+      | Some file, None -> (
+        match read_file file with
+        | text -> Ok (J.Obj [ ("op", J.String "check"); ("spec", J.String text) ])
+        | exception Sys_error msg -> Error msg)
+      | None, Some a ->
+        let base = [ ("op", J.String "check"); ("algo", J.String a) ] in
+        Ok
+          (J.Obj
+             (match topo with
+             | Some t -> base @ [ ("topology", J.String t) ]
+             | None -> base))
+      | _ -> Error "op `check' needs exactly one of --spec FILE or -a NAME")
+  in
+  match request with
+  | Error msg ->
+    Printf.eprintf "dfcheck client: %s\n" msg;
+    2
+  | Ok req -> (
+    match
+      Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "dfcheck client: cannot connect to 127.0.0.1:%d: %s\n" port
+        (Unix.error_message err);
+      2
+    | ic, oc -> (
+      output_string oc (J.to_string req);
+      output_char oc '\n';
+      flush oc;
+      match input_line ic with
+      | exception End_of_file ->
+        (try Unix.shutdown_connection ic with Unix.Unix_error _ -> ());
+        Printf.eprintf "dfcheck client: server closed without responding\n";
+        2
+      | line -> (
+        (try Unix.shutdown_connection ic with Unix.Unix_error _ -> ());
+        match J.of_string line with
+        | Error msg ->
+          Printf.eprintf "dfcheck client: unparseable response: %s\n" msg;
+          2
+        | Ok doc ->
+          if raw then print_endline line
+          else print_endline (J.to_string_pretty doc);
+          (* mirror the local exit-code contract: a served check exits
+             with the verdict's code, any protocol failure with 2 *)
+          (match J.member "ok" doc with
+          | Some (J.Bool true) ->
+            Option.value ~default:0 (Option.bind (J.member "exit" doc) J.to_int)
+          | _ -> 2))))
+
+let client_cmd =
+  let op =
+    let ops =
+      [ ("ping", `Ping); ("catalogue", `Catalogue); ("stats", `Stats);
+        ("check", `Check); ("sleep", `Sleep); ("shutdown", `Shutdown) ]
+    in
+    Arg.(required & pos 0 (some (enum ops)) None
+         & info [] ~docv:"OP"
+             ~doc:
+               "Operation: $(b,ping), $(b,catalogue), $(b,stats), \
+                $(b,check), $(b,sleep) or $(b,shutdown).")
+  in
+  let port =
+    Arg.(required & opt (some int) None
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"Port of the serve instance on 127.0.0.1.")
+  in
+  let spec =
+    Arg.(value & opt (some file) None
+         & info [ "spec" ] ~docv:"FILE"
+             ~doc:"For $(b,check): send this .dfr file's text.")
+  in
+  let algo =
+    Arg.(value & opt (some string) None
+         & info [ "a"; "algorithm" ]
+             ~doc:"For $(b,check): name a catalogue algorithm instead.")
+  in
+  let topo =
+    Arg.(value & opt (some string) None
+         & info [ "t"; "topology" ]
+             ~doc:"For $(b,check) with -a: topology string, e.g. hypercube:3.")
+  in
+  let ms =
+    Arg.(value & opt int 100
+         & info [ "ms" ] ~doc:"For $(b,sleep): duration in milliseconds.")
+  in
+  let raw =
+    Arg.(value & flag
+         & info [ "raw" ]
+             ~doc:"Print the response as the single NDJSON line received.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a `dfcheck serve --port' instance and print the \
+          response.  A served check exits with the verdict's usual code \
+          (0 free, 1 deadlock, 3 unknown); protocol errors exit 2.")
+    Term.(const client_run $ op $ port $ spec $ algo $ topo $ ms $ raw)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -639,6 +843,8 @@ let () =
            audit_cmd;
            spec_cmd;
            fuzz_cmd;
+           serve_cmd;
+           client_cmd;
          ])
   in
   (* fold cmdliner's usage-error code into the documented "2 = usage error" *)

@@ -213,6 +213,22 @@ let check ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) net algo 
 let verdict ?cycle_limits ?class_limits ?reduction_budget ?domains net algo =
   (check ?cycle_limits ?class_limits ?reduction_budget ?domains net algo).verdict
 
+(* Serving entry point: a long-lived process checking untrusted inputs
+   cannot afford [check]'s process-per-check error model, where a
+   malformed algorithm (validation failure, a route function that
+   raises) takes the whole process down.  Everything [check] touches is
+   allocated per call — state space, BWG, worker domains — so calls are
+   independent and may run concurrently from any number of domains; this
+   wrapper only has to turn the two documented failure exceptions into
+   data.  Asynchronous exceptions (Out_of_memory, Stack_overflow) are
+   deliberately not caught: a worker cannot know how much of the heap
+   they poisoned. *)
+let check_result ?cycle_limits ?class_limits ?reduction_budget ?domains net algo =
+  match check ?cycle_limits ?class_limits ?reduction_budget ?domains net algo with
+  | report -> Ok report
+  | exception Invalid_argument msg -> Error msg
+  | exception Failure msg -> Error msg
+
 let is_deadlock_free = function
   | Deadlock_free _ -> Some true
   | Deadlock_possible _ -> Some false

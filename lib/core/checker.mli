@@ -79,6 +79,20 @@ val verdict :
   verdict
 (** Just the verdict of {!check}. *)
 
+val check_result :
+  ?cycle_limits:Dfr_graph.Cycles.limits ->
+  ?class_limits:Cycle_class.limits ->
+  ?reduction_budget:int ->
+  ?domains:int ->
+  Net.t ->
+  Algo.t ->
+  (report, string) result
+(** Re-entrant {!check} for long-lived callers (the serving layer): a
+    structurally invalid algorithm or a raising route function becomes
+    [Error msg] instead of an exception, and calls may run concurrently
+    from multiple domains — every structure {!check} builds is allocated
+    per call. *)
+
 val is_deadlock_free : verdict -> bool option
 (** [Some true] / [Some false] / [None] for [Unknown]. *)
 

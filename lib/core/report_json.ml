@@ -76,9 +76,13 @@ let verdict_json net = function
   | Checker.Unknown reason ->
     Json.Obj [ ("result", Json.String "unknown"); ("reason", Json.String reason) ]
 
-let of_report net algo (report : Checker.report) =
+(* The one constructor of the report object.  Every surface that renders a
+   checker outcome as JSON — `dfcheck check --json', `dfcheck spec check
+   --json', the audit, and the serving layer's cached verdicts — goes
+   through here, so the three cannot drift apart field by field. *)
+let of_outcome ?metrics net algo (report : Checker.report) =
   let g = Bwg.graph report.Checker.bwg in
-  Json.Obj
+  let fields =
     [
       ("algorithm", Json.String algo.Algo.name);
       ( "waiting",
@@ -101,8 +105,25 @@ let of_report net algo (report : Checker.report) =
           ] );
       ("verdict", verdict_json net report.Checker.verdict);
     ]
+  in
+  (* the report parser ignores unknown fields, so appending is compatible *)
+  match metrics with
+  | Some m -> Json.Obj (fields @ [ ("metrics", m) ])
+  | None -> Json.Obj fields
 
+let of_report net algo report = of_outcome net algo report
 let to_string net algo report = Json.to_string_pretty (of_report net algo report)
+
+(* Exit codes (kept machine-checkable, see test/cli_exit_codes.sh):
+     0  deadlock-free / success
+     1  deadlock found
+     3  verdict Unknown (a cap or budget was hit)
+   The CLI and the serve protocol's "exit" field both read this table, so
+   a script can treat a served response exactly like a process status. *)
+let exit_code = function
+  | Checker.Deadlock_free _ -> 0
+  | Checker.Deadlock_possible _ -> 1
+  | Checker.Unknown _ -> 3
 
 (* ------------------------------------------------------------------ *)
 (* parsing, for downstream tooling that consumes checker output        *)

@@ -4,10 +4,24 @@
 open Dfr_network
 open Dfr_routing
 
+val of_outcome :
+  ?metrics:Dfr_util.Json.t -> Net.t -> Algo.t -> Checker.report -> Dfr_util.Json.t
+(** The single constructor of the report object, shared by [dfcheck check
+    --json], [dfcheck spec check --json] and the serving layer's cached
+    verdicts — the three surfaces can never drift.  [metrics], when given,
+    is appended as a final ["metrics"] field (the parser ignores unknown
+    fields, so this is compatible with {!of_string}). *)
+
 val of_report : Net.t -> Algo.t -> Checker.report -> Dfr_util.Json.t
+(** {!of_outcome} without metrics. *)
 
 val to_string : Net.t -> Algo.t -> Checker.report -> string
 (** Pretty-printed {!of_report}. *)
+
+val exit_code : Checker.verdict -> int
+(** The CLI exit-code table (0 deadlock-free, 1 deadlock, 3 unknown),
+    also served as the ["exit"] field of a protocol response.  Pinned by
+    test/cli_exit_codes.sh. *)
 
 (** {2 Round-tripping}
 

@@ -1,0 +1,97 @@
+(* LRU map: hash table into an intrusive doubly-linked recency list,
+   most recent at the front.  Everything is O(1); the node type is the
+   classic option-linked record rather than a sentinel ring because the
+   empty case stays readable that way. *)
+
+type 'a node = {
+  key : string;
+  value : 'a;
+  mutable prev : 'a node option; (* towards the front (more recent) *)
+  mutable next : 'a node option; (* towards the back (less recent) *)
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable front : 'a node option;
+  mutable back : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  {
+    cap = capacity;
+    table = Hashtbl.create (max 16 capacity);
+    front = None;
+    back = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.front <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.back <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.front;
+  (match t.front with Some f -> f.prev <- Some n | None -> t.back <- Some n);
+  t.front <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink t n;
+    push_front t n;
+    Some n.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let mem t key = Hashtbl.mem t.table key
+
+let evict_back t =
+  match t.back with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table n.key;
+    t.evictions <- t.evictions + 1
+
+let add t key value =
+  if t.cap > 0 then begin
+    (match Hashtbl.find_opt t.table key with
+    | Some old -> unlink t old; Hashtbl.remove t.table key
+    | None -> ());
+    if Hashtbl.length t.table >= t.cap then evict_back t;
+    let n = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.table key n;
+    push_front t n
+  end
+
+let length t = Hashtbl.length t.table
+let capacity t = t.cap
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let stats_json t =
+  let module J = Dfr_util.Json in
+  let lookups = t.hits + t.misses in
+  J.Obj
+    [
+      ("capacity", J.Int t.cap);
+      ("size", J.Int (Hashtbl.length t.table));
+      ("hits", J.Int t.hits);
+      ("misses", J.Int t.misses);
+      ("evictions", J.Int t.evictions);
+      ( "hit_rate",
+        if lookups = 0 then J.Null
+        else J.Float (float_of_int t.hits /. float_of_int lookups) );
+    ]

@@ -1,0 +1,37 @@
+(** Content-addressed verdict cache: a fixed-capacity LRU map from spec
+    digest to cached payload, with hit/miss/eviction counters.
+
+    The cache is deliberately {e not} synchronized: in the serving design
+    only the orchestrator thread (the one that parses requests and orders
+    responses) ever touches it, which is what makes cache behaviour — and
+    therefore the [cached] flag of every response — a pure function of the
+    request order, independent of worker timing.  See DESIGN.md "Serving
+    architecture". *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is the maximum number of entries; [0] disables storage
+    (every {!find} is a miss, {!add} is a no-op).  Raises
+    [Invalid_argument] when negative. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit refreshes the entry's recency and increments the hit
+    counter, a miss increments the miss counter. *)
+
+val mem : 'a t -> string -> bool
+(** Counter-neutral membership test (does not touch recency). *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or refresh) a binding, evicting the least recently used entry
+    when the cache is full. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+
+val stats_json : 'a t -> Dfr_util.Json.t
+(** [{"capacity", "size", "hits", "misses", "evictions", "hit_rate"}];
+    [hit_rate] is [null] before the first lookup. *)

@@ -1,0 +1,301 @@
+open Dfr_util
+open Dfr_routing
+open Dfr_core
+module Obs = Dfr_obs.Obs
+
+type config = {
+  workers : int;
+  capacity : int;
+  cache_capacity : int;
+  timeout_ms : int;
+  domains : int;
+}
+
+let default_config =
+  { workers = 1; capacity = 64; cache_capacity = 256; timeout_ms = 0; domains = 1 }
+
+(* What the cache stores per digest: the report object exactly as first
+   rendered, plus its exit code.  A hit replays these bytes; only the
+   envelope (id, cached flag) differs between the original miss and the
+   hits. *)
+type entry = { report : Json.t; exit_code : int }
+
+type outcome = Checked of entry | Slept of int
+
+type pending = {
+  digest : string option; (* Some for checks, None for sleeps *)
+  promise : (outcome, string) result Pool.promise;
+  deadline : float option;
+  cached : bool; (* answered by an earlier in-flight request's work *)
+}
+
+type slot_state = Ready of Json.t | Waiting of pending
+type slot = { id : Json.t option; mutable state : slot_state }
+
+type t = {
+  config : config;
+  pool : Pool.t;
+  cache : entry Cache.t;
+  inflight : (string, (outcome, string) result Pool.promise) Hashtbl.t;
+      (* digest -> promise of the first, still-running request for it *)
+  named_digests : (string, string) Hashtbl.t;
+      (* "algo@topology" -> digest; registry contents are fixed for the
+         process lifetime, so this memo never invalidates *)
+  mutable requests : int;
+  mutable stop : bool;
+}
+
+let create config =
+  if config.domains < 1 then invalid_arg "Engine.create: domains >= 1";
+  {
+    config;
+    pool = Pool.create ~workers:config.workers ~capacity:config.capacity;
+    cache = Cache.create ~capacity:config.cache_capacity;
+    inflight = Hashtbl.create 64;
+    named_digests = Hashtbl.create 64;
+    requests = 0;
+    stop = false;
+  }
+
+let shutdown_requested t = t.stop
+let requests t = t.requests
+let shutdown t = Pool.shutdown t.pool
+
+let stats_json t =
+  Json.Obj
+    [
+      ("requests", Json.Int t.requests);
+      ("cache", Cache.stats_json t.cache);
+      ( "pool",
+        Json.Obj
+          [
+            ("workers", Json.Int (Pool.workers t.pool));
+            ("capacity", Json.Int (Pool.capacity t.pool));
+            ("outstanding", Json.Int (Pool.outstanding t.pool));
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* dispatch                                                            *)
+
+let ready j = Ready j
+let gauge_depth t = Obs.gauge "serve.queue.depth" (float_of_int (Pool.outstanding t.pool))
+
+let deadline_of t =
+  if t.config.timeout_ms <= 0 then None
+  else Some (Unix.gettimeofday () +. (float_of_int t.config.timeout_ms /. 1000.))
+
+(* Digest of an elaborated problem, with a safety net: the canonical
+   reprint refuses networks whose channels are not identity-unique (none
+   ship in the registry, but a custom entry could).  Falling back to a
+   digest of the tagged source keeps the cache correct — it only costs
+   cross-surface sharing for that request. *)
+let digest_fallback tag = Digest.to_hex (Digest.string ("fallback:" ^ tag))
+
+let digest_of_spec (spec : Dfr_spec.Spec.t) ~source =
+  match Dfr_spec.Printer.digest spec.Dfr_spec.Spec.net spec.Dfr_spec.Spec.algo with
+  | Ok d -> d
+  | Error _ -> digest_fallback ("spec:" ^ source)
+
+let digest_of_named t ~key net algo =
+  match Hashtbl.find_opt t.named_digests key with
+  | Some d -> d
+  | None ->
+    let d =
+      match Dfr_spec.Printer.digest net algo with
+      | Ok d -> d
+      | Error _ -> digest_fallback ("registry:" ^ key)
+    in
+    Hashtbl.add t.named_digests key d;
+    d
+
+let submit_check t ~id ~digest net algo =
+  match Cache.find t.cache digest with
+  | Some entry ->
+    Obs.count "serve.cache.hits" 1;
+    ready
+      (Protocol.check_response ~id ~cached:true ~digest ~exit_code:entry.exit_code
+         ~report:entry.report)
+  | None -> (
+    Obs.count "serve.cache.misses" 1;
+    match Hashtbl.find_opt t.inflight digest with
+    | Some promise ->
+      (* coalesce: same problem already being checked; share its result *)
+      Waiting { digest = Some digest; promise; deadline = deadline_of t; cached = true }
+    | None -> (
+      let domains = t.config.domains in
+      let job () =
+        Obs.span "serve.check" @@ fun () ->
+        match Checker.check_result ~domains net algo with
+        | Ok report ->
+          Ok
+            (Checked
+               {
+                 report = Report_json.of_outcome net algo report;
+                 exit_code = Report_json.exit_code report.Checker.verdict;
+               })
+        | Error msg -> Error msg
+      in
+      match Pool.try_submit t.pool job with
+      | None ->
+        Obs.count "serve.queue_full" 1;
+        ready
+          (Protocol.error_response ~id ~kind:"queue_full"
+             (Printf.sprintf "server at capacity (%d outstanding checks)"
+                (Pool.capacity t.pool)))
+      | Some promise ->
+        Hashtbl.replace t.inflight digest promise;
+        gauge_depth t;
+        Waiting
+          { digest = Some digest; promise; deadline = deadline_of t; cached = false }))
+
+let dispatch t ~id (req : Protocol.request) =
+  match req with
+  | Protocol.Ping -> ready (Protocol.ok_response ~id ~op:"ping" [])
+  | Protocol.Catalogue ->
+    ready
+      (Protocol.ok_response ~id ~op:"catalogue"
+         [ ("algorithms", Protocol.catalogue_json ()) ])
+  | Protocol.Stats ->
+    ready (Protocol.ok_response ~id ~op:"stats" [ ("stats", stats_json t) ])
+  | Protocol.Shutdown ->
+    t.stop <- true;
+    ready (Protocol.ok_response ~id ~op:"shutdown" [])
+  | Protocol.Sleep { ms } -> (
+    let job () =
+      Obs.span "serve.sleep" @@ fun () ->
+      Unix.sleepf (float_of_int ms /. 1000.);
+      Ok (Slept ms)
+    in
+    match Pool.try_submit t.pool job with
+    | None ->
+      Obs.count "serve.queue_full" 1;
+      ready
+        (Protocol.error_response ~id ~kind:"queue_full"
+           (Printf.sprintf "server at capacity (%d outstanding checks)"
+              (Pool.capacity t.pool)))
+    | Some promise ->
+      gauge_depth t;
+      Waiting { digest = None; promise; deadline = deadline_of t; cached = false })
+  | Protocol.Check_named { algo; topology } -> (
+    match Registry.find algo with
+    | None ->
+      ready
+        (Protocol.error_response ~id ~kind:"bad_request"
+           (Printf.sprintf "unknown algorithm %S; try op \"catalogue\"" algo))
+    | Some e -> (
+      let topo_result =
+        match topology with
+        | None -> Ok None
+        | Some s -> (
+          match Dfr_topology.Topology.of_string s with
+          | Ok topo -> Ok (Some topo)
+          | Error msg -> Error msg)
+      in
+      match topo_result with
+      | Error msg -> ready (Protocol.error_response ~id ~kind:"bad_request" msg)
+      | Ok topo -> (
+        match Registry.network_for e topo with
+        | exception Invalid_argument msg ->
+          ready (Protocol.error_response ~id ~kind:"bad_request" msg)
+        | net ->
+          let key = algo ^ "@" ^ Option.value topology ~default:"" in
+          let digest = digest_of_named t ~key net e.Registry.algo in
+          submit_check t ~id ~digest net e.Registry.algo)))
+  | Protocol.Check_spec { spec } -> (
+    match Dfr_spec.Spec.compile_string spec with
+    | Error e ->
+      ready
+        (Protocol.error_response ~id ~kind:"spec" (Dfr_spec.Spec.error_to_string e))
+    | Ok compiled ->
+      let digest = digest_of_spec compiled ~source:spec in
+      submit_check t ~id ~digest
+        compiled.Dfr_spec.Spec.net compiled.Dfr_spec.Spec.algo)
+
+let handle_line t line =
+  Obs.span "serve.request" @@ fun () ->
+  t.requests <- t.requests + 1;
+  Obs.count "serve.requests" 1;
+  if t.stop then
+    {
+      id = None;
+      state =
+        ready
+          (Protocol.error_response ~id:None ~kind:"shutting_down"
+             "server is shutting down");
+    }
+  else
+    match Protocol.parse line with
+    | Error (id, msg) ->
+      Obs.count "serve.errors" 1;
+      { id; state = ready (Protocol.error_response ~id ~kind:"parse" msg) }
+    | Ok { Protocol.id; req } -> { id; state = dispatch t ~id req }
+
+(* ------------------------------------------------------------------ *)
+(* settlement                                                          *)
+
+let settle t ~id (p : pending) result =
+  (match p.digest with
+  | Some d -> Hashtbl.remove t.inflight d
+  | None -> ());
+  gauge_depth t;
+  match result with
+  | Ok (Ok (Checked entry)) ->
+    let digest = Option.get p.digest in
+    if not (Cache.mem t.cache digest) then Cache.add t.cache digest entry;
+    Protocol.check_response ~id ~cached:p.cached ~digest ~exit_code:entry.exit_code
+      ~report:entry.report
+  | Ok (Ok (Slept ms)) ->
+    Protocol.ok_response ~id ~op:"sleep" [ ("ms", Json.Int ms) ]
+  | Ok (Error msg) ->
+    Obs.count "serve.errors" 1;
+    Protocol.error_response ~id ~kind:"check" msg
+  | Error exn ->
+    Obs.count "serve.errors" 1;
+    Protocol.error_response ~id ~kind:"internal" (Printexc.to_string exn)
+
+let timed_out t ~id (p : pending) =
+  (* the worker cannot be interrupted; its eventual result is discarded
+     and, the in-flight entry being gone, a retry recomputes *)
+  (match p.digest with
+  | Some d -> Hashtbl.remove t.inflight d
+  | None -> ());
+  Obs.count "serve.timeouts" 1;
+  Protocol.error_response ~id ~kind:"timeout"
+    (Printf.sprintf "request exceeded the %d ms deadline" t.config.timeout_ms)
+
+let poll t slot =
+  match slot.state with
+  | Ready j -> Some j
+  | Waiting p -> (
+    match Pool.poll p.promise with
+    | Some result ->
+      let j = settle t ~id:slot.id p result in
+      slot.state <- Ready j;
+      Some j
+    | None -> (
+      match p.deadline with
+      | Some d when Unix.gettimeofday () > d ->
+        let j = timed_out t ~id:slot.id p in
+        slot.state <- Ready j;
+        Some j
+      | _ -> None))
+
+let await t slot =
+  match slot.state with
+  | Ready j -> j
+  | Waiting p -> (
+    match p.deadline with
+    | None ->
+      let j = settle t ~id:slot.id p (Pool.await p.promise) in
+      slot.state <- Ready j;
+      j
+    | Some _ ->
+      let rec spin () =
+        match poll t slot with
+        | Some j -> j
+        | None ->
+          Unix.sleepf 0.001;
+          spin ()
+      in
+      spin ())

@@ -1,0 +1,59 @@
+(** The serving engine: request dispatch, the content-addressed verdict
+    cache, the worker pool, per-request deadlines.
+
+    The engine is the transport-independent half of [dfcheck serve]: the
+    stdio/TCP loop ({!Server}), the benchmark harness and the test suite
+    all drive the same [handle_line]/[poll]/[await] surface.
+
+    Threading contract: {!handle_line}, {!poll}, {!await}, {!stats_json}
+    and {!shutdown} must all be called from one orchestrator thread.
+    Workers only ever run the pure checking job; the cache, the in-flight
+    table and the digest memo belong to the orchestrator.  Together with
+    in-order response draining this makes every response byte — including
+    the [cached] flag — a function of the request sequence alone, which
+    is what the smoke test's cross-[--domains] diff pins. *)
+
+open Dfr_util
+
+type config = {
+  workers : int;  (** domain workers checking in parallel *)
+  capacity : int;  (** max outstanding checks (queued or running) *)
+  cache_capacity : int;  (** verdict-cache entries; 0 disables caching *)
+  timeout_ms : int;  (** per-request deadline; 0 disables *)
+  domains : int;  (** per-check BWG/classification parallelism *)
+}
+
+val default_config : config
+(** 1 worker, capacity 64, 256 cache entries, no timeout, 1 domain per
+    check. *)
+
+type t
+
+val create : config -> t
+(** Spawns the worker pool.  Raises [Invalid_argument] on non-positive
+    workers/capacity/domains or negative cache capacity. *)
+
+type slot
+(** One request's place in the response order: either already answered
+    (errors, cache hits, control ops) or waiting on a pool promise. *)
+
+val handle_line : t -> string -> slot
+(** Parse and dispatch one request line.  Never raises and never blocks
+    on checking work; a malformed or rejected request yields a slot that
+    is already resolved to an error response. *)
+
+val poll : t -> slot -> Json.t option
+(** Non-blocking: the response if the slot has resolved (completing cache
+    insertion and timeout bookkeeping as a side effect), else [None]. *)
+
+val await : t -> slot -> Json.t
+(** Block until the slot resolves (honouring its deadline). *)
+
+val shutdown_requested : t -> bool
+(** Set once a [shutdown] request has been dispatched. *)
+
+val requests : t -> int
+val stats_json : t -> Json.t
+
+val shutdown : t -> unit
+(** Drain and join the worker pool.  Idempotent. *)

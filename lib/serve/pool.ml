@@ -1,0 +1,120 @@
+(* Bounded work queue + fixed domain workers.
+
+   One mutex/condition pair guards the queue and the outstanding count;
+   each promise carries its own pair so waiters never contend with the
+   queue.  Order of operations at completion matters: the capacity slot
+   is released *before* the promise is fulfilled, so any thread that has
+   observed a completion also observes the freed slot — the determinism
+   contract of the .mli. *)
+
+type 'a promise = {
+  pm : Mutex.t;
+  pc : Condition.t;
+  mutable result : ('a, exn) result option;
+}
+
+type core = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  cap : int;
+  nworkers : int;
+  mutable outstanding : int;
+  mutable stopping : bool;
+}
+
+type t = { core : core; domains : unit Domain.t array; mutable joined : bool }
+
+let worker_loop c =
+  let rec loop () =
+    Mutex.lock c.m;
+    while Queue.is_empty c.jobs && not c.stopping do
+      Condition.wait c.nonempty c.m
+    done;
+    if Queue.is_empty c.jobs then Mutex.unlock c.m (* stopping and drained *)
+    else begin
+      let job = Queue.pop c.jobs in
+      Mutex.unlock c.m;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers ~capacity =
+  if workers < 1 then invalid_arg "Pool.create: need at least one worker";
+  if capacity < 1 then invalid_arg "Pool.create: need capacity >= 1";
+  let core =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      cap = capacity;
+      nworkers = workers;
+      outstanding = 0;
+      stopping = false;
+    }
+  in
+  let domains = Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop core)) in
+  { core; domains; joined = false }
+
+let try_submit t f =
+  let c = t.core in
+  Mutex.lock c.m;
+  if c.stopping || c.outstanding >= c.cap then begin
+    Mutex.unlock c.m;
+    None
+  end
+  else begin
+    c.outstanding <- c.outstanding + 1;
+    let p = { pm = Mutex.create (); pc = Condition.create (); result = None } in
+    let job () =
+      let r = try Ok (f ()) with e -> Error e in
+      Mutex.lock c.m;
+      c.outstanding <- c.outstanding - 1;
+      Mutex.unlock c.m;
+      Mutex.lock p.pm;
+      p.result <- Some r;
+      Condition.broadcast p.pc;
+      Mutex.unlock p.pm
+    in
+    Queue.add job c.jobs;
+    Condition.signal c.nonempty;
+    Mutex.unlock c.m;
+    Some p
+  end
+
+let poll p =
+  Mutex.lock p.pm;
+  let r = p.result in
+  Mutex.unlock p.pm;
+  r
+
+let await p =
+  Mutex.lock p.pm;
+  while Option.is_none p.result do
+    Condition.wait p.pc p.pm
+  done;
+  let r = Option.get p.result in
+  Mutex.unlock p.pm;
+  r
+
+let outstanding t =
+  Mutex.lock t.core.m;
+  let n = t.core.outstanding in
+  Mutex.unlock t.core.m;
+  n
+
+let capacity t = t.core.cap
+let workers t = t.core.nworkers
+
+let shutdown t =
+  let c = t.core in
+  Mutex.lock c.m;
+  c.stopping <- true;
+  Condition.broadcast c.nonempty;
+  Mutex.unlock c.m;
+  if not t.joined then begin
+    t.joined <- true;
+    Array.iter Domain.join t.domains
+  end

@@ -1,0 +1,44 @@
+(** A fixed pool of OCaml-5 domain workers behind a bounded job queue.
+
+    The bound counts {e outstanding} jobs — accepted but not yet
+    completed, whether queued or running — so admission decisions depend
+    only on which earlier jobs have finished, never on how far a worker
+    happens to have drained the queue.  That is what lets a serving smoke
+    test provoke [queue_full] deterministically: occupy the workers with
+    known-slow jobs and the (N+1)-th submission is refused every time.
+
+    Results travel through single-assignment promises; a job that raises
+    fulfils its promise with the exception instead of killing its worker,
+    so one bad request can never take the pool down. *)
+
+type t
+
+type 'a promise
+
+val create : workers:int -> capacity:int -> t
+(** [workers] domains are spawned immediately and live until {!shutdown}.
+    [capacity] is the maximum number of outstanding jobs ([>= workers] is
+    sensible, [>= 1] required).  Raises [Invalid_argument] on
+    non-positive arguments. *)
+
+val try_submit : t -> (unit -> 'a) -> 'a promise option
+(** [None] when the pool is at capacity (backpressure) or shutting
+    down. *)
+
+val poll : 'a promise -> ('a, exn) result option
+(** Non-blocking completion test. *)
+
+val await : 'a promise -> ('a, exn) result
+(** Block until the job completes.  By the time [await] (or a successful
+    {!poll}) returns, the job's capacity slot has been released, so a
+    subsequent {!try_submit} observes the freed slot deterministically. *)
+
+val outstanding : t -> int
+(** Jobs accepted and not yet completed. *)
+
+val capacity : t -> int
+val workers : t -> int
+
+val shutdown : t -> unit
+(** Stop accepting work, let the workers drain every already-accepted
+    job, then join them.  Idempotent. *)

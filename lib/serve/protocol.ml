@@ -1,0 +1,94 @@
+open Dfr_util
+open Dfr_topology
+open Dfr_routing
+
+type request =
+  | Check_spec of { spec : string }
+  | Check_named of { algo : string; topology : string option }
+  | Catalogue
+  | Stats
+  | Ping
+  | Sleep of { ms : int }
+  | Shutdown
+
+type parsed = { id : Json.t option; req : request }
+
+let max_sleep_ms = 60_000
+
+let parse line =
+  match Json.of_string line with
+  | Error msg -> Error (None, "invalid JSON: " ^ msg)
+  | Ok doc -> (
+    let id = Json.member "id" doc in
+    let err msg = Error (id, msg) in
+    match doc with
+    | Json.Obj _ -> (
+      match Option.bind (Json.member "op" doc) Json.to_str with
+      | None -> err "missing or non-string \"op\""
+      | Some "check" -> (
+        match Option.bind (Json.member "spec" doc) Json.to_str with
+        | Some spec -> Ok { id; req = Check_spec { spec } }
+        | None -> (
+          match Option.bind (Json.member "algo" doc) Json.to_str with
+          | Some algo ->
+            let topology = Option.bind (Json.member "topology" doc) Json.to_str in
+            Ok { id; req = Check_named { algo; topology } }
+          | None -> err "op \"check\" needs a \"spec\" or an \"algo\" field"))
+      | Some "catalogue" -> Ok { id; req = Catalogue }
+      | Some "stats" -> Ok { id; req = Stats }
+      | Some "ping" -> Ok { id; req = Ping }
+      | Some "sleep" -> (
+        match Option.bind (Json.member "ms" doc) Json.to_int with
+        | Some ms when ms >= 0 && ms <= max_sleep_ms -> Ok { id; req = Sleep { ms } }
+        | _ ->
+          err (Printf.sprintf "op \"sleep\" needs \"ms\" in 0..%d" max_sleep_ms))
+      | Some "shutdown" -> Ok { id; req = Shutdown }
+      | Some op -> err (Printf.sprintf "unknown op %S" op))
+    | _ -> err "request must be a JSON object")
+
+(* ------------------------------------------------------------------ *)
+(* responses                                                           *)
+
+let with_id ~id fields =
+  match id with Some v -> ("id", v) :: fields | None -> fields
+
+let ok_response ~id ~op fields =
+  Json.Obj (with_id ~id (("ok", Json.Bool true) :: ("op", Json.String op) :: fields))
+
+let error_response ~id ~kind msg =
+  Json.Obj
+    (with_id ~id
+       [
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [ ("kind", Json.String kind); ("message", Json.String msg) ] );
+       ])
+
+let check_response ~id ~cached ~digest ~exit_code ~report =
+  ok_response ~id ~op:"check"
+    [
+      ("cached", Json.Bool cached);
+      ("digest", Json.String digest);
+      ("exit", Json.Int exit_code);
+      ("report", report);
+    ]
+
+let catalogue_json () =
+  Json.List
+    (List.map
+       (fun (e : Registry.entry) ->
+         Json.Obj
+           [
+             ("name", Json.String e.Registry.name);
+             ( "expected_deadlock_free",
+               match e.Registry.expected_deadlock_free with
+               | Some b -> Json.Bool b
+               | None -> Json.Null );
+             ("description", Json.String e.Registry.description);
+             ( "default_topology",
+               match Registry.default_topology e with
+               | Some t -> Json.String (Topology.name t)
+               | None -> Json.Null );
+           ])
+       Registry.all)

@@ -1,0 +1,53 @@
+(** The NDJSON checking protocol: one JSON object per line in, one per
+    line out, responses in request order.
+
+    Requests:
+    {v
+    {"id": <any>, "op": "check", "spec": "<.dfr text>"}
+    {"id": <any>, "op": "check", "algo": "efa", "topology": "hypercube:3"}
+    {"op": "catalogue"} {"op": "stats"} {"op": "ping"}
+    {"op": "sleep", "ms": 250}          (testing/latency probe)
+    {"op": "shutdown"}
+    v}
+
+    ["id"] may be any JSON value; it is echoed verbatim on the response
+    (and omitted when absent).  Responses always carry ["ok"]: [true]
+    with op-specific fields, or [false] with an ["error"] object whose
+    ["kind"] is one of [parse], [bad_request], [spec], [unprintable],
+    [queue_full], [timeout], [check], [internal], [shutting_down]. *)
+
+open Dfr_util
+
+type request =
+  | Check_spec of { spec : string }  (** inline .dfr source *)
+  | Check_named of { algo : string; topology : string option }
+      (** a registry algorithm, optionally on an explicit topology *)
+  | Catalogue
+  | Stats
+  | Ping
+  | Sleep of { ms : int }
+  | Shutdown
+
+type parsed = { id : Json.t option; req : request }
+
+val max_sleep_ms : int
+(** Upper bound accepted for [Sleep] (the probe must not be able to park
+    a worker forever). *)
+
+val parse : string -> (parsed, Json.t option * string) result
+(** Parse one request line.  Errors carry whatever ["id"] could still be
+    recovered, so even a malformed request gets an addressed reply. *)
+
+(** {2 Response constructors} — compact single-line rendering is the
+    caller's job ({!Json.to_string}). *)
+
+val ok_response : id:Json.t option -> op:string -> (string * Json.t) list -> Json.t
+val error_response : id:Json.t option -> kind:string -> string -> Json.t
+
+val check_response :
+  id:Json.t option -> cached:bool -> digest:string -> exit_code:int -> report:Json.t -> Json.t
+
+val catalogue_json : unit -> Json.t
+(** The machine-readable registry: name, expected verdict, description
+    and default topology per algorithm.  Shared by [dfcheck list --json]
+    and the serve [catalogue] response so the two cannot drift. *)

@@ -1,0 +1,140 @@
+open Dfr_util
+
+let max_line_bytes = 16 * 1024 * 1024
+
+(* One NDJSON session on (fd_in, oc).  The pending queue holds each
+   request's slot in arrival order; responses leave from the head only.
+   [`Eof] and [`Shutdown] both drain before returning; [`Overflow]
+   answers with a parse error, drains, and has the caller drop the
+   connection. *)
+let session engine fd_in oc =
+  let pending : Engine.slot Queue.t = Queue.create () in
+  let acc = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let write_json j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n';
+    flush oc
+  in
+  let drain_ready () =
+    let continue = ref true in
+    while !continue && not (Queue.is_empty pending) do
+      match Engine.poll engine (Queue.peek pending) with
+      | Some j ->
+        ignore (Queue.pop pending);
+        write_json j
+      | None -> continue := false
+    done
+  in
+  let drain_all () =
+    while not (Queue.is_empty pending) do
+      write_json (Engine.await engine (Queue.pop pending))
+    done
+  in
+  let feed_line line =
+    let line =
+      (* tolerate CRLF clients *)
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+    in
+    if String.trim line <> "" then
+      Queue.add (Engine.handle_line engine line) pending
+  in
+  (* split off every complete line in [acc], keep the partial tail *)
+  let feed_buffer () =
+    let s = Buffer.contents acc in
+    Buffer.clear acc;
+    let start = ref 0 in
+    String.iteri
+      (fun i c ->
+        if c = '\n' then begin
+          feed_line (String.sub s !start (i - !start));
+          start := i + 1
+        end)
+      s;
+    Buffer.add_substring acc s !start (String.length s - !start)
+  in
+  let readable timeout =
+    match Unix.select [ fd_in ] [] [] timeout with
+    | [ _ ], _, _ -> true
+    | _ -> false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+  in
+  let rec loop () =
+    drain_ready ();
+    if Engine.shutdown_requested engine then begin
+      drain_all ();
+      `Shutdown
+    end
+    else begin
+      (* block on input when idle; poll at 5 ms while responses are due *)
+      let timeout = if Queue.is_empty pending then -1.0 else 0.005 in
+      if readable timeout then begin
+        match Unix.read fd_in chunk 0 (Bytes.length chunk) with
+        | 0 | (exception Unix.Unix_error _) ->
+          drain_all ();
+          `Eof
+        | n ->
+          if Buffer.length acc + n > max_line_bytes then begin
+            drain_all ();
+            write_json
+              (Protocol.error_response ~id:None ~kind:"parse"
+                 (Printf.sprintf "request line exceeds %d bytes" max_line_bytes));
+            `Overflow
+          end
+          else begin
+            Buffer.add_subbytes acc chunk 0 n;
+            feed_buffer ();
+            loop ()
+          end
+      end
+      else loop ()
+    end
+  in
+  loop ()
+
+let run_stdio engine =
+  let oc = stdout in
+  (match session engine Unix.stdin oc with
+  | `Eof | `Shutdown | `Overflow -> ());
+  (try flush oc with Sys_error _ -> ());
+  0
+
+let run_tcp engine ~port =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  match Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+  | exception Unix.Unix_error (err, _, _) ->
+    Printf.eprintf "dfcheck serve: cannot bind 127.0.0.1:%d: %s\n%!" port
+      (Unix.error_message err);
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    2
+  | () ->
+    Unix.listen sock 16;
+    (match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) ->
+      Printf.eprintf "dfcheck serve: listening on 127.0.0.1:%d\n%!" p
+    | _ -> ());
+    let rec accept_loop () =
+      if Engine.shutdown_requested engine then ()
+      else
+        match Unix.accept sock with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | fd, _ ->
+          let oc = Unix.out_channel_of_descr fd in
+          (* a dropped connection (write failure mid-session) only ends
+             that session: log and accept the next one *)
+          (match session engine fd oc with
+          | `Eof | `Shutdown | `Overflow -> ()
+          | exception Sys_error msg ->
+            Printf.eprintf "dfcheck serve: connection lost: %s\n%!" msg
+          | exception Unix.Unix_error (err, _, _) ->
+            Printf.eprintf "dfcheck serve: connection lost: %s\n%!"
+              (Unix.error_message err));
+          (try close_out oc with Sys_error _ | Unix.Unix_error _ -> ());
+          accept_loop ()
+    in
+    accept_loop ();
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    0

@@ -129,3 +129,17 @@ let to_string net algo =
       (Net.buffers net);
     Ok (Buffer.contents out)
   with Unprintable msg -> Error msg
+
+(* Content address of an elaborated spec: the canonical reprint above is a
+   pure function of the elaborated (net, algo) pair — identifiers, rule
+   order and wait defaulting are all normalized — so its MD5 identifies
+   the checking problem itself.  Two textually different .dfr sources, or
+   a source and a compiled-in registry entry, that elaborate to the same
+   relation share one digest; the serving layer keys its verdict cache on
+   it.  The round-trip property this rests on (reprint -> recompile ->
+   identical verdict and identical reprint) is asserted by the
+   differential test suite. *)
+let digest net algo =
+  match to_string net algo with
+  | Ok text -> Ok (Digest.to_hex (Digest.string text))
+  | Error _ as e -> e

@@ -50,4 +50,35 @@ expect 0 simulate -a ecube -t hypercube:2 -p hotspot:0 --horizon 50
 # differential fuzzing: a clean head disagrees with itself nowhere -> 0
 expect 0 fuzz --trials 10 --seed 7 --max-nodes 6
 
+# the serve/client surface
+expect 0 list --json
+expect 2 serve --workers 0
+expect 2 serve --cache=-1
+expect 2 client ping                 # --port is required
+expect 2 client check --port 1      # needs --spec or -a before connecting
+expect 2 client ping --port 1       # nothing listens on port 1
+
+# a serve session is a success (exit 0) even when individual requests
+# fail: errors travel in-band as response objects, never as exit codes
+expect_stdin() {
+  want=$1
+  input=$2
+  shift 2
+  printf '%s' "$input" | "$dfcheck" "$@" >/dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: ... | dfcheck $* -> exit $got, want $want"
+    fail=1
+  else
+    echo "ok: ... | dfcheck $* -> $got"
+  fi
+}
+
+expect_stdin 0 '{"op":"ping"}
+garbage
+{"op":"check","algo":"no-such-algorithm"}
+{"op":"shutdown"}
+' serve
+expect_stdin 0 '' serve              # immediate EOF drains cleanly
+
 exit $fail

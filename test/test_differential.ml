@@ -117,7 +117,13 @@ let verdict_class v = Checker.is_deadlock_free v
 
 let test_printer_roundtrip () =
   (* generated cases cover wormhole and SAF/VCT switching, specific and
-     any waiting, regular and irregular shapes *)
+     any waiting, regular and irregular shapes.  The canonical reprint
+     preserves buffer order, so the contract is stronger than agreeing
+     on deadlock freedom: the whole verdict — proof structure, witness
+     configurations, cycle indices — must be identical (every payload is
+     plain integer data, so structural equality is exact), and the
+     reprint must be a digest fixpoint (reprinting the reprint changes
+     nothing, which is what makes the serve cache content-addressed). *)
   List.iter
     (fun seed ->
       let rng = Dfr_util.Prng.create seed in
@@ -131,15 +137,21 @@ let test_printer_roundtrip () =
           Alcotest.failf "seed %d: printed spec does not compile: %s\n%s" seed
             (Dfr_spec.Spec.error_to_string e) text
         | Ok spec ->
-          let original = verdict_class (Checker.verdict net algo) in
-          let reprinted =
-            verdict_class
-              (Checker.verdict spec.Dfr_spec.Spec.net spec.Dfr_spec.Spec.algo)
-          in
-          check
-            Alcotest.(option bool)
-            (Printf.sprintf "seed %d verdict survives the round trip" seed)
-            original reprinted))
+          let net' = spec.Dfr_spec.Spec.net and algo' = spec.Dfr_spec.Spec.algo in
+          let original = Checker.verdict net algo in
+          let reprinted = Checker.verdict net' algo' in
+          if original <> reprinted then
+            Alcotest.failf
+              "seed %d: verdict changed across the round trip:\n  %a\n  %a"
+              seed (Checker.pp_verdict net) original (Checker.pp_verdict net')
+              reprinted;
+          match (Dfr_spec.Printer.digest net algo,
+                 Dfr_spec.Printer.digest net' algo') with
+          | Ok d, Ok d' ->
+            check Alcotest.string
+              (Printf.sprintf "seed %d digest fixpoint" seed) d d'
+          | Error msg, _ | _, Error msg ->
+            Alcotest.failf "seed %d: reprint undigestable: %s" seed msg))
     (List.init 30 (fun i -> 9000 + i))
 
 let test_printer_roundtrip_registry () =

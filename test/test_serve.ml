@@ -1,0 +1,374 @@
+(* The serving subsystem: LRU verdict cache, bounded worker pool,
+   protocol parsing, and the engine's end-to-end behaviour — cache
+   hits bit-for-bit identical to the original response, deterministic
+   queue_full backpressure, malformed-request isolation, timeouts,
+   and byte-determinism across --domains settings. *)
+
+open Dfr_serve
+module J = Dfr_util.Json
+
+let check = Alcotest.check
+
+(* ---------------- cache ---------------- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  check Alcotest.(option int) "a present" (Some 1) (Cache.find c "a");
+  (* the find refreshed "a", so "b" is now least recently used *)
+  Cache.add c "c" 3;
+  check Alcotest.bool "b evicted" false (Cache.mem c "b");
+  check Alcotest.bool "a survives" true (Cache.mem c "a");
+  check Alcotest.bool "c present" true (Cache.mem c "c");
+  check Alcotest.(option int) "b gone" None (Cache.find c "b");
+  check Alcotest.int "hits" 1 (Cache.hits c);
+  check Alcotest.int "misses" 1 (Cache.misses c);
+  check Alcotest.int "evictions" 1 (Cache.evictions c);
+  check Alcotest.int "length" 2 (Cache.length c)
+
+let test_cache_refresh_existing () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  (* re-adding an existing key refreshes, never evicts *)
+  Cache.add c "a" 10;
+  check Alcotest.int "no eviction" 0 (Cache.evictions c);
+  Cache.add c "c" 3;
+  check Alcotest.bool "b was LRU" false (Cache.mem c "b");
+  check Alcotest.(option int) "a rebound" (Some 10) (Cache.find c "a")
+
+let test_cache_disabled () =
+  let c = Cache.create ~capacity:0 in
+  Cache.add c "a" 1;
+  check Alcotest.(option int) "never stores" None (Cache.find c "a");
+  check Alcotest.int "empty" 0 (Cache.length c);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Cache.create: negative capacity") (fun () ->
+      ignore (Cache.create ~capacity:(-1)))
+
+(* ---------------- pool ---------------- *)
+
+let test_pool_backpressure () =
+  let p = Pool.create ~workers:1 ~capacity:1 in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let j1 =
+    match
+      Pool.try_submit p (fun () ->
+          Mutex.lock gate;
+          Mutex.unlock gate;
+          42)
+    with
+    | Some pr -> pr
+    | None -> Alcotest.fail "first job refused"
+  in
+  (* the slot is held until completion, so the second submit is refused
+     no matter how far the worker has got *)
+  (match Pool.try_submit p (fun () -> 0) with
+  | Some _ -> Alcotest.fail "admission above capacity"
+  | None -> ());
+  check Alcotest.int "outstanding" 1 (Pool.outstanding p);
+  Mutex.unlock gate;
+  (match Pool.await j1 with
+  | Ok n -> check Alcotest.int "result" 42 n
+  | Error e -> Alcotest.failf "job failed: %s" (Printexc.to_string e));
+  (* await returning implies the slot is free again *)
+  (match Pool.try_submit p (fun () -> 7) with
+  | Some pr -> (
+    match Pool.await pr with
+    | Ok n -> check Alcotest.int "freed slot" 7 n
+    | Error _ -> Alcotest.fail "second job failed")
+  | None -> Alcotest.fail "slot not released");
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *)
+
+let test_pool_exception () =
+  let p = Pool.create ~workers:1 ~capacity:2 in
+  (match Pool.try_submit p (fun () -> failwith "boom") with
+  | None -> Alcotest.fail "refused"
+  | Some pr -> (
+    match Pool.await pr with
+    | Error (Failure msg) when msg = "boom" -> ()
+    | Error e -> Alcotest.failf "wrong exn: %s" (Printexc.to_string e)
+    | Ok () -> Alcotest.fail "exception swallowed"));
+  (* the worker survived: it can still run work *)
+  (match Pool.try_submit p (fun () -> "alive") with
+  | Some pr ->
+    check Alcotest.(result string reject) "worker survives" (Ok "alive")
+      (match Pool.await pr with Ok s -> Ok s | Error _ -> Error ())
+  | None -> Alcotest.fail "refused after exception");
+  Pool.shutdown p
+
+(* ---------------- protocol ---------------- *)
+
+let test_protocol_parse () =
+  (match Protocol.parse "{\"op\":\"ping\",\"id\":3}" with
+  | Ok { Protocol.id = Some (J.Int 3); req = Protocol.Ping } -> ()
+  | _ -> Alcotest.fail "ping with id");
+  (* the id is recovered even when the request is rejected *)
+  (match Protocol.parse "{\"id\":7,\"op\":\"bogus\"}" with
+  | Error (Some (J.Int 7), _) -> ()
+  | _ -> Alcotest.fail "id lost on unknown op");
+  (match Protocol.parse "{\"op\":\"check\"}" with
+  | Error (None, msg) ->
+    check Alcotest.bool "names the missing fields" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "check without spec/algo accepted");
+  (match Protocol.parse "[1,2]" with
+  | Error (None, _) -> ()
+  | _ -> Alcotest.fail "non-object accepted");
+  (match Protocol.parse "{\"op\":\"sleep\",\"ms\":-1}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative sleep accepted");
+  match
+    Protocol.parse
+      (Printf.sprintf "{\"op\":\"sleep\",\"ms\":%d}" (Protocol.max_sleep_ms + 1))
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized sleep accepted"
+
+(* ---------------- engine ---------------- *)
+
+let member name doc =
+  match J.member name doc with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S: %s" name (J.to_string doc)
+
+let is_ok doc = match member "ok" doc with J.Bool b -> b | _ -> false
+let is_cached doc = match member "cached" doc with J.Bool b -> b | _ -> false
+
+let error_kind doc =
+  match J.member "kind" (member "error" doc) with
+  | Some (J.String k) -> k
+  | _ -> Alcotest.failf "no error kind in %s" (J.to_string doc)
+
+let with_engine ?(config = Engine.default_config) f =
+  let e = Engine.create config in
+  Fun.protect ~finally:(fun () -> Engine.shutdown e) (fun () -> f e)
+
+(* handle+await one line at a time: the request-response client *)
+let run_seq e lines = List.map (fun l -> Engine.await e (Engine.handle_line e l)) lines
+
+(* handle every line first, then drain: the streaming client *)
+let run_pipelined e lines =
+  let slots = List.map (Engine.handle_line e) lines in
+  List.map (Engine.await e) slots
+
+let named ?id algo topo =
+  let fields =
+    [ ("op", J.String "check"); ("algo", J.String algo);
+      ("topology", J.String topo) ]
+  in
+  let fields = match id with Some i -> ("id", J.Int i) :: fields | None -> fields in
+  J.to_string (J.Obj fields)
+
+let test_engine_cache_hit_bit_for_bit () =
+  with_engine (fun e ->
+      match run_seq e [ named "efa" "hypercube:2"; named "efa" "hypercube:2" ] with
+      | [ cold; warm ] ->
+        check Alcotest.bool "cold ok" true (is_ok cold);
+        check Alcotest.bool "cold is a miss" false (is_cached cold);
+        check Alcotest.bool "warm is a hit" true (is_cached warm);
+        check Alcotest.string "same digest"
+          (J.to_string (member "digest" cold))
+          (J.to_string (member "digest" warm));
+        check Alcotest.string "same exit code"
+          (J.to_string (member "exit" cold))
+          (J.to_string (member "exit" warm));
+        (* the hit replays the first response's report verbatim *)
+        check Alcotest.string "bit-for-bit report"
+          (J.to_string (member "report" cold))
+          (J.to_string (member "report" warm))
+      | _ -> Alcotest.fail "two responses expected")
+
+let test_engine_cross_surface_digest () =
+  (* a named problem and the inline spec printed from the very same
+     network share one digest, hence one cache entry *)
+  let entry =
+    match Dfr_routing.Registry.find "efa" with
+    | Some e -> e
+    | None -> Alcotest.fail "efa not registered"
+  in
+  let topo =
+    match Dfr_topology.Topology.of_string "hypercube:2" with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  let net = Dfr_routing.Registry.network_for entry (Some topo) in
+  let spec_text =
+    match Dfr_spec.Printer.to_string net entry.Dfr_routing.Registry.algo with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "unprintable: %s" m
+  in
+  let inline =
+    J.to_string (J.Obj [ ("op", J.String "check"); ("spec", J.String spec_text) ])
+  in
+  with_engine (fun e ->
+      match run_seq e [ named "efa" "hypercube:2"; inline ] with
+      | [ by_name; by_spec ] ->
+        check Alcotest.bool "inline answered from cache" true (is_cached by_spec);
+        check Alcotest.string "one digest for both surfaces"
+          (J.to_string (member "digest" by_name))
+          (J.to_string (member "digest" by_spec))
+      | _ -> Alcotest.fail "two responses expected")
+
+let stats_cache e =
+  let resp = Engine.await e (Engine.handle_line e "{\"op\":\"stats\"}") in
+  member "cache" (member "stats" resp)
+
+let test_engine_lru_and_counters () =
+  let config = { Engine.default_config with Engine.cache_capacity = 1 } in
+  with_engine ~config (fun e ->
+      match
+        run_seq e
+          [
+            named "efa" "hypercube:2" (* miss *);
+            named "efa" "hypercube:2" (* hit *);
+            named "ecube" "hypercube:2" (* miss, evicts efa *);
+            named "efa" "hypercube:2" (* miss again: was evicted *);
+          ]
+      with
+      | [ _; r2; r3; r4 ] ->
+        check Alcotest.bool "second is a hit" true (is_cached r2);
+        check Alcotest.bool "other problem misses" false (is_cached r3);
+        check Alcotest.bool "evicted problem misses" false (is_cached r4);
+        let cache = stats_cache e in
+        check Alcotest.string "hits" "1" (J.to_string (member "hits" cache));
+        check Alcotest.string "misses" "3" (J.to_string (member "misses" cache));
+        check Alcotest.string "evictions" "2"
+          (J.to_string (member "evictions" cache));
+        check Alcotest.string "size" "1" (J.to_string (member "size" cache))
+      | _ -> Alcotest.fail "four responses expected")
+
+let test_engine_coalescing () =
+  (* identical checks submitted before the first settles share one
+     computation; the follower is marked cached *)
+  with_engine (fun e ->
+      match
+        run_pipelined e [ named "efa" "hypercube:2"; named "efa" "hypercube:2" ]
+      with
+      | [ first; second ] ->
+        check Alcotest.bool "leader computes" false (is_cached first);
+        check Alcotest.bool "follower coalesces" true (is_cached second);
+        check Alcotest.string "same report"
+          (J.to_string (member "report" first))
+          (J.to_string (member "report" second));
+        let cache = stats_cache e in
+        (* both lookups happened before anything was cached *)
+        check Alcotest.string "both were misses" "2"
+          (J.to_string (member "misses" cache));
+        check Alcotest.string "one entry stored" "1"
+          (J.to_string (member "size" cache))
+      | _ -> Alcotest.fail "two responses expected")
+
+let test_engine_malformed_isolated () =
+  with_engine (fun e ->
+      match
+        run_seq e
+          [
+            "this is not json";
+            "{\"op\":\"nope\",\"id\":9}";
+            "{\"op\":\"check\",\"spec\":\"network bad {\"}";
+            "{\"op\":\"check\",\"algo\":\"no-such-algorithm\"}";
+            "{\"op\":\"ping\",\"id\":10}";
+          ]
+      with
+      | [ r1; r2; r3; r4; r5 ] ->
+        check Alcotest.string "garbage -> parse" "parse" (error_kind r1);
+        check Alcotest.string "unknown op -> parse" "parse" (error_kind r2);
+        check Alcotest.string "id recovered" "9" (J.to_string (member "id" r2));
+        check Alcotest.string "bad spec -> spec" "spec" (error_kind r3);
+        check Alcotest.string "unknown algo -> bad_request" "bad_request"
+          (error_kind r4);
+        check Alcotest.bool "server survives it all" true (is_ok r5)
+      | _ -> Alcotest.fail "five responses expected")
+
+let test_engine_queue_full () =
+  let config =
+    { Engine.default_config with Engine.workers = 1; capacity = 1 }
+  in
+  with_engine ~config (fun e ->
+      let slow = Engine.handle_line e "{\"op\":\"sleep\",\"ms\":200}" in
+      (* the single slot is taken: the next request is refused at once *)
+      let refused = Engine.handle_line e "{\"op\":\"sleep\",\"ms\":0}" in
+      (match Engine.poll e refused with
+      | Some resp ->
+        check Alcotest.string "refused deterministically" "queue_full"
+          (error_kind resp)
+      | None -> Alcotest.fail "queue_full response must be immediate");
+      let resp = Engine.await e slow in
+      check Alcotest.bool "slow job still completes" true (is_ok resp);
+      (* the freed slot admits again *)
+      let again = Engine.await e (Engine.handle_line e "{\"op\":\"sleep\",\"ms\":0}") in
+      check Alcotest.bool "slot released" true (is_ok again))
+
+let test_engine_timeout () =
+  let config = { Engine.default_config with Engine.timeout_ms = 30 } in
+  with_engine ~config (fun e ->
+      let resp = Engine.await e (Engine.handle_line e "{\"op\":\"sleep\",\"ms\":300}") in
+      check Alcotest.string "deadline enforced" "timeout" (error_kind resp))
+
+let test_engine_shutdown_guard () =
+  with_engine (fun e ->
+      let bye = Engine.await e (Engine.handle_line e "{\"op\":\"shutdown\"}") in
+      check Alcotest.bool "shutdown acknowledged" true (is_ok bye);
+      check Alcotest.bool "flagged" true (Engine.shutdown_requested e);
+      let late = Engine.await e (Engine.handle_line e "{\"op\":\"ping\"}") in
+      check Alcotest.string "late arrivals refused" "shutting_down"
+        (error_kind late))
+
+let test_engine_deterministic_across_domains () =
+  (* every response byte must be a function of the request sequence
+     alone, whatever the parallelism knobs say *)
+  let script =
+    [
+      "{\"op\":\"ping\",\"id\":1}";
+      named ~id:2 "efa" "hypercube:2";
+      "not json";
+      named ~id:4 "efa" "hypercube:2";
+      named ~id:5 "ecube" "hypercube:2";
+      "{\"op\":\"check\",\"algo\":\"no-such-algorithm\",\"id\":6}";
+    ]
+  in
+  let run config =
+    with_engine ~config (fun e ->
+        String.concat "\n" (List.map J.to_string (run_seq e script)))
+  in
+  let base = run Engine.default_config in
+  let parallel =
+    run { Engine.default_config with Engine.workers = 2; domains = 2 }
+  in
+  check Alcotest.string "byte-identical transcript" base parallel
+
+let suite =
+  [
+    Alcotest.test_case "cache: LRU eviction and counters" `Quick test_cache_lru;
+    Alcotest.test_case "cache: re-add refreshes without evicting" `Quick
+      test_cache_refresh_existing;
+    Alcotest.test_case "cache: capacity 0 disables storage" `Quick
+      test_cache_disabled;
+    Alcotest.test_case "pool: deterministic bounded admission" `Quick
+      test_pool_backpressure;
+    Alcotest.test_case "pool: a raising job spares the worker" `Quick
+      test_pool_exception;
+    Alcotest.test_case "protocol: parse and id recovery" `Quick
+      test_protocol_parse;
+    Alcotest.test_case "engine: cache hit replays the report bit-for-bit"
+      `Quick test_engine_cache_hit_bit_for_bit;
+    Alcotest.test_case "engine: named and inline specs share a digest" `Quick
+      test_engine_cross_surface_digest;
+    Alcotest.test_case "engine: LRU eviction and hit/miss counters" `Quick
+      test_engine_lru_and_counters;
+    Alcotest.test_case "engine: identical in-flight checks coalesce" `Quick
+      test_engine_coalescing;
+    Alcotest.test_case "engine: malformed requests never kill the server"
+      `Quick test_engine_malformed_isolated;
+    Alcotest.test_case "engine: queue_full backpressure is deterministic"
+      `Quick test_engine_queue_full;
+    Alcotest.test_case "engine: per-request deadline" `Quick test_engine_timeout;
+    Alcotest.test_case "engine: shutdown refuses late arrivals" `Quick
+      test_engine_shutdown_guard;
+    Alcotest.test_case "engine: transcript is domain-count independent" `Quick
+      test_engine_deterministic_across_domains;
+  ]
