@@ -131,15 +131,16 @@ let run_obs () =
     median (List.init 9 (fun _ -> timed ()))
   in
   (* probes per bwg-build, counted from one enabled run on a warm
-     move-graph cache; counter totals over-count call sites that record
-     n > 1 per call, which only makes the estimate conservative *)
+     move-graph cache; counters are tallied by call (a magnitude-valued
+     counter like bwg.closure.words is one probe per record, not one per
+     accumulated word) *)
   ignore (Bwg.build space3);
   Obs.enable ();
   ignore (Bwg.build space3);
   let probes =
     List.fold_left (fun acc (_, (n, _)) -> acc + n) 0 (Obs.span_totals ())
     + List.length (Obs.gauges ())
-    + List.fold_left (fun acc (_, n) -> acc + n) 0 (Obs.counters ())
+    + List.fold_left (fun acc (_, n) -> acc + n) 0 (Obs.counter_calls ())
   in
   Obs.disable ();
   let build_ns =
@@ -274,6 +275,208 @@ let run_serve () =
   close_out oc;
   Printf.printf "wrote %s\n%!" bench5_json
 
+(* ------------- E16: scale — 10k-100k-buffer instances ----------------- *)
+
+let bench6_json = "BENCH_6.json"
+
+(* Every instance is checked end to end (state space, BWG, certificate)
+   with wall time, peak RSS and major-heap allocation recorded.  The
+   kernel's VmHWM watermark is reset before each instance, so peaks are
+   per-instance, not cumulative; Gc.compact between instances returns
+   free pages so one instance's heap does not inflate the next one's
+   RSS floor. *)
+let scale_instances =
+  [
+    (* the fullmesh and dragonfly instances are >= 10^4 buffers and the
+       fullmesh:320 headline >= 10^5; kntree:4x3 is small and rides along
+       for topology-family coverage (kntree:8x3 checks fine but takes
+       over a minute, too slow to re-run on every bench invocation) *)
+    ("fullmesh:104", "fullmesh-direct", 3);
+    ("dragonfly:10x4x41", "dragonfly-minimal", 3);
+    ("kntree:4x3", "kntree-updown", 3);
+    ("fullmesh:224", "fullmesh-direct", 1);
+    ("fullmesh:320", "fullmesh-direct", 1);
+  ]
+
+let resolve_instance (topo_s, algo_s, repeats) =
+  let entry =
+    match Registry.find algo_s with
+    | Some e -> e
+    | None -> failwith ("scale: unknown algorithm " ^ algo_s)
+  in
+  let topo =
+    match Topology.of_string topo_s with
+    | Ok t -> t
+    | Error msg -> failwith ("scale: bad topology " ^ topo_s ^ ": " ^ msg)
+  in
+  (topo_s, entry, Registry.network_for entry (Some topo), repeats)
+
+let counter_of name snapshot = Option.value (List.assoc_opt name snapshot) ~default:0
+
+let verdict_name = function
+  | Checker.Deadlock_free _ -> "deadlock-free"
+  | Checker.Deadlock_possible _ -> "deadlock-possible"
+  | Checker.Unknown _ -> "unknown"
+
+let run_scale () =
+  Printf.printf "\n=== E16: scale — large instances, time and memory ===\n%!";
+  let module J = Dfr_util.Json in
+  let rss_resets = Obs.reset_peak_rss () in
+  if not rss_resets then
+    Printf.printf "(VmHWM reset unavailable; peak RSS is cumulative)\n%!";
+  let instance_row (name, entry, net, repeats) =
+    Gc.compact ();
+    ignore (Obs.reset_peak_rss ());
+    Obs.enable ();
+    let before = Obs.counters () in
+    let gc0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    let verdict = Checker.verdict net entry.Registry.algo in
+    let first_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    let gc1 = Gc.quick_stat () in
+    let after = Obs.counters () in
+    Obs.disable ();
+    let best_ns =
+      List.fold_left
+        (fun best _ ->
+          let t0 = Unix.gettimeofday () in
+          ignore (Checker.verdict net entry.Registry.algo : Checker.verdict);
+          min best ((Unix.gettimeofday () -. t0) *. 1e9))
+        first_ns
+        (List.init (repeats - 1) Fun.id)
+    in
+    let delta n = counter_of n after - counter_of n before in
+    let buffers = Net.num_buffers net and nodes = Net.num_nodes net in
+    let peak_kb = Option.value (Obs.peak_rss_kb ()) ~default:0 in
+    Printf.printf
+      "%-20s %8d bufs  %-13s  %8.2f s  peak %6d MB  closure %9d words (%d dense rows)\n%!"
+      name buffers (verdict_name verdict) (best_ns /. 1e9) (peak_kb / 1024)
+      (delta "bwg.closure.words") (delta "bwg.closure.dense-rows");
+    (match verdict with
+    | Checker.Deadlock_free _ -> ()
+    | v ->
+      Printf.eprintf "FAIL: %s unexpectedly not deadlock-free: %s\n" name
+        (Format.asprintf "%a" (Checker.pp_verdict net) v);
+      exit 1);
+    ( name,
+      J.Obj
+        [
+          ("algorithm", J.String entry.Registry.name);
+          ("buffers", J.Int buffers);
+          ("nodes", J.Int nodes);
+          ("states", J.Int (delta "space.states"));
+          (* the `Auto policy: flat tables above ~4M entries go sparse *)
+          ("sparse_state_table", J.Bool (buffers * nodes > 1 lsl 22));
+          ("verdict", J.String (verdict_name verdict));
+          ("runs", J.Int repeats);
+          ("ns_per_run", J.Float best_ns);
+          ("first_run_ns", J.Float first_ns);
+          ("peak_rss_kb", J.Int peak_kb);
+          ("major_words_allocated", J.Float (gc1.Gc.major_words -. gc0.Gc.major_words));
+          ("closure_words_hybrid", J.Int (delta "bwg.closure.words"));
+          ("closure_dense_rows", J.Int (delta "bwg.closure.dense-rows"));
+        ] )
+  in
+  let rows = List.map instance_row (List.map resolve_instance scale_instances) in
+  (* hybrid vs forced-dense closures on the sparsest instance: same state
+     space, two BWG builds, closure storage and peak RSS side by side *)
+  let _, entry, net, _ = resolve_instance ("dragonfly:10x4x41", "dragonfly-minimal", 1) in
+  let space = State_space.build net entry.Registry.algo in
+  State_space.materialize_move_graphs space;
+  let build_with dense =
+    Gc.compact ();
+    ignore (Obs.reset_peak_rss ());
+    Obs.enable ();
+    let before = Obs.counters () in
+    let t0 = Unix.gettimeofday () in
+    let bwg = Bwg.build ~dense_closures:dense space in
+    let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    let after = Obs.counters () in
+    Obs.disable ();
+    let words = counter_of "bwg.closure.words" after - counter_of "bwg.closure.words" before in
+    let peak_kb = Option.value (Obs.peak_rss_kb ()) ~default:0 in
+    (bwg, words, peak_kb, ns)
+  in
+  let bwg_h, words_h, rss_h, ns_h = build_with false in
+  let bwg_d, words_d, rss_d, ns_d = build_with true in
+  let identical = Bwg.is_acyclic bwg_h = Bwg.is_acyclic bwg_d in
+  let ratio = float_of_int words_h /. float_of_int (max 1 words_d) in
+  Printf.printf
+    "hybrid vs dense closures (dragonfly:10x4x41): %d vs %d words (%.3fx), \
+     peak %d vs %d MB\n%!"
+    words_h words_d ratio (rss_h / 1024) (rss_d / 1024);
+  if ratio > 0.5 then begin
+    Printf.eprintf
+      "FAIL: hybrid closure storage %.3fx of forced-dense exceeds the 0.5x budget\n"
+      ratio;
+    exit 1
+  end;
+  if not identical then begin
+    Printf.eprintf "FAIL: hybrid and dense closures disagree on acyclicity\n";
+    exit 1
+  end;
+  (* --domains sweep on the same instance: verdicts must match bit for bit *)
+  let sweep =
+    List.map
+      (fun domains ->
+        Gc.compact ();
+        let t0 = Unix.gettimeofday () in
+        let v = Checker.verdict ~domains net entry.Registry.algo in
+        let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+        (domains, v, ns))
+      [ 1; 2; 4 ]
+  in
+  let render v = Format.asprintf "%a" (Checker.pp_verdict net) v in
+  let reference = match sweep with (_, v, _) :: _ -> render v | [] -> "" in
+  let identical_sweep = List.for_all (fun (_, v, _) -> render v = reference) sweep in
+  List.iter
+    (fun (d, _, ns) -> Printf.printf "domains=%d  %8.2f s\n%!" d (ns /. 1e9))
+    sweep;
+  if not identical_sweep then begin
+    Printf.eprintf "FAIL: verdict differs across --domains\n";
+    exit 1
+  end;
+  let doc =
+    J.Obj
+      [
+        ("suite", J.String "scale");
+        ("unit", J.String "ns/run");
+        ("instances", J.Obj rows);
+        ( "hybrid_vs_dense",
+          J.Obj
+            [
+              ("instance", J.String "dragonfly:10x4x41");
+              ("closure_words_hybrid", J.Int words_h);
+              ("closure_words_dense", J.Int words_d);
+              ("ratio", J.Float ratio);
+              ("ratio_budget", J.Float 0.5);
+              ("peak_rss_kb_hybrid", J.Int rss_h);
+              ("peak_rss_kb_dense", J.Int rss_d);
+              ("bwg_build_ns_hybrid", J.Float ns_h);
+              ("bwg_build_ns_dense", J.Float ns_d);
+              ("verdicts_identical", J.Bool identical);
+            ] );
+        ( "domains_sweep",
+          J.Obj
+            [
+              ("instance", J.String "dragonfly:10x4x41");
+              ("verdicts_identical", J.Bool identical_sweep);
+              ( "runs",
+                J.List
+                  (List.map
+                     (fun (d, _, ns) ->
+                       J.Obj [ ("domains", J.Int d); ("ns", J.Float ns) ])
+                     sweep) );
+            ] );
+        ("peak_rss_is_per_instance", J.Bool rss_resets);
+      ]
+  in
+  let oc = open_out bench6_json in
+  output_string oc (J.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" bench6_json
+
 let run_micro () =
   Printf.printf "\n=== E8: micro benchmarks (Bechamel, monotonic clock) ===\n%!";
   let test = Test.make_grouped ~name:"dfr" ~fmt:"%s/%s" micro_tests in
@@ -322,12 +525,14 @@ let () =
   | "parallel" -> Experiments.parallel_bwg ()
   | "micro" -> run_micro ()
   | "serve" -> run_serve ()
+  | "scale" -> run_scale ()
   | "all" ->
     Experiments.all ();
     run_micro ();
-    run_serve ()
+    run_serve ();
+    run_scale ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro serve all)\n"
+      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro serve scale all)\n"
       other;
     exit 1

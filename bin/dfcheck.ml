@@ -624,19 +624,23 @@ let fuzz_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve: the batched NDJSON checking service                          *)
 
-let serve_run port workers queue cache timeout_ms domains trace metrics =
-  if workers < 1 || queue < 1 || domains < 1 || cache < 0 || timeout_ms < 0 then begin
+let serve_run port workers queue cache cache_entry_bytes timeout_ms domains
+    trace metrics =
+  if
+    workers < 1 || queue < 1 || domains < 1 || cache < 0 || cache_entry_bytes < 0
+    || timeout_ms < 0
+  then begin
     prerr_endline
-      "dfcheck serve: --workers, --queue and --domains must be >= 1; --cache \
-       and --timeout-ms must be >= 0";
+      "dfcheck serve: --workers, --queue and --domains must be >= 1; --cache, \
+       --cache-entry-bytes and --timeout-ms must be >= 0";
     2
   end
   else begin
     obs_setup ~trace ~metrics;
     let engine =
       Engine.create
-        { Engine.workers; capacity = queue; cache_capacity = cache; timeout_ms;
-          domains }
+        { Engine.workers; capacity = queue; cache_capacity = cache;
+          cache_entry_bytes; timeout_ms; domains }
     in
     let code =
       match port with
@@ -678,6 +682,14 @@ let serve_cmd =
          & info [ "cache" ]
              ~doc:"Verdict-cache capacity in entries (0 disables caching).")
   in
+  let cache_entry_bytes =
+    Arg.(value & opt int Engine.default_config.Engine.cache_entry_bytes
+         & info [ "cache-entry-bytes" ]
+             ~doc:
+               "Largest rendered report a cache entry may pin, in bytes; \
+                bigger reports (huge deadlock witnesses) are served but not \
+                cached (0 removes the cap).")
+  in
   let timeout_ms =
     Arg.(value & opt int 0
          & info [ "timeout-ms" ]
@@ -696,8 +708,8 @@ let serve_cmd =
           Verdicts are cached by a digest of the elaborated problem, so \
           re-checking the same spec (or a named problem equal to it) is \
           answered without recomputation.")
-    Term.(const serve_run $ port $ workers $ queue $ cache $ timeout_ms
-          $ domains $ trace_arg $ metrics_arg)
+    Term.(const serve_run $ port $ workers $ queue $ cache $ cache_entry_bytes
+          $ timeout_ms $ domains $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* client: one-shot scripting client for a TCP serve instance          *)

@@ -12,7 +12,6 @@ type wcell = { mutable count : int; mutable ws : witness list }
 type t = {
   space : State_space.t;
   graph : Digraph.t;
-  mutable frozen : Csr.t option; (* lazily frozen view of [graph] *)
   witnesses : (int * wcell) list array;
       (* per-q1 association rows (q2, cell); BWG out-degrees are small, so
          a pointer walk beats hashing on the build's hot path *)
@@ -24,13 +23,14 @@ let space t = t.space
 let graph t = t.graph
 let wait_sets t = t.wait_sets
 
-let frozen_graph t =
-  match t.frozen with
-  | Some g -> g
-  | None ->
-    let g = Digraph.freeze t.graph in
-    t.frozen <- Some g;
-    g
+(* Successors of [q1] as a strictly ascending array, read straight off the
+   witness rows.  This is the implicit edge relation the acyclicity and
+   cycle queries run on — the BWG is never frozen into a second full CSR
+   copy of its adjacency, which matters once the graph has 10^5 vertices. *)
+let succ_row t q1 =
+  let r = Array.of_list (List.map fst t.witnesses.(q1)) in
+  Array.sort (fun (a : int) b -> compare a b) r;
+  r
 
 let rec find_cell q2 = function
   | [] -> None
@@ -63,7 +63,7 @@ let witnesses t q1 q2 =
    order); the serial build passes its edge recorder directly, the domain
    fan-out accumulates per-destination lists and replays them in
    destination order so both paths see the same sequence. *)
-let edges_for_dest space ~wait_sets ~wormhole dest ~emit =
+let edges_for_dest space ~wait_sets ~wormhole ~dense_closures dest ~emit =
   if not wormhole then
     List.iter
       (fun q1 ->
@@ -71,7 +71,7 @@ let edges_for_dest space ~wait_sets ~wormhole dest ~emit =
         List.iter (fun w -> emit q1 w wit) (wait_sets ~buf:q1 ~dest))
       (State_space.reachable_with space ~dest)
   else begin
-    let g = State_space.move_graph_quiet space ~dest in
+    let g = State_space.move_graph_view space ~dest in
     let n = Csr.num_vertices g in
     let reach = State_space.reachable_with space ~dest in
     (* The closure pass needs components numbered in reverse topological
@@ -134,24 +134,31 @@ let edges_for_dest space ~wait_sets ~wormhole dest ~emit =
         (count, comp, start, verts)
       end
     in
-    let closures = Dfr_util.Bitset.Dense.Matrix.create ~rows:count ~len:n in
+    let closures =
+      Dfr_util.Bitset.Hybrid.Rows.create ~force_dense:dense_closures
+        ~rows:count ~len:n ()
+    in
     (* merged.(c') = c marks that c' is already unioned into c's row, so a
        component with many edges into the same successor pays one sweep *)
     let merged = Array.make count (-1) in
     for c = 0 to count - 1 do
       for i = start.(c) to start.(c + 1) - 1 do
         let v = verts.(i) in
-        Dfr_util.Bitset.Dense.Matrix.add closures c v;
+        Dfr_util.Bitset.Hybrid.Rows.add closures c v;
         Csr.iter_succ
           (fun w ->
             let cw = comp.(w) in
             if cw <> c && merged.(cw) <> c then begin
               merged.(cw) <- c;
-              Dfr_util.Bitset.Dense.Matrix.union_rows closures ~into:c ~src:cw
+              Dfr_util.Bitset.Hybrid.Rows.union_rows closures ~into:c ~src:cw
             end)
           g v
       done
     done;
+    Obs.count "bwg.closure.words"
+      (Dfr_util.Bitset.Hybrid.Rows.storage_words closures);
+    Obs.count "bwg.closure.dense-rows"
+      (Dfr_util.Bitset.Hybrid.Rows.dense_rows closures);
     (* Only heads with a non-empty waiting set generate edges: resolve each
        head's waiting set and (shared) witness record once per destination
        into an array, so collecting a component's heads is one pass over
@@ -171,7 +178,7 @@ let edges_for_dest space ~wait_sets ~wormhole dest ~emit =
       | Some hs -> hs
       | None ->
         let acc = ref [] in
-        Dfr_util.Bitset.Dense.Matrix.iter_row
+        Dfr_util.Bitset.Hybrid.Rows.iter_row
           (fun v ->
             match head_info.(v) with
             | Some info -> acc := info :: !acc
@@ -189,7 +196,8 @@ let edges_for_dest space ~wait_sets ~wormhole dest ~emit =
       reach
   end
 
-let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1) space =
+let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1)
+    ?(dense_closures = false) space =
   Obs.span "bwg.build" @@ fun () ->
   let wait_sets =
     match wait_sets with
@@ -218,17 +226,19 @@ let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1) space
       Digraph.unsafe_add_edge graph q1 q2
   in
   let wormhole = indirect && Net.switching net = Net.Wormhole in
-  (* the closure pass walks every destination's move graph; building them
-     eagerly costs nothing extra serially and is mandatory before a domain
-     fan-out (the lazy cache is not safe to populate concurrently) *)
-  if wormhole then State_space.materialize_move_graphs space;
+  (* the closure pass reads each destination's move graph exactly once,
+     through [move_graph_view]: a transient build per destination instead
+     of pinning the whole N-entry cache for the rest of the run.  Workers
+     only ever *read* the cache (entries are written by serial phases), so
+     the fan-out stays safe without materializing first. *)
   let dests = List.init num_nodes Fun.id in
   if domains <= 1 || num_nodes <= 1 then
     (* serial: stream edges straight into the recorder, no staging lists *)
     List.iter
       (fun d ->
         Obs.span "bwg.closure" (fun () ->
-            edges_for_dest space ~wait_sets ~wormhole d ~emit:add_edge))
+            edges_for_dest space ~wait_sets ~wormhole ~dense_closures d
+              ~emit:add_edge))
       dests
   else begin
     let n_dom = min domains num_nodes in
@@ -244,7 +254,7 @@ let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1) space
                 (fun d ->
                   Obs.span "bwg.closure" @@ fun () ->
                   let acc = ref [] in
-                  edges_for_dest space ~wait_sets ~wormhole d
+                  edges_for_dest space ~wait_sets ~wormhole ~dense_closures d
                     ~emit:(fun q w wit -> acc := (q, w, wit) :: !acc);
                   (d, !acc))
                 chunk))
@@ -261,12 +271,44 @@ let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1) space
   end;
   Obs.gauge "bwg.vertices" (float_of_int num_bufs);
   Obs.gauge "bwg.edges" (float_of_int !num_edges);
-  { space; graph; frozen = None; witnesses; wait_sets; witness_cap }
+  { space; graph; witnesses; wait_sets; witness_cap }
 
-let is_acyclic t = Traversal.is_acyclic_csr (frozen_graph t)
-let topological_order t = Traversal.topological_sort_csr (frozen_graph t)
+(* Kahn's pass over the witness rows directly: no frozen CSR, no sorting —
+   acyclicity does not depend on visit order. *)
+let is_acyclic t =
+  let n = Array.length t.witnesses in
+  let indeg = Array.make n 0 in
+  Array.iter
+    (fun row -> List.iter (fun (q2, _) -> indeg.(q2) <- indeg.(q2) + 1) row)
+    t.witnesses;
+  let stack = ref [] in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then stack := v :: !stack
+  done;
+  let seen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | v :: tl ->
+      stack := tl;
+      incr seen;
+      List.iter
+        (fun (w, _) ->
+          indeg.(w) <- indeg.(w) - 1;
+          if indeg.(w) = 0 then stack := w :: !stack)
+        t.witnesses.(v)
+  done;
+  !seen = n
 
-let cycles ?limits t = Cycles.enumerate_checked_csr ?limits (frozen_graph t)
+(* Only the Theorem-1 certificate needs a materialized order; freeze a
+   transient CSR so the output is byte-identical to the historical frozen
+   path, and let it be collected immediately after. *)
+let topological_order t = Traversal.topological_sort_csr (Digraph.freeze t.graph)
+
+let cycles ?limits t =
+  Cycles.enumerate_checked_rows ?limits ~n:(Array.length t.witnesses)
+    ~row:(succ_row t) ()
 
 let unconnected_states t =
   let acc = ref [] in

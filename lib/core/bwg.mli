@@ -30,6 +30,7 @@ val build :
   ?witness_cap:int ->
   ?indirect:bool ->
   ?domains:int ->
+  ?dense_closures:bool ->
   State_space.t ->
   t
 (** [witness_cap] bounds the witnesses retained per edge (default 32).
@@ -42,14 +43,15 @@ val build :
     of the occupied buffer's own state" edges.  That is {e unsound} for
     wormhole networks — a packet spans a chain of buffers — and exists
     purely for the ablation experiment showing the closure is what catches
-    Duato's incoherent example. *)
+    Duato's incoherent example.
+    [dense_closures] (default [false]) forces every per-destination
+    reachability closure row into the dense bitmap representation instead
+    of the hybrid sparse/dense one.  The resulting graph is identical
+    (tested); the flag exists so the equivalence tests and the memory
+    benches can compare the two allocation regimes. *)
 
 val space : t -> State_space.t
 val graph : t -> Dfr_graph.Digraph.t
-
-val frozen_graph : t -> Dfr_graph.Csr.t
-(** The CSR view the acyclicity / cycle queries run on (frozen on first
-    use, cached; canonical, so equal BWGs have equal frozen forms). *)
 
 val wait_sets : t -> wait_sets
 

@@ -2,17 +2,42 @@ open Dfr_network
 open Dfr_routing
 module Obs = Dfr_obs.Obs
 
+(* One destination's reachable states, stored compactly: [bufs] is the
+   ascending list of buffers some [dest]-bound packet can occupy, and the
+   parallel arrays carry the per-state routing relation.  A full-mesh or
+   dragonfly destination touches O(nodes) of the network's B buffers, so
+   this is what keeps the table at O(states) instead of O(B * N) — the
+   difference between megabytes and gigabytes at 10^5 buffers. *)
+type slice = {
+  bufs : int array;
+  outs : int list array;
+  wts : int list array;
+  rdc : int list array option;
+}
+
+type storage =
+  | Dense_tab of {
+      reachable : bool array; (* buf * num_nodes + dest *)
+      outputs : int list array; (* only meaningful for reachable states *)
+      waits : int list array;
+      reduced : int list array option;
+    }
+  | Sparse_tab of slice array (* per dest *)
+
 type t = {
   net : Net.t;
   algo : Algo.t;
   num_buffers : int;
   num_nodes : int;
-  reachable : bool array; (* buf * num_nodes + dest *)
-  outputs : int list array; (* only meaningful for reachable states *)
-  waits : int list array;
-  reduced : int list array option;
+  storage : storage;
   move_graphs : Dfr_graph.Csr.t option array; (* per dest, lazy *)
 }
+
+(* Above this many (buffer, destination) entries the flat arrays are
+   replaced by per-destination slices.  4M entries of three word-sized
+   arrays is ~100 MB of table — roughly where the dense layout stops being
+   free and the O(log states) slice lookup starts being worth it. *)
+let dense_threshold = 1 lsl 22
 
 let index t ~buf ~dest = (buf * t.num_nodes) + dest
 let net t = t.net
@@ -20,29 +45,65 @@ let algo t = t.algo
 let num_buffers t = t.num_buffers
 let num_nodes t = t.num_nodes
 
-let is_reachable t ~buf ~dest = t.reachable.(index t ~buf ~dest)
+(* position of [buf] in [s.bufs], or -1 *)
+let slice_find s buf =
+  let lo = ref 0 and hi = ref (Array.length s.bufs) in
+  let found = ref (-1) in
+  while !found < 0 && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let b = s.bufs.(mid) in
+    if b = buf then found := mid else if b < buf then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+let is_reachable t ~buf ~dest =
+  match t.storage with
+  | Dense_tab d -> d.reachable.(index t ~buf ~dest)
+  | Sparse_tab slices -> slice_find slices.(dest) buf >= 0
 
 let arrived t ~buf ~dest = Buf.head_node (Net.buffer t.net buf) = dest
 
 let outputs t ~buf ~dest =
-  if is_reachable t ~buf ~dest then t.outputs.(index t ~buf ~dest) else []
+  match t.storage with
+  | Dense_tab d ->
+    if d.reachable.(index t ~buf ~dest) then d.outputs.(index t ~buf ~dest)
+    else []
+  | Sparse_tab slices ->
+    let s = slices.(dest) in
+    let i = slice_find s buf in
+    if i >= 0 then s.outs.(i) else []
 
 let waits t ~buf ~dest =
-  if is_reachable t ~buf ~dest then t.waits.(index t ~buf ~dest) else []
+  match t.storage with
+  | Dense_tab d ->
+    if d.reachable.(index t ~buf ~dest) then d.waits.(index t ~buf ~dest)
+    else []
+  | Sparse_tab slices ->
+    let s = slices.(dest) in
+    let i = slice_find s buf in
+    if i >= 0 then s.wts.(i) else []
 
 let reduced_waits t =
-  Option.map
-    (fun arr ~buf ~dest ->
-      if is_reachable t ~buf ~dest then arr.(index t ~buf ~dest) else [])
-    t.reduced
+  match t.storage with
+  | Dense_tab d ->
+    Option.map
+      (fun arr ~buf ~dest ->
+        if d.reachable.(index t ~buf ~dest) then arr.(index t ~buf ~dest)
+        else [])
+      d.reduced
+  | Sparse_tab slices ->
+    if Array.exists (fun s -> s.rdc <> None) slices then
+      Some
+        (fun ~buf ~dest ->
+          let s = slices.(dest) in
+          match s.rdc with
+          | None -> []
+          | Some arr ->
+            let i = slice_find s buf in
+            if i >= 0 then arr.(i) else [])
+    else None
 
-let build net algo =
-  Obs.span "space.build" @@ fun () ->
-  (match Algo.validate algo net with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("State_space.build: " ^ msg));
-  let num_buffers = Net.num_buffers net in
-  let num_nodes = Net.num_nodes net in
+let build_dense net algo ~num_buffers ~num_nodes =
   let size = num_buffers * num_nodes in
   let reachable = Array.make size false in
   let outputs = Array.make size [] in
@@ -82,46 +143,168 @@ let build net algo =
   done;
   Obs.count "space.states"
     (Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 reachable);
+  Dense_tab { reachable; outputs; waits; reduced }
+
+(* Same closure, one destination at a time: the BFS for a destination only
+   ever revisits its own states, so a size-B scratch reused across
+   destinations replaces the B*N flat arrays entirely. *)
+let build_sparse net algo ~num_buffers ~num_nodes =
+  let seen = Array.make num_buffers false in
+  let out_scratch = Array.make num_buffers [] in
+  let wait_scratch = Array.make num_buffers [] in
+  let red_scratch =
+    Option.map (fun _ -> Array.make num_buffers []) algo.Algo.reduced_waits
+  in
+  let states = ref 0 in
+  let slices =
+    Array.init num_nodes (fun dest ->
+        let touched = ref [] in
+        let queue = Queue.create () in
+        let visit buf =
+          if not seen.(buf) then begin
+            seen.(buf) <- true;
+            touched := buf :: !touched;
+            Queue.add buf queue
+          end
+        in
+        for src = 0 to num_nodes - 1 do
+          if src <> dest then visit (Buf.id (Net.injection net src))
+        done;
+        while not (Queue.is_empty queue) do
+          let buf = Queue.pop queue in
+          let b = Net.buffer net buf in
+          if Buf.head_node b <> dest then begin
+            let outs =
+              List.filter
+                (fun o -> Buf.is_transit (Net.buffer net o))
+                (algo.Algo.route net b ~dest)
+            in
+            out_scratch.(buf) <- outs;
+            wait_scratch.(buf) <- algo.Algo.waits net b ~dest;
+            (match (red_scratch, algo.Algo.reduced_waits) with
+            | Some arr, Some rw -> arr.(buf) <- rw net b ~dest
+            | _ -> ());
+            List.iter visit outs
+          end
+        done;
+        let bufs = Array.of_list (List.sort compare !touched) in
+        states := !states + Array.length bufs;
+        let slice =
+          {
+            bufs;
+            outs = Array.map (fun b -> out_scratch.(b)) bufs;
+            wts = Array.map (fun b -> wait_scratch.(b)) bufs;
+            rdc = Option.map (fun arr -> Array.map (fun b -> arr.(b)) bufs)
+                red_scratch;
+          }
+        in
+        List.iter
+          (fun b ->
+            seen.(b) <- false;
+            out_scratch.(b) <- [];
+            wait_scratch.(b) <- [];
+            match red_scratch with Some arr -> arr.(b) <- [] | None -> ())
+          !touched;
+        slice)
+  in
+  Obs.count "space.states" !states;
+  Sparse_tab slices
+
+let build ?(storage = `Auto) net algo =
+  Obs.span "space.build" @@ fun () ->
+  (match Algo.validate algo net with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("State_space.build: " ^ msg));
+  let num_buffers = Net.num_buffers net in
+  let num_nodes = Net.num_nodes net in
+  let sparse =
+    match storage with
+    | `Dense -> false
+    | `Sparse -> true
+    | `Auto -> num_buffers * num_nodes > dense_threshold
+  in
+  let storage =
+    if sparse then build_sparse net algo ~num_buffers ~num_nodes
+    else build_dense net algo ~num_buffers ~num_nodes
+  in
   {
     net;
     algo;
     num_buffers;
     num_nodes;
-    reachable;
-    outputs;
-    waits;
-    reduced;
+    storage;
     move_graphs = Array.make num_nodes None;
   }
 
-let iter_reachable t f =
-  for buf = 0 to t.num_buffers - 1 do
-    for dest = 0 to t.num_nodes - 1 do
-      if t.reachable.(index t ~buf ~dest) then f ~buf ~dest
-    done
-  done
+let is_sparse t = match t.storage with Sparse_tab _ -> true | Dense_tab _ -> false
 
-(* The quiet accessor exists for counter determinism: the serial BWG build
-   resolves move graphs lazily while the parallel build pre-materializes
-   them, so any hit/build counting on the structural pass would make the
-   metrics depend on [--domains].  Structural consumers go through
-   [move_graph_quiet]/[materialize_move_graphs]; only the classification
-   paths (which run after materialization on every configuration) use the
-   counted [move_graph]. *)
+let iter_reachable t f =
+  match t.storage with
+  | Dense_tab d ->
+    for buf = 0 to t.num_buffers - 1 do
+      for dest = 0 to t.num_nodes - 1 do
+        if d.reachable.((buf * t.num_nodes) + dest) then f ~buf ~dest
+      done
+    done
+  | Sparse_tab slices ->
+    (* gather + sort restores the (buf ascending, dest ascending) order of
+       the dense scan, so downstream state lists are layout-independent *)
+    let total = Array.fold_left (fun acc s -> acc + Array.length s.bufs) 0 slices in
+    let keys = Array.make (max total 1) 0 in
+    let k = ref 0 in
+    Array.iteri
+      (fun dest s ->
+        Array.iter
+          (fun buf ->
+            keys.(!k) <- (buf * t.num_nodes) + dest;
+            incr k)
+          s.bufs)
+      slices;
+    Array.sort (fun (a : int) b -> compare a b) keys;
+    for i = 0 to total - 1 do
+      f ~buf:(keys.(i) / t.num_nodes) ~dest:(keys.(i) mod t.num_nodes)
+    done
+
+let build_move_graph t ~dest =
+  let g = Dfr_graph.Digraph.create t.num_buffers in
+  (match t.storage with
+  | Dense_tab d ->
+    for buf = 0 to t.num_buffers - 1 do
+      let i = (buf * t.num_nodes) + dest in
+      if d.reachable.(i) then
+        List.iter (fun o -> Dfr_graph.Digraph.add_edge g buf o) d.outputs.(i)
+    done
+  | Sparse_tab slices ->
+    let s = slices.(dest) in
+    Array.iteri
+      (fun i buf -> List.iter (fun o -> Dfr_graph.Digraph.add_edge g buf o) s.outs.(i))
+      s.bufs);
+  Dfr_graph.Digraph.freeze g
+
+(* The quiet accessor exists for counter determinism: structural passes
+   whose cache behaviour varies with [--domains] go through
+   [move_graph_view]/[move_graph_quiet]/[materialize_move_graphs]; only
+   the classification paths (which run after materialization on every
+   configuration) use the counted [move_graph]. *)
 let move_graph_quiet t ~dest =
   match t.move_graphs.(dest) with
   | Some g -> g
   | None ->
-    let g = Dfr_graph.Digraph.create t.num_buffers in
-    for buf = 0 to t.num_buffers - 1 do
-      if t.reachable.(index t ~buf ~dest) then
-        List.iter
-          (fun o -> Dfr_graph.Digraph.add_edge g buf o)
-          t.outputs.(index t ~buf ~dest)
-    done;
-    let frozen = Dfr_graph.Digraph.freeze g in
+    let frozen = build_move_graph t ~dest in
     t.move_graphs.(dest) <- Some frozen;
     frozen
+
+(* A cached graph when one exists, otherwise a fresh build that is NOT
+   retained.  The BWG construction visits each destination exactly once,
+   so caching there would pin N CSRs — O(B) offsets each — for the rest of
+   the run; classification materializes the cache later only if a cycle
+   actually needs walking.  Reads of a partially populated cache are safe
+   from worker domains because entries are only ever written by the serial
+   phases. *)
+let move_graph_view t ~dest =
+  match t.move_graphs.(dest) with
+  | Some g -> g
+  | None -> build_move_graph t ~dest
 
 let move_graph t ~dest =
   (match t.move_graphs.(dest) with
@@ -138,16 +321,19 @@ let materialize_move_graphs t =
   done
 
 let reachable_with t ~dest =
-  let acc = ref [] in
-  for buf = t.num_buffers - 1 downto 0 do
-    if t.reachable.(index t ~buf ~dest) then acc := buf :: !acc
-  done;
-  !acc
+  match t.storage with
+  | Dense_tab d ->
+    let acc = ref [] in
+    for buf = t.num_buffers - 1 downto 0 do
+      if d.reachable.((buf * t.num_nodes) + dest) then acc := buf :: !acc
+    done;
+    !acc
+  | Sparse_tab slices -> Array.to_list slices.(dest).bufs
 
 let stuck_states t =
   let acc = ref [] in
   iter_reachable t (fun ~buf ~dest ->
-      if (not (arrived t ~buf ~dest)) && t.outputs.(index t ~buf ~dest) = [] then
+      if (not (arrived t ~buf ~dest)) && outputs t ~buf ~dest = [] then
         acc := (buf, dest) :: !acc);
   List.rev !acc
 

@@ -14,8 +14,18 @@ open Dfr_routing
 
 type t
 
-val build : Net.t -> Algo.t -> t
-(** Raises [Invalid_argument] when [Algo.validate] rejects the pair. *)
+val build : ?storage:[ `Auto | `Dense | `Sparse ] -> Net.t -> Algo.t -> t
+(** Raises [Invalid_argument] when [Algo.validate] rejects the pair.
+
+    [storage] picks the state-table layout: [`Dense] keeps flat
+    [buffers * nodes] arrays, [`Sparse] stores per-destination slices of
+    the actually-reachable states, and [`Auto] (the default) switches to
+    sparse once the flat table would exceed ~4M entries.  The two layouts
+    are observationally identical (tested); sparse is what lets
+    10^4-10^5-buffer instances fit in memory. *)
+
+val is_sparse : t -> bool
+(** Whether the sparse per-destination layout is in use. *)
 
 val net : t -> Net.t
 val algo : t -> Algo.t
@@ -52,6 +62,13 @@ val move_graph : t -> dest:int -> Dfr_graph.Csr.t
 
 val move_graph_quiet : t -> dest:int -> Dfr_graph.Csr.t
 (** [move_graph] without the cache counters. *)
+
+val move_graph_view : t -> dest:int -> Dfr_graph.Csr.t
+(** The cached graph when present, otherwise a fresh build that is {e not}
+    retained (and no counters).  Single-visit passes — the BWG closure
+    walks each destination exactly once — use this so the cache never pins
+    N per-destination CSRs at once; at 10^5 buffers that cache alone would
+    dwarf the state table. *)
 
 val materialize_move_graphs : t -> unit
 (** Populate the move-graph cache for every destination (required before

@@ -30,6 +30,16 @@ val enumerate_csr : ?limits:limits -> Csr.t -> int list list
 
 val enumerate_checked_csr : ?limits:limits -> Csr.t -> int list list * bool
 
+val enumerate_checked_rows :
+  ?limits:limits -> n:int -> row:(int -> int array) -> unit -> int list list * bool
+(** Enumerate over an *implicit* graph: [row v] must return the successors
+    of [v] as a strictly ascending, duplicate-free array, and must be
+    deterministic (it is called more than once per vertex).  Equivalent to
+    freezing the relation into a CSR and calling {!enumerate_checked_csr}
+    — same cycles, same order — but only the strongly connected cores are
+    ever materialized, so a BWG with 10^5 vertices and a tiny cyclic core
+    scans in O(V + E) time and O(core) extra space. *)
+
 val truncated : ?limits:limits -> Digraph.t -> bool
 (** Whether [enumerate] with the same limits stopped early (so the returned
     list may be incomplete). *)

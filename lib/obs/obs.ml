@@ -11,6 +11,7 @@ type event = {
 type collector = {
   mutable events : event list; (* most recent first *)
   counters : (string, int) Hashtbl.t;
+  counter_calls : (string, int) Hashtbl.t;
   gauges : (string, float) Hashtbl.t;
   mutex : Mutex.t;
   epoch : float;
@@ -28,6 +29,7 @@ let enable () =
        {
          events = [];
          counters = Hashtbl.create 32;
+         counter_calls = Hashtbl.create 32;
          gauges = Hashtbl.create 16;
          mutex = Mutex.create ();
          epoch = now_us ();
@@ -74,7 +76,9 @@ let count name n =
   | Some c ->
     locked c (fun () ->
         let cur = Option.value (Hashtbl.find_opt c.counters name) ~default:0 in
-        Hashtbl.replace c.counters name (cur + n))
+        Hashtbl.replace c.counters name (cur + n);
+        let calls = Option.value (Hashtbl.find_opt c.counter_calls name) ~default:0 in
+        Hashtbl.replace c.counter_calls name (calls + 1))
 
 let gauge name v =
   match Atomic.get state with
@@ -92,6 +96,11 @@ let counters () =
   match Atomic.get state with
   | None -> []
   | Some c -> locked c (fun () -> sorted_bindings c.counters)
+
+let counter_calls () =
+  match Atomic.get state with
+  | None -> []
+  | Some c -> locked c (fun () -> sorted_bindings c.counter_calls)
 
 let gauges () =
   match Atomic.get state with
@@ -124,6 +133,58 @@ let span_totals () =
   sorted_bindings tbl
 
 (* ------------------------------------------------------------------ *)
+(* process memory                                                      *)
+
+(* VmHWM is the process's peak resident set since start (or since the
+   last reset); it covers everything the OCaml heap statistics miss —
+   the minor heaps of spawned domains, malloc'd bigarrays, the binary
+   itself. *)
+let peak_rss_kb () =
+  try
+    let ic = open_in "/proc/self/status" in
+    let rec scan () =
+      match input_line ic with
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+          close_in ic;
+          Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d"
+            (fun kb -> Some kb)
+        end
+        else scan ()
+      | exception End_of_file ->
+        close_in ic;
+        None
+    in
+    scan ()
+  with Sys_error _ | Scanf.Scan_failure _ | Failure _ -> None
+
+(* Writing "5" to clear_refs resets VmHWM to the current RSS, so peaks
+   can be attributed to one phase of a run.  Linux-only; returns whether
+   the reset took. *)
+let reset_peak_rss () =
+  try
+    let oc = open_out "/proc/self/clear_refs" in
+    output_string oc "5\n";
+    close_out oc;
+    true
+  with Sys_error _ -> false
+
+let mem_json () =
+  let gc = Gc.quick_stat () in
+  let rss =
+    match peak_rss_kb () with Some kb -> [ ("peak_rss_kb", Json.Int kb) ] | None -> []
+  in
+  Json.Obj
+    (rss
+    @ [
+        ("major_words", Json.Float gc.Gc.major_words);
+        ("top_heap_words", Json.Int gc.Gc.top_heap_words);
+        ("heap_words", Json.Int gc.Gc.heap_words);
+        ("major_collections", Json.Int gc.Gc.major_collections);
+        ("minor_collections", Json.Int gc.Gc.minor_collections);
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* exporters                                                           *)
 
 let metrics_json () =
@@ -141,6 +202,7 @@ let metrics_json () =
                  Json.Obj
                    [ ("count", Json.Int n); ("total_us", Json.Float total) ] ))
              (span_totals ())) );
+      ("mem", mem_json ());
     ]
 
 let trace_json () =

@@ -61,17 +61,41 @@ val gauge : string -> float -> unit
 val counters : unit -> (string * int) list
 (** Current counter values, sorted by name; [[]] when disabled. *)
 
+val counter_calls : unit -> (string * int) list
+(** How many times each counter was recorded (as opposed to its
+    accumulated value — a counter fed magnitudes, like
+    [bwg.closure.words], has few calls but a large value).  Sorted by
+    name; [[]] when disabled. *)
+
 val gauges : unit -> (string * float) list
 
 val span_totals : unit -> (string * (int * float)) list
 (** Per span name: [(occurrences, total wall-clock µs)], sorted by
     name; [[]] when disabled. *)
 
+(** {2 Process memory} *)
+
+val peak_rss_kb : unit -> int option
+(** Peak resident set size of the process in kB ([VmHWM] from
+    [/proc/self/status]), covering every domain's stacks and minor heaps
+    as well as the major heap; [None] when the file is unavailable
+    (non-Linux).  Works whether or not a collector is installed. *)
+
+val reset_peak_rss : unit -> bool
+(** Reset the kernel's peak-RSS watermark to the current RSS (write
+    ["5"] to [/proc/self/clear_refs]) so {!peak_rss_kb} measures one
+    phase of a run.  Returns [false] when the platform refuses. *)
+
+val mem_json : unit -> Dfr_util.Json.t
+(** Snapshot of process memory: [peak_rss_kb] (when available) plus
+    [Gc.quick_stat] major-heap figures ([major_words],
+    [top_heap_words], [heap_words], collection counts). *)
+
 val metrics_json : unit -> Dfr_util.Json.t
 (** [{"counters": {..}, "gauges": {..}, "spans": {name: {"count": n,
-    "total_us": µs}}}] with every object sorted by key.  Counter values
-    are deterministic across [--domains] settings (see above); span
-    timings are wall-clock and are not. *)
+    "total_us": µs}}, "mem": {..}}] with every object sorted by key.
+    Counter values are deterministic across [--domains] settings (see
+    above); span timings and the [mem] section are not. *)
 
 val trace_json : unit -> Dfr_util.Json.t
 (** Chrome [trace_event] document: [{"traceEvents": [...],

@@ -1,0 +1,76 @@
+open Dfr_topology
+open Dfr_network
+
+(* Minimal l-g-l dragonfly routing with two virtual channels.
+
+   A minimal path is (local)? (global)? (local)? — at most one hop inside
+   the source group to reach the router owning the right global link, the
+   global hop, then at most one hop inside the destination group.  The
+   classic hazard is the final local hop: local channels are reused both
+   before and after the global hop, so a single virtual channel closes a
+   cycle through three groups.  Bumping to vc1 for any local hop taken
+   after a global link breaks it; the buffer layering
+
+     vc0-local  <  global  <  vc1-local  <  delivery
+
+   is strictly decreasing along every route, so the BWG is acyclic. *)
+
+let check net =
+  (match Net.switching net with
+  | Net.Wormhole -> ()
+  | _ -> invalid_arg "Dragonfly_routing: wormhole network required");
+  if Net.vcs net < 2 then invalid_arg "Dragonfly_routing: 2 virtual channels required";
+  match Topology.dragonfly_params (Net.topology_exn net) with
+  | Some p -> p
+  | None -> invalid_arg "Dragonfly_routing: dragonfly topology required"
+
+let chan net head ~port ~vc =
+  [ Buf.id (Net.channel net ~src:head ~dim:port ~dir:Topology.Plus ~vc) ]
+
+let route net b ~dest =
+  let a, h, g = check net in
+  let head = Buf.head_node b in
+  let gc = head / a and rc = head mod a in
+  let gd = dest / a and rd = dest mod a in
+  if gc = gd then
+    (* final (or only) hop: one local link inside the group.  The hop is
+       an "after the global link" hop exactly when the packet sits in a
+       global channel or already escalated to vc1. *)
+    let after_global =
+      match Buf.kind b with
+      | Buf.Channel { dim; vc; _ } -> dim >= a - 1 || vc = 1
+      | _ -> false
+    in
+    let port = (rd - rc - 1 + a) mod a in
+    chan net head ~port ~vc:(if after_global then 1 else 0)
+  else
+    (* palmtree wiring: the one global link between groups gc and gd is
+       link number L = (gd - gc - 1) mod g out of gc, owned by router
+       L/h at its port L mod h. *)
+    let link = (gd - gc - 1 + g) mod g in
+    let owner = link / h in
+    if rc = owner then chan net head ~port:(a - 1 + (link mod h)) ~vc:0
+    else chan net head ~port:((owner - rc - 1 + a) mod a) ~vc:0
+
+let minimal =
+  Algo.make ~name:"dragonfly-minimal" ~wait:Algo.Specific_wait ~route ()
+
+(* The same minimal relation squeezed onto one virtual channel: the
+   counterexample algorithm.  Local channels shared by the pre- and
+   post-global phases let three groups wait in a ring, and the checker
+   finds the True Cycle. *)
+let route_1vc net b ~dest =
+  let a, h, g = check net in
+  let head = Buf.head_node b in
+  let gc = head / a and rc = head mod a in
+  let gd = dest / a and rd = dest mod a in
+  if gc = gd then chan net head ~port:((rd - rc - 1 + a) mod a) ~vc:0
+  else
+    let link = (gd - gc - 1 + g) mod g in
+    let owner = link / h in
+    if rc = owner then chan net head ~port:(a - 1 + (link mod h)) ~vc:0
+    else chan net head ~port:((owner - rc - 1 + a) mod a) ~vc:0
+
+let minimal_1vc =
+  Algo.make ~name:"dragonfly-minimal-1vc" ~wait:Algo.Specific_wait
+    ~route:route_1vc ()

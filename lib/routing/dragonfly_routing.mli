@@ -1,0 +1,20 @@
+(** Minimal routing on {!Dfr_topology.Topology.dragonfly} palmtree
+    networks.
+
+    Routes are minimal l-g-l paths: at most one local hop to the router
+    owning the global link, the global hop, at most one local hop in the
+    destination group.  {!minimal} escalates post-global local hops to a
+    second virtual channel, which makes the buffer order
+
+    [vc0-local < global < vc1-local < delivery]
+
+    strictly decreasing along every route — a Theorem 1 certificate.
+    {!minimal_1vc} is the same relation on a single virtual channel and
+    deadlocks (local channels close a cycle through three groups); it
+    exists as a negative control for the checker. *)
+
+val minimal : Algo.t
+(** Requires a wormhole network on a dragonfly topology with >= 2 vcs. *)
+
+val minimal_1vc : Algo.t
+(** Same relation, vc0 only; NOT deadlock-free. *)

@@ -1,0 +1,25 @@
+open Dfr_topology
+open Dfr_network
+
+(* Full-mesh direct routing (HOTI'25 setting): every pair of nodes shares
+   a dedicated channel, so the route is the single direct hop and the BWG
+   is trivially acyclic — each channel waits only on the destination's
+   delivery buffer.  One virtual channel suffices. *)
+
+let check net =
+  (match Net.switching net with
+  | Net.Wormhole -> ()
+  | _ -> invalid_arg "Fullmesh_routing: wormhole network required");
+  match Topology.fullmesh_params (Net.topology_exn net) with
+  | Some n -> n
+  | None -> invalid_arg "Fullmesh_routing: fullmesh topology required"
+
+let route net b ~dest =
+  let _ = check net in
+  let head = Buf.head_node b in
+  (* port p of node u reaches the p-th other node in ascending order *)
+  let port = if dest < head then dest else dest - 1 in
+  [ Buf.id (Net.channel net ~src:head ~dim:port ~dir:Topology.Plus ~vc:0) ]
+
+let direct =
+  Algo.make ~name:"fullmesh-direct" ~wait:Algo.Specific_wait ~route ()

@@ -1,0 +1,6 @@
+(** Direct (single-hop) routing on {!Dfr_topology.Topology.fullmesh}
+    networks: the channel to the destination, then delivery.  Deadlock-free
+    with one virtual channel — the checker's Theorem 1 certificate is a
+    two-layer order (channels below deliveries). *)
+
+val direct : Algo.t

@@ -1,0 +1,91 @@
+open Dfr_topology
+open Dfr_network
+
+(* Up*/down* routing on k-ary n-trees with two virtual channels.
+
+   Hosts are nodes [0, k^n); switch (l, w) — level l in [0, n), root level
+   0, index w in [0, k^(n-1)) — is node k^n + l*k^(n-1) + w.  Switch (l, w)
+   and (l+1, w') are linked iff their indices agree on every digit except
+   digit l (so each switch has k children, ports 0..k-1, and k parents,
+   ports k..2k-1).
+
+   For host-to-host traffic the classic up*/down* relation suffices:
+   ascend until the current index agrees with the destination on every
+   digit >= the current level, then descend choosing destination digits.
+   But the checker seeds EVERY (buffer, destination) pair, and a pair of
+   switches disagreeing on a digit above both their levels is not
+   up*/down*-reachable — from switch (l, w), climbing only re-chooses
+   digits < l.  Those sources first descend to a leaf (which can reach
+   anything by climbing back up), so the full relation is two-phase:
+
+     phase A (vc0): descend toward a leaf, until the destination becomes
+       up*/down*-reachable from the current switch;
+     phase B (vc1): ordinary up* then down* to the destination.
+
+   Phase membership is a function of the current node alone — once the
+   reachability predicate holds it keeps holding along the phase-B walk,
+   so packets cross vc0 -> vc1 exactly once.  vc0 edges strictly increase
+   the level (acyclic); vc1 edges follow up*/down* (acyclic by the usual
+   two-layer argument: up channels ordered root-ward, down channels
+   leaf-ward, and no down->up turn); the crossing is one-way, so the
+   whole BWG is acyclic. *)
+
+let check net =
+  (match Net.switching net with
+  | Net.Wormhole -> ()
+  | _ -> invalid_arg "Kntree_routing: wormhole network required");
+  if Net.vcs net < 2 then invalid_arg "Kntree_routing: 2 virtual channels required";
+  match Topology.kntree_params (Net.topology_exn net) with
+  | Some p -> p
+  | None -> invalid_arg "Kntree_routing: k-ary n-tree topology required"
+
+let chan net head ~port ~vc =
+  [ Buf.id (Net.channel net ~src:head ~dim:port ~dir:Topology.Plus ~vc) ]
+
+let route net b ~dest =
+  let k, n = check net in
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  let hosts = pow k n in
+  let per_level = hosts / k in
+  let head = Buf.head_node b in
+  if head < hosts then
+    (* hosts have the single up port to their leaf switch; any
+       destination is up*/down*-reachable from a leaf, so this is always
+       a phase-B move *)
+    chan net head ~port:0 ~vc:1
+  else begin
+    let s = head - hosts in
+    let l = s / per_level and w = s mod per_level in
+    (* destination as (level, low digits); hosts sit one level below the
+       leaves, encoded as level n with their top digit kept aside *)
+    let ld, dlow, host_digit =
+      if dest < hosts then (n, dest mod per_level, dest / per_level)
+      else
+        let sd = dest - hosts in
+        (sd / per_level, sd mod per_level, -1)
+    in
+    let digit x j = x / pow k j mod k in
+    (* up*/down*-reachable from (l, w): every digit >= max(l, ld) of the
+       current index already matches the destination's *)
+    let m = max l ld in
+    let phase_b = m >= n - 1 || w / pow k m = dlow / pow k m in
+    if not phase_b then
+      (* phase A: descend, pre-choosing the destination's digit *)
+      chan net head ~port:(digit dlow l) ~vc:0
+    else begin
+      let descend = l < ld && w mod pow k l = dlow mod pow k l in
+      if descend then
+        if l = n - 1 && ld = n then
+          (* leaf switch delivering downward to the host *)
+          chan net head ~port:host_digit ~vc:1
+        else chan net head ~port:(digit dlow l) ~vc:1
+      else
+        (* ascend: pick the parent carrying the destination's digit l-1;
+           l >= 1 here — at a root, every digit matches and l < ld, so
+           the descend branch was taken *)
+        chan net head ~port:(k + digit dlow (l - 1)) ~vc:1
+    end
+  end
+
+let updown =
+  Algo.make ~name:"kntree-updown" ~wait:Algo.Specific_wait ~route ()

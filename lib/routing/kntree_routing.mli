@@ -1,0 +1,13 @@
+(** Up*/down* routing on {!Dfr_topology.Topology.kary_ntree} fat trees
+    with two virtual channels.
+
+    Host-to-host traffic follows the classic up*-then-down* relation on
+    vc1.  Because the checker seeds every (buffer, destination) pair —
+    including switch destinations unreachable by pure up*/down* from some
+    switches — sources outside the destination's subtree cone first
+    descend toward a leaf on vc0, then run up*/down* on vc1.  vc0 edges
+    strictly increase the tree level, vc1 edges are up*/down*, and the
+    vc0 -> vc1 crossing is one-way, so the BWG is acyclic (Theorem 1). *)
+
+val updown : Algo.t
+(** Requires a wormhole network on a k-ary n-tree topology with >= 2 vcs. *)

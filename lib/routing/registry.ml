@@ -7,6 +7,9 @@ type family =
   | Torus_family of { vcs : int }
   | Mesh_saf_family of { classes : int }
   | Vct_family of { classes : int }
+  | Fullmesh_family
+  | Dragonfly_family
+  | Fattree_family
   | Custom_family
 
 type entry = {
@@ -64,6 +67,14 @@ let all =
       (Some true) "Gunther's hop-ordered store-and-forward buffer classes";
     entry "two-buffer-vct" (Vct_family { classes = 2 }) Mesh_saf.two_buffer
       (Some true) "Two-Buffer routing over virtual cut-through switching";
+    entry "fullmesh-direct" Fullmesh_family Fullmesh_routing.direct (Some true)
+      "single-hop routing on fully connected networks";
+    entry "dragonfly-minimal" Dragonfly_family Dragonfly_routing.minimal
+      (Some true) "minimal l-g-l dragonfly routing, post-global hops on vc1";
+    entry "dragonfly-minimal-1vc" Dragonfly_family Dragonfly_routing.minimal_1vc
+      (Some false) "minimal dragonfly routing on one vc (control; group cycles)";
+    entry "kntree-updown" Fattree_family Kntree_routing.updown (Some true)
+      "up*/down* fat-tree routing with a vc0 descent for off-cone sources";
     entry "duato-incoherent" Custom_family Incoherent_example.algo (Some false)
       "Duato's incoherent example (Figures 1-2)";
   ]
@@ -77,6 +88,9 @@ let default_topology e =
   | Mesh_family _ | Mesh_saf_family _ | Vct_family _ ->
     Some (Topology.mesh [| 4; 4 |])
   | Torus_family _ -> Some (Topology.torus [| 4; 4 |])
+  | Fullmesh_family -> Some (Topology.fullmesh 5)
+  | Dragonfly_family -> Some (Topology.dragonfly ~a:2 ~h:1 ())
+  | Fattree_family -> Some (Topology.kary_ntree ~k:2 ~n:2)
   | Custom_family -> None
 
 let network_for e topo =
@@ -87,5 +101,7 @@ let network_for e topo =
   | Torus_family { vcs }, Some t -> Net.wormhole t ~vcs
   | Mesh_saf_family { classes }, Some t -> Net.store_and_forward t ~classes
   | Vct_family { classes }, Some t -> Net.virtual_cut_through t ~classes
+  | Fullmesh_family, Some t -> Net.wormhole t ~vcs:1
+  | (Dragonfly_family | Fattree_family), Some t -> Net.wormhole t ~vcs:2
   | Custom_family, _ -> Incoherent_example.network ()
   | _, None -> invalid_arg "Registry.network_for: topology required"

@@ -11,6 +11,9 @@ type family =
   | Torus_family of { vcs : int }
   | Mesh_saf_family of { classes : int }
   | Vct_family of { classes : int }
+  | Fullmesh_family  (** wormhole, 1 VC, fully connected *)
+  | Dragonfly_family  (** wormhole, 2 VCs, palmtree dragonfly *)
+  | Fattree_family  (** wormhole, 2 VCs, k-ary n-tree *)
   | Custom_family  (** fixed network, topology argument ignored *)
 
 type entry = {

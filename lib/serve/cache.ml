@@ -1,35 +1,49 @@
 (* LRU map: hash table into an intrusive doubly-linked recency list,
    most recent at the front.  Everything is O(1); the node type is the
    classic option-linked record rather than a sentinel ring because the
-   empty case stays readable that way. *)
+   empty case stays readable that way.
+
+   Entries carry a byte weight (the size of the payload they pin, e.g. a
+   rendered report).  The capacity is still counted in entries, but a
+   per-entry byte cap keeps a single huge payload — a deadlock witness
+   over a 10^5-buffer instance renders to megabytes — from squatting in
+   the table until 255 further problems push it out. *)
 
 type 'a node = {
   key : string;
   value : 'a;
+  bytes : int;
   mutable prev : 'a node option; (* towards the front (more recent) *)
   mutable next : 'a node option; (* towards the back (less recent) *)
 }
 
 type 'a t = {
   cap : int;
+  max_entry_bytes : int; (* 0 = unlimited *)
   table : (string, 'a node) Hashtbl.t;
   mutable front : 'a node option;
   mutable back : 'a node option;
+  mutable total_bytes : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable oversize : int;
 }
 
-let create ~capacity =
+let create ?(max_entry_bytes = 0) ~capacity () =
   if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  if max_entry_bytes < 0 then invalid_arg "Cache.create: negative max_entry_bytes";
   {
     cap = capacity;
+    max_entry_bytes;
     table = Hashtbl.create (max 16 capacity);
     front = None;
     back = None;
+    total_bytes = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
+    oversize = 0;
   }
 
 let unlink t n =
@@ -56,30 +70,41 @@ let find t key =
 
 let mem t key = Hashtbl.mem t.table key
 
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.table n.key;
+  t.total_bytes <- t.total_bytes - n.bytes
+
 let evict_back t =
   match t.back with
   | None -> ()
   | Some n ->
-    unlink t n;
-    Hashtbl.remove t.table n.key;
+    drop t n;
     t.evictions <- t.evictions + 1
 
-let add t key value =
-  if t.cap > 0 then begin
-    (match Hashtbl.find_opt t.table key with
-    | Some old -> unlink t old; Hashtbl.remove t.table key
-    | None -> ());
-    if Hashtbl.length t.table >= t.cap then evict_back t;
-    let n = { key; value; prev = None; next = None } in
-    Hashtbl.replace t.table key n;
-    push_front t n
-  end
+let add ?(bytes = 0) t key value =
+  if t.cap > 0 then
+    if t.max_entry_bytes > 0 && bytes > t.max_entry_bytes then
+      t.oversize <- t.oversize + 1
+    else begin
+      (match Hashtbl.find_opt t.table key with
+      | Some old -> drop t old
+      | None -> ());
+      if Hashtbl.length t.table >= t.cap then evict_back t;
+      let n = { key; value; bytes; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      t.total_bytes <- t.total_bytes + bytes;
+      push_front t n
+    end
 
 let length t = Hashtbl.length t.table
 let capacity t = t.cap
+let max_entry_bytes t = t.max_entry_bytes
+let total_bytes t = t.total_bytes
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
+let oversize_rejects t = t.oversize
 
 let stats_json t =
   let module J = Dfr_util.Json in
@@ -88,9 +113,12 @@ let stats_json t =
     [
       ("capacity", J.Int t.cap);
       ("size", J.Int (Hashtbl.length t.table));
+      ("bytes", J.Int t.total_bytes);
+      ("max_entry_bytes", J.Int t.max_entry_bytes);
       ("hits", J.Int t.hits);
       ("misses", J.Int t.misses);
       ("evictions", J.Int t.evictions);
+      ("oversize_rejects", J.Int t.oversize);
       ( "hit_rate",
         if lookups = 0 then J.Null
         else J.Float (float_of_int t.hits /. float_of_int lookups) );

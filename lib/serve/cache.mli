@@ -1,5 +1,6 @@
 (** Content-addressed verdict cache: a fixed-capacity LRU map from spec
-    digest to cached payload, with hit/miss/eviction counters.
+    digest to cached payload, with hit/miss/eviction counters and a
+    per-entry byte cap.
 
     The cache is deliberately {e not} synchronized: in the serving design
     only the orchestrator thread (the one that parses requests and orders
@@ -10,10 +11,14 @@
 
 type 'a t
 
-val create : capacity:int -> 'a t
+val create : ?max_entry_bytes:int -> capacity:int -> unit -> 'a t
 (** [capacity] is the maximum number of entries; [0] disables storage
-    (every {!find} is a miss, {!add} is a no-op).  Raises
-    [Invalid_argument] when negative. *)
+    (every {!find} is a miss, {!add} is a no-op).  [max_entry_bytes]
+    (default [0] = unlimited) rejects entries whose declared byte weight
+    exceeds it — a multi-megabyte deadlock witness passes through
+    uncached instead of pinning its rendering until [capacity] further
+    entries evict it.  Raises [Invalid_argument] when either is
+    negative. *)
 
 val find : 'a t -> string -> 'a option
 (** Lookup; a hit refreshes the entry's recency and increments the hit
@@ -22,16 +27,30 @@ val find : 'a t -> string -> 'a option
 val mem : 'a t -> string -> bool
 (** Counter-neutral membership test (does not touch recency). *)
 
-val add : 'a t -> string -> 'a -> unit
+val add : ?bytes:int -> 'a t -> string -> 'a -> unit
 (** Insert (or refresh) a binding, evicting the least recently used entry
-    when the cache is full. *)
+    when the cache is full.  [bytes] (default 0) is the entry's weight:
+    entries above [max_entry_bytes] are dropped (counted by
+    {!oversize_rejects}), and stored weights aggregate into
+    {!total_bytes}. *)
 
 val length : 'a t -> int
 val capacity : 'a t -> int
+
+val max_entry_bytes : 'a t -> int
+(** The per-entry cap; [0] when unlimited. *)
+
+val total_bytes : 'a t -> int
+(** Sum of the weights of the currently stored entries. *)
+
 val hits : 'a t -> int
 val misses : 'a t -> int
 val evictions : 'a t -> int
 
+val oversize_rejects : 'a t -> int
+(** How many {!add}s were refused for exceeding [max_entry_bytes]. *)
+
 val stats_json : 'a t -> Dfr_util.Json.t
-(** [{"capacity", "size", "hits", "misses", "evictions", "hit_rate"}];
-    [hit_rate] is [null] before the first lookup. *)
+(** [{"capacity", "size", "bytes", "max_entry_bytes", "hits", "misses",
+    "evictions", "oversize_rejects", "hit_rate"}]; [hit_rate] is [null]
+    before the first lookup. *)

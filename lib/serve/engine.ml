@@ -7,12 +7,20 @@ type config = {
   workers : int;
   capacity : int;
   cache_capacity : int;
+  cache_entry_bytes : int;
   timeout_ms : int;
   domains : int;
 }
 
 let default_config =
-  { workers = 1; capacity = 64; cache_capacity = 256; timeout_ms = 0; domains = 1 }
+  {
+    workers = 1;
+    capacity = 64;
+    cache_capacity = 256;
+    cache_entry_bytes = 1 lsl 20;
+    timeout_ms = 0;
+    domains = 1;
+  }
 
 (* What the cache stores per digest: the report object exactly as first
    rendered, plus its exit code.  A hit replays these bytes; only the
@@ -50,7 +58,9 @@ let create config =
   {
     config;
     pool = Pool.create ~workers:config.workers ~capacity:config.capacity;
-    cache = Cache.create ~capacity:config.cache_capacity;
+    cache =
+      Cache.create ~max_entry_bytes:config.cache_entry_bytes
+        ~capacity:config.cache_capacity ();
     inflight = Hashtbl.create 64;
     named_digests = Hashtbl.create 64;
     requests = 0;
@@ -242,7 +252,11 @@ let settle t ~id (p : pending) result =
   match result with
   | Ok (Ok (Checked entry)) ->
     let digest = Option.get p.digest in
-    if not (Cache.mem t.cache digest) then Cache.add t.cache digest entry;
+    if not (Cache.mem t.cache digest) then begin
+      (* the entry's weight is what a hit replays: the rendered report *)
+      let bytes = String.length (Json.to_string entry.report) in
+      Cache.add ~bytes t.cache digest entry
+    end;
     Protocol.check_response ~id ~cached:p.cached ~digest ~exit_code:entry.exit_code
       ~report:entry.report
   | Ok (Ok (Slept ms)) ->

@@ -19,13 +19,17 @@ type config = {
   workers : int;  (** domain workers checking in parallel *)
   capacity : int;  (** max outstanding checks (queued or running) *)
   cache_capacity : int;  (** verdict-cache entries; 0 disables caching *)
+  cache_entry_bytes : int;
+      (** per-entry cap on the rendered report a cache entry may pin;
+          0 = unlimited.  Oversized reports (giant deadlock witnesses)
+          are served but not cached. *)
   timeout_ms : int;  (** per-request deadline; 0 disables *)
   domains : int;  (** per-check BWG/classification parallelism *)
 }
 
 val default_config : config
-(** 1 worker, capacity 64, 256 cache entries, no timeout, 1 domain per
-    check. *)
+(** 1 worker, capacity 64, 256 cache entries of at most 1 MiB each, no
+    timeout, 1 domain per check. *)
 
 type t
 

@@ -237,7 +237,12 @@ let run (decls : Ast.t) =
             | None ->
               error r.Ast.outs.Ast.pos
                 "'minimal' requires a topology clause (explicit-channel specs must list outputs)"
-            | Some _ ->
+            | Some t ->
+              if not (Topology.is_grid t) then
+                error r.Ast.outs.Ast.pos
+                  "'minimal' requires a grid topology (mesh/torus/hypercube); \
+                   %s needs explicit output channels"
+                  (Topology.name t);
               (match vcf with
               | Some k when k < 0 || k >= vcs ->
                 error r.Ast.outs.Ast.pos "minimal vc %d out of range 0..%d" k (vcs - 1)

@@ -28,7 +28,45 @@ val torus : int array -> t
 val ring : int -> t
 (** [ring k] is [torus [| k |]]. *)
 
+val fullmesh : int -> t
+(** [fullmesh n] connects every ordered pair of the [n] nodes directly
+    (port [p] of node [u] reaches the [p]-th other node in ascending
+    order).  The HOTI'25 full-mesh setting: one hop suffices, so minimal
+    routing is trivially deadlock-free even with one virtual channel. *)
+
+val dragonfly : a:int -> h:int -> ?g:int -> unit -> t
+(** Fully subscribed palmtree dragonfly: [a] routers per group, [h] global
+    links per router, [a*h + 1] groups with exactly one global link
+    between every pair.  [g], when given, must equal [a*h + 1] (it exists
+    so shorthand instances can state their size explicitly).  Router
+    [(grp, r)] is node [grp*a + r]; local ports come first, then global
+    ports.  Raises [Invalid_argument] on out-of-range parameters. *)
+
+val kary_ntree : k:int -> n:int -> t
+(** The k-ary n-tree fat tree: [k^n] hosts (nodes [0..k^n-1]) under [n]
+    levels of [k^(n-1)] switches each, roots at level 0.  Every node —
+    hosts and switches — injects and delivers, matching the checker's
+    all-pairs state seeding. *)
+
 val name : t -> string
+
+val is_grid : t -> bool
+(** Whether the topology is an orthogonal grid (mesh/torus/hypercube
+    family).  Coordinate accessors ({!coordinate}, {!dimensions},
+    {!radix}, {!minimal_moves}, {!neighbor}, ...) raise
+    [Invalid_argument] on irregular (fullmesh/dragonfly/fat-tree)
+    topologies; {!neighbors}, {!distance}, {!channels} and
+    {!to_digraph} work on every topology. *)
+
+val fullmesh_params : t -> int option
+(** Node count when the topology is a full mesh. *)
+
+val dragonfly_params : t -> (int * int * int) option
+(** [(a, h, g)] when the topology is a dragonfly. *)
+
+val kntree_params : t -> (int * int) option
+(** [(k, n)] when the topology is a k-ary n-tree. *)
+
 val is_torus : t -> bool
 val num_nodes : t -> int
 val dimensions : t -> int
@@ -65,8 +103,10 @@ val to_digraph : t -> Dfr_graph.Digraph.t
 val of_string : string -> (t, string) result
 (** Parse the textual shorthand shared by the [dfcheck] CLI and the spec
     language's [topology] clause: [hypercube:N] (N in 1..10), [mesh:AxBx...]
-    (radices >= 1), [torus:AxBx...] (radices >= 3) and [ring:N] (N >= 3).
-    Errors name the offending token and the valid range. *)
+    (radices >= 1), [torus:AxBx...] (radices >= 3), [ring:N] (N >= 3),
+    [fullmesh:N] (N >= 2), [dragonfly:AxH] or [dragonfly:AxHxG] (G = A*H+1)
+    and [kntree:KxN] / [fattree:KxN] (K >= 2, N in 1..6).  Errors name the
+    offending token and the valid range. *)
 
 val grammar_summary : string
 (** One-line reminder of the accepted forms, for error messages. *)

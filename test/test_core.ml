@@ -626,6 +626,56 @@ let test_closure_matches_for_saf () =
   check Alcotest.bool "same graph" true
     (Dfr_graph.Digraph.equal (Bwg.graph a) (Bwg.graph b))
 
+let test_sparse_state_table_matches_dense () =
+  (* the sparse per-destination state table only kicks in automatically
+     above ~4M (buffer, dest) pairs, so force it on small networks and
+     demand the identical BWG and acyclicity as the dense layout *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let net = Registry.network_for e None in
+      let dense = State_space.build ~storage:`Dense net e.Registry.algo in
+      let sparse = State_space.build ~storage:`Sparse net e.Registry.algo in
+      let bd = Bwg.build dense and bs = Bwg.build sparse in
+      check Alcotest.bool
+        (e.Registry.name ^ " sparse = dense BWG")
+        true
+        (Dfr_graph.Digraph.equal (Bwg.graph bd) (Bwg.graph bs));
+      check Alcotest.bool
+        (e.Registry.name ^ " sparse = dense acyclicity")
+        (Bwg.is_acyclic bd) (Bwg.is_acyclic bs);
+      (* reachability agrees state by state *)
+      let buffers = Net.num_buffers net and nodes = Net.num_nodes net in
+      for buf = 0 to buffers - 1 do
+        for dest = 0 to nodes - 1 do
+          if
+            State_space.is_reachable dense ~buf ~dest
+            <> State_space.is_reachable sparse ~buf ~dest
+          then
+            Alcotest.failf "%s: reachability differs at buf %d dest %d"
+              e.Registry.name buf dest
+        done
+      done)
+    Registry.all
+
+let test_hybrid_closures_match_dense () =
+  (* the hybrid sparse/dense closure rows are an allocation strategy, not a
+     semantics change: forcing every row dense must yield the identical
+     graph (and hence identical verdict material) on every catalogue entry *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let net = Registry.network_for e None in
+      let space = State_space.build net e.Registry.algo in
+      let hybrid = Bwg.build space in
+      let dense = Bwg.build ~dense_closures:true space in
+      check Alcotest.bool
+        (e.Registry.name ^ " hybrid = dense graph")
+        true
+        (Dfr_graph.Digraph.equal (Bwg.graph hybrid) (Bwg.graph dense));
+      check Alcotest.bool
+        (e.Registry.name ^ " hybrid = dense acyclicity")
+        (Bwg.is_acyclic dense) (Bwg.is_acyclic hybrid))
+    Registry.all
+
 let test_witness_cap_respected () =
   let space = State_space.build cube3 Hypercube_wormhole.efa in
   let bwg = Bwg.build ~witness_cap:2 space in
@@ -647,6 +697,10 @@ let suite =
       Alcotest.test_case "VCT matches SAF" `Quick test_vct_matches_saf_verdicts;
       Alcotest.test_case "closure ablation is unsound" `Quick test_closure_ablation_unsound;
       Alcotest.test_case "closure no-op for SAF" `Quick test_closure_matches_for_saf;
+      Alcotest.test_case "sparse state table = dense" `Quick
+        test_sparse_state_table_matches_dense;
+      Alcotest.test_case "hybrid closures = dense closures" `Quick
+        test_hybrid_closures_match_dense;
       Alcotest.test_case "witness cap respected" `Quick test_witness_cap_respected;
     ]
 
@@ -1127,6 +1181,9 @@ let test_scaled_audit () =
     | Registry.Mesh_family _ | Registry.Mesh_saf_family _ | Registry.Vct_family _
       -> Some (Topology.mesh [| 5; 5 |])
     | Registry.Torus_family _ -> Some (Topology.torus [| 5; 5 |])
+    | Registry.Fullmesh_family -> Some (Topology.fullmesh 7)
+    | Registry.Dragonfly_family -> Some (Topology.dragonfly ~a:2 ~h:2 ())
+    | Registry.Fattree_family -> Some (Topology.kary_ntree ~k:2 ~n:3)
     | Registry.Custom_family -> None
   in
   List.iter

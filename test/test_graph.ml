@@ -272,6 +272,30 @@ let prop_cycles_iff_cyclic =
       let g = Digraph.of_edges n es in
       Cycles.enumerate g <> [] = not (Traversal.is_acyclic g))
 
+(* the implicit-rows engine (rows generated per vertex on demand) must be
+   bit-for-bit the whole-graph enumeration: same cycles, same order, same
+   exhaustiveness flag — also under truncation, where the shared prefix
+   is what the checker's verdicts depend on *)
+let prop_rows_engine_matches_graph =
+  QCheck.Test.make ~name:"implicit-rows enumeration = frozen enumeration"
+    ~count:200 arbitrary_digraph (fun (n, es) ->
+      let g = Digraph.of_edges n es in
+      let c = Digraph.freeze g in
+      let row v = Array.of_list (Csr.succ c v) in
+      let reference = Cycles.enumerate_checked g in
+      let via_rows = Cycles.enumerate_checked_rows ~n ~row () in
+      reference = via_rows)
+
+let prop_rows_engine_matches_graph_truncated =
+  QCheck.Test.make ~name:"implicit-rows truncation = frozen truncation"
+    ~count:200 arbitrary_digraph (fun (n, es) ->
+      let limits = { Cycles.max_cycles = 3; max_length = 4 } in
+      let g = Digraph.of_edges n es in
+      let c = Digraph.freeze g in
+      let row v = Array.of_list (Csr.succ c v) in
+      Cycles.enumerate_checked ~limits g
+      = Cycles.enumerate_checked_rows ~limits ~n ~row ())
+
 (* ---------------- csr ---------------- *)
 
 let test_csr_freeze_roundtrip () =
@@ -392,6 +416,8 @@ let suite =
     qtest prop_scc_members_partition;
     qtest prop_cycles_valid_distinct;
     qtest prop_cycles_iff_cyclic;
+    qtest prop_rows_engine_matches_graph;
+    qtest prop_rows_engine_matches_graph_truncated;
   ]
 
 let test_dot_to_file () =

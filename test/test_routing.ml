@@ -294,7 +294,7 @@ let test_wait_everywhere () =
 let test_registry_lookup () =
   check Alcotest.bool "finds efa" true (Registry.find "efa" <> None);
   check Alcotest.bool "unknown" true (Registry.find "bogus" = None);
-  check Alcotest.int "catalogue size" 22 (List.length Registry.all);
+  check Alcotest.int "catalogue size" 26 (List.length Registry.all);
   check Alcotest.bool "names match" true
     (List.for_all
        (fun (e : Registry.entry) ->

@@ -12,7 +12,7 @@ let check = Alcotest.check
 (* ---------------- cache ---------------- *)
 
 let test_cache_lru () =
-  let c = Cache.create ~capacity:2 in
+  let c = Cache.create ~capacity:2 () in
   Cache.add c "a" 1;
   Cache.add c "b" 2;
   check Alcotest.(option int) "a present" (Some 1) (Cache.find c "a");
@@ -28,7 +28,7 @@ let test_cache_lru () =
   check Alcotest.int "length" 2 (Cache.length c)
 
 let test_cache_refresh_existing () =
-  let c = Cache.create ~capacity:2 in
+  let c = Cache.create ~capacity:2 () in
   Cache.add c "a" 1;
   Cache.add c "b" 2;
   (* re-adding an existing key refreshes, never evicts *)
@@ -39,13 +39,36 @@ let test_cache_refresh_existing () =
   check Alcotest.(option int) "a rebound" (Some 10) (Cache.find c "a")
 
 let test_cache_disabled () =
-  let c = Cache.create ~capacity:0 in
+  let c = Cache.create ~capacity:0 () in
   Cache.add c "a" 1;
   check Alcotest.(option int) "never stores" None (Cache.find c "a");
   check Alcotest.int "empty" 0 (Cache.length c);
   Alcotest.check_raises "negative capacity"
     (Invalid_argument "Cache.create: negative capacity") (fun () ->
-      ignore (Cache.create ~capacity:(-1)))
+      ignore (Cache.create ~capacity:(-1) ()))
+
+let test_cache_entry_byte_cap () =
+  let c = Cache.create ~max_entry_bytes:100 ~capacity:2 () in
+  Cache.add ~bytes:60 c "small" 1;
+  Cache.add ~bytes:101 c "huge" 2;
+  check Alcotest.bool "over the cap never stored" false (Cache.mem c "huge");
+  check Alcotest.int "reject counted" 1 (Cache.oversize_rejects c);
+  check Alcotest.int "reject leaves weights alone" 60 (Cache.total_bytes c);
+  Cache.add ~bytes:100 c "edge" 3;
+  check Alcotest.bool "exactly at the cap stored" true (Cache.mem c "edge");
+  check Alcotest.int "weights aggregate" 160 (Cache.total_bytes c);
+  (* entry-count eviction releases the evictee's weight *)
+  Cache.add ~bytes:40 c "third" 4;
+  check Alcotest.bool "LRU evicted" false (Cache.mem c "small");
+  check Alcotest.int "evictee's bytes released" 140 (Cache.total_bytes c);
+  (* re-adding replaces the old weight, not accumulates it *)
+  Cache.add ~bytes:10 c "edge" 5;
+  check Alcotest.int "rebind swaps the weight" 50 (Cache.total_bytes c);
+  check Alcotest.int "rebind is not an eviction" 1 (Cache.evictions c);
+  (* unlimited by default: huge weights pass *)
+  let u = Cache.create ~capacity:1 () in
+  Cache.add ~bytes:max_int u "big" 1;
+  check Alcotest.bool "no cap by default" true (Cache.mem u "big")
 
 (* ---------------- pool ---------------- *)
 
@@ -241,6 +264,23 @@ let test_engine_lru_and_counters () =
         check Alcotest.string "size" "1" (J.to_string (member "size" cache))
       | _ -> Alcotest.fail "four responses expected")
 
+let test_engine_entry_byte_cap () =
+  (* a report bigger than the per-entry cap is served but never cached,
+     so an identical re-request recomputes instead of hitting *)
+  let config = { Engine.default_config with Engine.cache_entry_bytes = 64 } in
+  with_engine ~config (fun e ->
+      match run_seq e [ named "efa" "hypercube:2"; named "efa" "hypercube:2" ] with
+      | [ r1; r2 ] ->
+        check Alcotest.bool "first ok" true (is_ok r1);
+        check Alcotest.bool "second ok" true (is_ok r2);
+        check Alcotest.bool "re-request recomputes" false (is_cached r2);
+        let cache = stats_cache e in
+        check Alcotest.string "rejects counted" "2"
+          (J.to_string (member "oversize_rejects" cache));
+        check Alcotest.string "nothing stored" "0"
+          (J.to_string (member "size" cache))
+      | _ -> Alcotest.fail "two responses expected")
+
 let test_engine_coalescing () =
   (* identical checks submitted before the first settles share one
      computation; the follower is marked cached *)
@@ -346,6 +386,8 @@ let suite =
     Alcotest.test_case "cache: LRU eviction and counters" `Quick test_cache_lru;
     Alcotest.test_case "cache: re-add refreshes without evicting" `Quick
       test_cache_refresh_existing;
+    Alcotest.test_case "cache: per-entry byte cap and weights" `Quick
+      test_cache_entry_byte_cap;
     Alcotest.test_case "cache: capacity 0 disables storage" `Quick
       test_cache_disabled;
     Alcotest.test_case "pool: deterministic bounded admission" `Quick
@@ -360,6 +402,8 @@ let suite =
       test_engine_cross_surface_digest;
     Alcotest.test_case "engine: LRU eviction and hit/miss counters" `Quick
       test_engine_lru_and_counters;
+    Alcotest.test_case "engine: oversized reports are served uncached" `Quick
+      test_engine_entry_byte_cap;
     Alcotest.test_case "engine: identical in-flight checks coalesce" `Quick
       test_engine_coalescing;
     Alcotest.test_case "engine: malformed requests never kill the server"

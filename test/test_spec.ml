@@ -112,6 +112,39 @@ let test_mesh_minimal_deadlocks () =
   check Alcotest.bool "compiled deadlocks" true (deadlocks net entry.Registry.algo);
   check Alcotest.bool "spec deadlocks" true (deadlocks s.Spec.net s.Spec.algo)
 
+(* the irregular-topology goldens: the explicit-rule specs must agree
+   with their compiled-in catalogue counterparts *)
+
+let test_fullmesh_matches_compiled () =
+  let s = load "fullmesh.dfr" in
+  let net = Net.wormhole (Dfr_topology.Topology.fullmesh 4) ~vcs:1 in
+  check Alcotest.int "num buffers" (Net.num_buffers net)
+    (Net.num_buffers s.Spec.net);
+  let free n a =
+    match (Checker.check n a).Checker.verdict with
+    | Checker.Deadlock_free _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "compiled deadlock-free" true
+    (free net Fullmesh_routing.direct);
+  check Alcotest.bool "spec deadlock-free" true (free s.Spec.net s.Spec.algo)
+
+let test_dragonfly_matches_compiled () =
+  let s = load "dragonfly-small.dfr" in
+  let net =
+    Net.wormhole (Dfr_topology.Topology.dragonfly ~a:2 ~h:1 ()) ~vcs:2
+  in
+  check Alcotest.int "num buffers" (Net.num_buffers net)
+    (Net.num_buffers s.Spec.net);
+  let free n a =
+    match (Checker.check n a).Checker.verdict with
+    | Checker.Deadlock_free _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "compiled deadlock-free" true
+    (free net Dragonfly_routing.minimal);
+  check Alcotest.bool "spec deadlock-free" true (free s.Spec.net s.Spec.algo)
+
 (* the topology clause shares Topology.of_string's grammar *)
 let test_topology_clause_forms () =
   let compile src =
@@ -192,6 +225,9 @@ let suite =
     Alcotest.test_case "incoherent verdict" `Quick test_incoherent_verdict;
     Alcotest.test_case "updown matches compiled" `Quick test_updown_matches_compiled;
     Alcotest.test_case "mesh-minimal deadlocks" `Quick test_mesh_minimal_deadlocks;
+    Alcotest.test_case "fullmesh matches compiled" `Quick test_fullmesh_matches_compiled;
+    Alcotest.test_case "dragonfly matches compiled" `Quick
+      test_dragonfly_matches_compiled;
     Alcotest.test_case "topology clause forms" `Quick test_topology_clause_forms;
     Alcotest.test_case "spec dot output" `Quick test_spec_dot_escapes;
     Alcotest.test_case "error: unknown channel" `Quick test_error_unknown_channel;

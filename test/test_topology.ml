@@ -215,7 +215,14 @@ let test_of_string_ok () =
   check Alcotest.int "mesh:3x4" 12 (Topology.num_nodes (ok "mesh:3x4"));
   check Alcotest.int "torus:3x3" 9 (Topology.num_nodes (ok "torus:3x3"));
   check Alcotest.int "hypercube:3" 8 (Topology.num_nodes (ok "hypercube:3"));
-  check Alcotest.int "ring:5" 5 (Topology.num_nodes (ok "ring:5"))
+  check Alcotest.int "ring:5" 5 (Topology.num_nodes (ok "ring:5"));
+  check Alcotest.int "fullmesh:6" 6 (Topology.num_nodes (ok "fullmesh:6"));
+  (* a*h+1 = 3 groups of 2 routers *)
+  check Alcotest.int "dragonfly:2x1" 6 (Topology.num_nodes (ok "dragonfly:2x1"));
+  check Alcotest.int "dragonfly:2x1x3" 6 (Topology.num_nodes (ok "dragonfly:2x1x3"));
+  (* k^n hosts + n levels of k^(n-1) switches *)
+  check Alcotest.int "kntree:2x2" 8 (Topology.num_nodes (ok "kntree:2x2"));
+  check Alcotest.int "fattree:2x3" 20 (Topology.num_nodes (ok "fattree:2x3"))
 
 let test_of_string_errors () =
   let err s = match Topology.of_string s with
@@ -241,11 +248,82 @@ let test_of_string_errors () =
   expect "torus:2x2" ">= 3";
   expect "mesh:3xbanana" "banana";
   expect "blorp:3" "blorp";
-  expect "mesh:" "mesh"
+  expect "mesh:" "mesh";
+  expect "fullmesh:1" ">= 2";
+  (* the fully-subscribed constraint names the one valid group count *)
+  expect "dragonfly:2x1x4" "a*h + 1";
+  expect "dragonfly:2" "2 or 3";
+  expect "kntree:2x7" "1..6";
+  (match Topology.of_string "kntree:1x2" with
+  | Ok _ -> Alcotest.fail "kntree:1x2: expected an error"
+  | Error _ -> ())
+
+(* ---------------- irregular topologies ---------------- *)
+
+let test_fullmesh_structure () =
+  let t = Topology.fullmesh 5 in
+  check Alcotest.int "nodes" 5 (Topology.num_nodes t);
+  check (Alcotest.option Alcotest.int) "params" (Some 5) (Topology.fullmesh_params t);
+  check Alcotest.bool "not a grid" false (Topology.is_grid t);
+  check Alcotest.int "channels" (5 * 4) (List.length (Topology.channels t));
+  for u = 0 to 4 do
+    for v = 0 to 4 do
+      if u <> v then check Alcotest.int "one hop" 1 (Topology.distance t u v)
+    done
+  done
+
+let test_dragonfly_structure () =
+  let t = Topology.dragonfly ~a:2 ~h:1 () in
+  check Alcotest.int "nodes" 6 (Topology.num_nodes t);
+  check
+    (Alcotest.option (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int))
+    "params" (Some (2, 1, 3))
+    (Topology.dragonfly_params t);
+  check (Alcotest.option Alcotest.int) "not a fullmesh" None
+    (Topology.fullmesh_params t);
+  (* every router: a-1 local + h global ports *)
+  let chans = Topology.channels t in
+  check Alcotest.int "channels" (6 * 2) (List.length chans);
+  List.iter
+    (fun (u, v) -> check Alcotest.bool "bidirectional" true (List.mem (v, u) chans))
+    chans;
+  (* palmtree wiring reaches everywhere within local-global-local *)
+  for u = 0 to 5 do
+    for v = 0 to 5 do
+      if u <> v then
+        check Alcotest.bool "diameter <= 3" true (Topology.distance t u v <= 3)
+    done
+  done
+
+let test_kntree_structure () =
+  let t = Topology.kary_ntree ~k:2 ~n:2 in
+  (* 4 hosts + 2 levels of 2 switches *)
+  check Alcotest.int "nodes" 8 (Topology.num_nodes t);
+  check
+    (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "params" (Some (2, 2)) (Topology.kntree_params t);
+  (* hosts hang off exactly one leaf switch *)
+  for host = 0 to 3 do
+    check Alcotest.int "host degree" 1 (List.length (Topology.neighbors t host))
+  done;
+  let chans = Topology.channels t in
+  List.iter
+    (fun (u, v) -> check Alcotest.bool "bidirectional" true (List.mem (v, u) chans))
+    chans;
+  (* worst case host-to-host: up n levels to a root, down n levels *)
+  for u = 0 to 3 do
+    for v = 0 to 3 do
+      if u <> v then
+        check Alcotest.bool "host distance <= 2n" true (Topology.distance t u v <= 4)
+    done
+  done
 
 let suite =
   suite
   @ [
       Alcotest.test_case "topology of_string" `Quick test_of_string_ok;
       Alcotest.test_case "topology of_string errors" `Quick test_of_string_errors;
+      Alcotest.test_case "fullmesh structure" `Quick test_fullmesh_structure;
+      Alcotest.test_case "dragonfly structure" `Quick test_dragonfly_structure;
+      Alcotest.test_case "k-ary n-tree structure" `Quick test_kntree_structure;
     ]

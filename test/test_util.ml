@@ -197,6 +197,78 @@ let prop_matrix_matches_dense =
         (fun r -> row r = Bitset.Dense.elements refs.(r))
         [ 0; 1; 2; 3 ])
 
+(* ---------------- hybrid sparse/dense rows ---------------- *)
+
+let hybrid_row t r =
+  List.rev (Bitset.Hybrid.Rows.fold_row (fun i acc -> i :: acc) t r [])
+
+let test_hybrid_promotion () =
+  let len = 620 (* 10 words *) in
+  let s = Bitset.Hybrid.create len in
+  (* stays sparse while card + 1 <= word count *)
+  List.iter (Bitset.Hybrid.add s) [ 0; 62; 124; 186; 248; 310; 372; 434; 496 ];
+  check Alcotest.bool "9 of 620 still sparse" false (Bitset.Hybrid.is_dense s);
+  List.iter (Bitset.Hybrid.add s) [ 558; 610; 611 ];
+  check Alcotest.bool "12 of 620 promoted" true (Bitset.Hybrid.is_dense s);
+  check Alcotest.int "cardinal across promotion" 12 (Bitset.Hybrid.cardinal s);
+  check (Alcotest.list Alcotest.int) "elements ascending"
+    [ 0; 62; 124; 186; 248; 310; 372; 434; 496; 558; 610; 611 ]
+    (Bitset.Hybrid.elements s);
+  (* a forced-dense container starts dense and reports more storage for
+     sparse content *)
+  let h = Bitset.Hybrid.Rows.create ~rows:4 ~len () in
+  let d = Bitset.Hybrid.Rows.create ~force_dense:true ~rows:4 ~len () in
+  check Alcotest.bool "forced flag" true (Bitset.Hybrid.Rows.is_forced_dense d);
+  Bitset.Hybrid.Rows.add h 1 3;
+  Bitset.Hybrid.Rows.add d 1 3;
+  check Alcotest.int "no sparse row promoted" 0 (Bitset.Hybrid.Rows.dense_rows h);
+  check Alcotest.int "all forced rows dense" 4 (Bitset.Hybrid.Rows.dense_rows d);
+  check Alcotest.bool "sparse stores fewer words" true
+    (Bitset.Hybrid.Rows.storage_words h < Bitset.Hybrid.Rows.storage_words d)
+
+(* The differential pin for the closure container: an arbitrary add/union
+   program gives identical sets under the hybrid representation, the
+   forced-dense escape hatch and a sorted-list reference model — element
+   order, cardinals and membership all agree, across promotions. *)
+let prop_hybrid_rows_differential =
+  let rows = 6 and len = 300 in
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun r i -> `Add (r, i)) (int_range 0 (rows - 1)) (int_range 0 (len - 1));
+          map2 (fun a b -> `Union (a, b)) (int_range 0 (rows - 1)) (int_range 0 (rows - 1));
+        ])
+  in
+  QCheck.Test.make ~name:"hybrid rows = forced-dense = reference" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 150) op_gen))
+    (fun ops ->
+      let h = Bitset.Hybrid.Rows.create ~rows ~len () in
+      let d = Bitset.Hybrid.Rows.create ~force_dense:true ~rows ~len () in
+      let reference = Array.make rows [] in
+      List.iter
+        (function
+          | `Add (r, i) ->
+            Bitset.Hybrid.Rows.add h r i;
+            Bitset.Hybrid.Rows.add d r i;
+            reference.(r) <- List.sort_uniq compare (i :: reference.(r))
+          | `Union (a, b) ->
+            Bitset.Hybrid.Rows.union_rows h ~into:a ~src:b;
+            Bitset.Hybrid.Rows.union_rows d ~into:a ~src:b;
+            if a <> b then
+              reference.(a) <- List.sort_uniq compare (reference.(b) @ reference.(a)))
+        ops;
+      List.for_all
+        (fun r ->
+          hybrid_row h r = reference.(r)
+          && hybrid_row d r = reference.(r)
+          && Bitset.Hybrid.Rows.cardinal_row h r = List.length reference.(r)
+          && List.for_all
+               (fun i ->
+                 Bitset.Hybrid.Rows.mem h r i = List.mem i reference.(r))
+               [ 0; 1; len / 2; len - 1 ])
+        (List.init rows Fun.id))
+
 (* ---------------- prng ---------------- *)
 
 let test_prng_deterministic () =
@@ -269,6 +341,7 @@ let suite =
     Alcotest.test_case "dense union" `Quick test_dense_union;
     Alcotest.test_case "matrix rows independent" `Quick test_matrix_rows_independent;
     Alcotest.test_case "matrix union/iter" `Quick test_matrix_union_iter;
+    Alcotest.test_case "hybrid promotion and storage" `Quick test_hybrid_promotion;
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
     Alcotest.test_case "prng split independence" `Quick test_prng_split_independent;
     Alcotest.test_case "prng shuffle permutes" `Quick test_prng_shuffle_permutes;
@@ -281,6 +354,7 @@ let suite =
     qtest prop_bitset_fold_ascending;
     qtest prop_dense_matches_list_set;
     qtest prop_matrix_matches_dense;
+    qtest prop_hybrid_rows_differential;
     qtest prop_prng_int_bounds;
     qtest prop_prng_float_bounds;
   ]
