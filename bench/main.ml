@@ -477,6 +477,165 @@ let run_scale () =
   close_out oc;
   Printf.printf "wrote %s\n%!" bench6_json
 
+(* ------------------- E17: synthesis and repair costs ------------------ *)
+
+let bench7_json = "BENCH_7.json"
+
+(* Time-to-first-BWG', clause-learning counters, and repair minimality.
+   Everything here is deterministic (no randomized search), so a single
+   timed run per row suffices; the interesting numbers are the search
+   statistics, not nanosecond jitter. *)
+let run_synth () =
+  Printf.printf "\n=== E17: synthesis — time to BWG', learning, repair ===\n%!";
+  let module J = Dfr_util.Json in
+  let module Synth = Dfr_synth.Synth in
+  let entry name =
+    match Registry.find name with
+    | Some e -> e
+    | None -> failwith ("synth bench: unknown registry entry " ^ name)
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  let stats_json (s : Synth.stats) =
+    J.Obj
+      [
+        ("rebuilds", J.Int s.Synth.rebuilds);
+        ("decisions", J.Int s.Synth.decisions);
+        ("conflicts", J.Int s.Synth.conflicts);
+        ("clauses_learned", J.Int s.Synth.learned);
+        ("pruned", J.Int s.Synth.pruned);
+        ("restored", J.Int s.Synth.restored);
+      ]
+  in
+  (* Row 1: Theorem-3 forward synthesis on every multi-wait catalogue
+     algorithm the checker accepts — time to the first BWG' plus the
+     search counters. *)
+  let bwg_rows =
+    List.filter_map
+      (fun (name, minimize) ->
+        let e = entry name in
+        let net = Registry.network_for e None in
+        let space = State_space.build net e.Registry.algo in
+        let outcome, ns =
+          timed (fun () -> Synth.synthesize ~minimize space)
+        in
+        match outcome with
+        | Synth.Synthesized s ->
+          Printf.printf "  bwg %-24s %8.2f ms  removed %3d  %s\n%!" name
+            (ns /. 1e6) (List.length s.Synth.removed)
+            (Printf.sprintf "rebuilds %d, clauses %d" s.Synth.stats.Synth.rebuilds
+               s.Synth.stats.Synth.learned);
+          Some
+            ( name,
+              J.Obj
+                [
+                  ("time_to_bwg_prime_ns", J.Float ns);
+                  ("minimized", J.Bool minimize);
+                  ("removed", J.Int (List.length s.Synth.removed));
+                  ("stats", stats_json s.Synth.stats);
+                ] )
+        | _ ->
+          Printf.printf "  bwg %-24s did not synthesize (skipped row)\n%!" name;
+          None)
+      [ ("two-buffer", true); ("two-buffer-vct", true); ("duato", false) ]
+  in
+  (* Row 2: honest Unsat — Theorem 3's necessity direction on a
+     deadlocking control.  The cost of concluding "no BWG' exists". *)
+  let unsat_row =
+    let e = entry "single-buffer" in
+    let net = Registry.network_for e None in
+    let space = State_space.build net e.Registry.algo in
+    let outcome, ns = timed (fun () -> Synth.synthesize space) in
+    let verdict =
+      match outcome with
+      | Synth.Unsat _ -> "unsat"
+      | Synth.Synthesized _ -> "synthesized"
+      | Synth.Already_free _ -> "already-free"
+      | Synth.Gave_up _ -> "gave-up"
+    in
+    Printf.printf "  unsat %-22s %8.2f ms  verdict %s\n%!" "single-buffer"
+      (ns /. 1e6) verdict;
+    J.Obj
+      [
+        ("algorithm", J.String "single-buffer");
+        ("time_ns", J.Float ns);
+        ("verdict", J.String verdict);
+      ]
+  in
+  (* Row 3: repair minimality on the dragonfly control — how many route
+     entries the virtual-copy widening adds, how many the search removes,
+     and how many the greedy re-admission pass hands back. *)
+  let repair_row =
+    let e = entry "dragonfly-minimal-1vc" in
+    let net = Registry.network_for e None in
+    let outcome, ns = timed (fun () -> Synth.repair net e.Registry.algo) in
+    match outcome with
+    | Synth.Synthesized s ->
+      let removed = List.length s.Synth.removed in
+      Printf.printf
+        "  repair %-21s %8.2f ms  widened %d, removed %d, restored %d\n%!"
+        "dragonfly-minimal-1vc" (ns /. 1e6) s.Synth.widened removed
+        s.Synth.stats.Synth.restored;
+      J.Obj
+        [
+          ("algorithm", J.String "dragonfly-minimal-1vc");
+          ("time_ns", J.Float ns);
+          ("widened", J.Int s.Synth.widened);
+          ("removed", J.Int removed);
+          ("kept_of_widened", J.Int (s.Synth.widened - removed));
+          ("stats", stats_json s.Synth.stats);
+        ]
+    | _ ->
+      Printf.printf "  repair dragonfly-minimal-1vc FAILED\n%!";
+      J.Obj [ ("error", J.String "repair did not synthesize") ]
+  in
+  (* Row 4: the same repair under Obs, for the per-phase span breakdown
+     (solve vs attempt probes vs minimization). *)
+  let obs_metrics =
+    Obs.enable ();
+    let e = entry "dragonfly-minimal-1vc" in
+    let net = Registry.network_for e None in
+    (match Synth.repair net e.Registry.algo with
+    | Synth.Synthesized _ -> ()
+    | _ -> Printf.printf "  obs repair run did not synthesize\n%!");
+    let spans =
+      List.map
+        (fun (name, (calls, us)) ->
+          ( name,
+            J.Obj [ ("calls", J.Int calls); ("total_us", J.Float us) ] ))
+        (List.sort compare (Obs.span_totals ()))
+    in
+    let metrics = Obs.metrics_json () in
+    Obs.disable ();
+    List.iter
+      (fun (name, j) ->
+        match j with
+        | J.Obj [ _; ("total_us", J.Float us) ] ->
+          Printf.printf "  span %-28s %10.2f ms\n%!" name (us /. 1e3)
+        | _ -> ())
+      spans;
+    J.Obj [ ("spans", J.Obj spans); ("metrics", metrics) ]
+  in
+  let doc =
+    J.Obj
+      [
+        ("suite", J.String "synth");
+        ("unit", J.String "ns");
+        ("synthesize", J.Obj bwg_rows);
+        ("unsat", unsat_row);
+        ("repair", repair_row);
+        ("repair_obs", obs_metrics);
+      ]
+  in
+  let oc = open_out bench7_json in
+  output_string oc (J.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" bench7_json
+
 let run_micro () =
   Printf.printf "\n=== E8: micro benchmarks (Bechamel, monotonic clock) ===\n%!";
   let test = Test.make_grouped ~name:"dfr" ~fmt:"%s/%s" micro_tests in
@@ -526,13 +685,15 @@ let () =
   | "micro" -> run_micro ()
   | "serve" -> run_serve ()
   | "scale" -> run_scale ()
+  | "synth" -> run_synth ()
   | "all" ->
     Experiments.all ();
     run_micro ();
     run_serve ();
-    run_scale ()
+    run_scale ();
+    run_synth ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro serve scale all)\n"
+      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro serve scale synth all)\n"
       other;
     exit 1

@@ -443,20 +443,51 @@ let spec_bwg_cmd =
     (Cmd.info "bwg" ~doc:"Export a spec-defined network's buffer waiting graph as DOT")
     Term.(const spec_bwg_run $ spec_file_arg $ output)
 
-let spec_dot_run file output =
+let spec_dot_run file bwg_prime output =
   with_spec file (fun spec ->
-      write_or_print output
-        (Printf.sprintf "%d nodes" (Net.num_nodes spec.Dfr_spec.Spec.net))
-        (Dfr_spec.Spec.to_dot spec);
-      0)
+      if bwg_prime then begin
+        (* the overlay needs a synthesized BWG': full BWG with the kept
+           wait edges solid and the removed ones dashed *)
+        let net = spec.Dfr_spec.Spec.net and algo = spec.Dfr_spec.Spec.algo in
+        let space = State_space.build net algo in
+        match Dfr_synth.Synth.synthesize space with
+        | Dfr_synth.Synth.Synthesized s ->
+          write_or_print output
+            (Printf.sprintf "BWG' overlay, %d wait entries removed"
+               (List.length s.Dfr_synth.Synth.removed))
+            (Dfr_synth.Synth.bwg_prime_dot s);
+          0
+        | Dfr_synth.Synth.Already_free _ -> assert false
+        | Dfr_synth.Synth.Unsat msg ->
+          Printf.eprintf "no BWG' exists: %s\n" msg;
+          1
+        | Dfr_synth.Synth.Gave_up msg ->
+          Printf.eprintf "synthesis gave up: %s\n" msg;
+          3
+      end
+      else begin
+        write_or_print output
+          (Printf.sprintf "%d nodes" (Net.num_nodes spec.Dfr_spec.Spec.net))
+          (Dfr_spec.Spec.to_dot spec);
+        0
+      end)
 
 let spec_dot_cmd =
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output DOT file.")
   in
+  let bwg_prime =
+    Arg.(value & flag
+         & info [ "bwg-prime" ]
+             ~doc:
+               "Instead of the channel graph, render the buffer waiting \
+                graph with a synthesized BWG' overlaid: kept wait edges \
+                solid, removed ones dashed (exit 1 when no BWG' exists, 3 \
+                when synthesis gives up).")
+  in
   Cmd.v
     (Cmd.info "dot" ~doc:"Export a spec-defined network's channel graph as DOT")
-    Term.(const spec_dot_run $ spec_file_arg $ output)
+    Term.(const spec_dot_run $ spec_file_arg $ bwg_prime $ output)
 
 let spec_cmd =
   Cmd.group
@@ -620,6 +651,348 @@ let fuzz_cmd =
     Term.(
       const fuzz_run $ trials $ seed $ max_nodes $ domains $ out_dir $ trace_arg
       $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* synth: BWG' synthesis, restriction repair, optimality certificates  *)
+
+module Synth = Dfr_synth.Synth
+
+let synth_entry_json net (e : Synth.entry) =
+  let module J = Dfr_util.Json in
+  J.Obj
+    [
+      ("head", J.Int e.Synth.head);
+      ("dest", J.Int e.Synth.dest);
+      ("target", J.Int e.Synth.target);
+      ("text", J.String (Synth.describe_entry net e));
+    ]
+
+let synth_stats_json (s : Synth.stats) =
+  let module J = Dfr_util.Json in
+  J.Obj
+    [
+      ("rebuilds", J.Int s.Synth.rebuilds);
+      ("decisions", J.Int s.Synth.decisions);
+      ("conflicts", J.Int s.Synth.conflicts);
+      ("learned", J.Int s.Synth.learned);
+      ("pruned", J.Int s.Synth.pruned);
+      ("restored", J.Int s.Synth.restored);
+    ]
+
+let print_removed net removed =
+  let n = List.length removed in
+  Printf.printf "  removed (%d):\n" n;
+  List.iteri
+    (fun i e ->
+      if i < 16 then Printf.printf "    %s\n" (Synth.describe_entry net e)
+      else if i = 16 then Printf.printf "    ... and %d more\n" (n - 16))
+    removed
+
+(* One problem's worth of output; returns the exit code.  [certify] is
+   the optimal mode: prove the (minimized) removed set maximal and replay
+   every per-entry witness certificate through the classifier. *)
+let synth_report ~label ~mode ~certify ~json ~output ~metrics net
+    (outcome : Synth.outcome) =
+  let module J = Dfr_util.Json in
+  let finish doc code =
+    if json then
+      print_endline (J.to_string_pretty (with_metrics ~metrics doc))
+    else print_text_metrics ~metrics;
+    code
+  in
+  let base verdict rest =
+    J.Obj
+      (("problem", J.String label)
+      :: ("mode", J.String mode)
+      :: ("verdict", J.String verdict)
+      :: rest)
+  in
+  match outcome with
+  | Synth.Already_free _ ->
+    if not json then
+      Printf.printf "synth %s: %s\n  already deadlock-free; nothing to repair\n"
+        mode label;
+    finish (base "already_free" []) 0
+  | Synth.Unsat msg ->
+    if not json then Printf.printf "synth %s: %s\n  unsatisfiable: %s\n" mode label msg;
+    finish (base "unsat" [ ("reason", J.String msg) ]) 1
+  | Synth.Gave_up msg ->
+    if not json then Printf.printf "synth %s: %s\n  gave up: %s\n" mode label msg;
+    finish (base "gave_up" [ ("reason", J.String msg) ]) 3
+  | Synth.Synthesized s -> (
+    let st = s.Synth.stats in
+    if not json then begin
+      Printf.printf "synth %s: %s\n" mode label;
+      Printf.printf
+        "  synthesized: %d entries removed%s; %d rebuilds, %d decisions, %d \
+         conflicts, %d clauses learned, %d pruned, %d restored by \
+         minimization\n"
+        (List.length s.Synth.removed)
+        (if s.Synth.widened > 0 then
+           Printf.sprintf " (relation first widened by %d entries)"
+             s.Synth.widened
+         else "")
+        st.Synth.rebuilds st.Synth.decisions st.Synth.conflicts
+        st.Synth.learned st.Synth.pruned st.Synth.restored;
+      if s.Synth.removed <> [] then print_removed net s.Synth.removed
+    end;
+    let spec_field, spec_code =
+      match s.Synth.spec with
+      | Ok text ->
+        if not json then begin
+          match output with
+          | Some file ->
+            let oc = open_out file in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "  wrote %s (checkable with `dfcheck spec check')\n"
+              file
+          | None -> Printf.printf "  spec:\n%s" text
+        end
+        else
+          Option.iter
+            (fun file ->
+              let oc = open_out file in
+              output_string oc text;
+              close_out oc)
+            output;
+        ([ ("spec", J.String text) ], 0)
+      | Error msg ->
+        if not json then
+          Printf.printf "  (result not expressible as a .dfr spec: %s)\n" msg;
+        ([ ("spec_error", J.String msg) ], 0)
+    in
+    let doc rest =
+      base "synthesized"
+        ([
+           ("removed", J.List (List.map (synth_entry_json net) s.Synth.removed));
+           ("widened", J.Int s.Synth.widened);
+           ("stats", synth_stats_json st);
+         ]
+        @ spec_field @ rest)
+    in
+    if not certify then finish (doc []) spec_code
+    else
+      match Synth.certify s.Synth.space ~removed:s.Synth.removed with
+      | Synth.Cert_unknown reason ->
+        if not json then
+          Printf.printf "  certification inconclusive: %s\n" reason;
+        finish (doc [ ("certification", J.String "unknown") ]) 3
+      | Synth.Relaxable entries ->
+        if not json then begin
+          Printf.printf
+            "  NOT maximal: %d removals can be re-admitted without creating \
+             a True Cycle:\n"
+            (List.length entries);
+          List.iter
+            (fun e -> Printf.printf "    %s\n" (Synth.describe_entry net e))
+            entries
+        end;
+        finish
+          (doc
+             [
+               ("certification", J.String "relaxable");
+               ( "relaxable",
+                 J.List (List.map (synth_entry_json net) entries) );
+             ])
+          1
+      | Synth.Maximal items ->
+        let replayed =
+          List.map
+            (fun item ->
+              (item, Synth.replay s.Synth.space ~removed:s.Synth.removed item))
+            items
+        in
+        let all_ok = List.for_all snd replayed in
+        if not json then begin
+          Printf.printf
+            "  maximal: re-admitting any removed entry creates a True Cycle \
+             (%d certificates%s)\n"
+            (List.length items)
+            (if all_ok then ", all replayed through the classifier"
+             else "; REPLAY FAILED for some");
+          List.iter
+            (fun (item, ok) ->
+              Printf.printf "    %s -> True Cycle [%s]%s\n"
+                (Synth.describe_entry net item.Synth.relaxed)
+                (String.concat " -> "
+                   (List.map (Net.describe_buffer net) item.Synth.cycle))
+                (if ok then "" else "  (replay failed!)"))
+            replayed
+        end;
+        let cert_json =
+          J.List
+            (List.map
+               (fun (item, ok) ->
+                 J.Obj
+                   [
+                     ("relaxed", synth_entry_json net item.Synth.relaxed);
+                     ("cycle", J.List (List.map (fun v -> J.Int v) item.Synth.cycle));
+                     ("replayed", J.Bool ok);
+                   ])
+               replayed)
+        in
+        finish
+          (doc
+             [ ("certification", J.String "maximal"); ("certificates", cert_json) ])
+          (if all_ok then spec_code else 3))
+
+let synth_run mode name spec_file random_n seed max_nodes budget domains
+    minimize json output trace metrics =
+  let mode_str =
+    match mode with `Bwg -> "bwg" | `Repair -> "repair" | `Optimal -> "optimal"
+  in
+  let problems =
+    match (name, spec_file, random_n) with
+    | Some a, None, None -> (
+      match lookup a with
+      | Error msg -> Error msg
+      | Ok e ->
+        let net = Registry.network_for e None in
+        Ok [ (a, net, e.Registry.algo) ])
+    | None, Some file, None -> (
+      match Dfr_spec.Spec.load_file file with
+      | Error e -> Error (Dfr_spec.Spec.error_to_string ~file e)
+      | Ok spec ->
+        Ok [ (file, spec.Dfr_spec.Spec.net, spec.Dfr_spec.Spec.algo) ])
+    | None, None, Some n when n > 0 ->
+      (* the fuzz generator as a design source: a deterministic stream of
+         multi-wait designs; undeliverable draws are skipped, not counted *)
+      let rng = Dfr_util.Prng.create seed in
+      let rec draw acc i attempts =
+        if i >= n || attempts > 100 * n then List.rev acc
+        else
+          let case = Dfr_fuzz.Gen.case rng ~max_nodes in
+          if Dfr_fuzz.Case.deliverable case then
+            let net, algo = Dfr_fuzz.Case.to_net_algo case in
+            draw ((Printf.sprintf "random[%d] %s" i algo.Algo.name, net, algo) :: acc)
+              (i + 1) (attempts + 1)
+          else draw acc i (attempts + 1)
+      in
+      Ok (draw [] 0 0)
+    | _ ->
+      Error
+        "exactly one problem source is required: -a NAME, --spec FILE or \
+         --random N"
+  in
+  match problems with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok problems ->
+    obs_setup ~trace ~metrics;
+    let codes =
+      List.map
+        (fun (label, net, algo) ->
+          let outcome =
+            match mode with
+            | `Repair -> Synth.repair ~budget ~domains net algo
+            | `Bwg | `Optimal -> (
+              match State_space.build net algo with
+              | exception Invalid_argument msg ->
+                Synth.Gave_up ("invalid algorithm/network pair: " ^ msg)
+              | space ->
+                Synth.synthesize ~budget ~domains
+                  ~minimize:(minimize || mode = `Optimal)
+                  space)
+          in
+          synth_report ~label ~mode:mode_str ~certify:(mode = `Optimal) ~json
+            ~output ~metrics net outcome)
+        problems
+    in
+    obs_teardown ~trace;
+    List.fold_left max 0 codes
+
+let synth_cmd =
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("bwg", `Bwg); ("repair", `Repair); ("optimal", `Optimal) ]) `Bwg
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,bwg): find a wait-connected, True-Cycle-free wait-edge \
+             subset (Theorem 3's BWG') — exit 1 is a proof that none \
+             exists.  $(b,repair): widen a deadlocking relation across \
+             virtual resource copies and search for a minimal set of entry \
+             removals restoring deadlock freedom.  $(b,optimal): synthesize \
+             a minimized BWG', then certify it maximal Theorem-6-style — \
+             every re-admitted entry yields a True-Cycle witness, replayed \
+             through the classifier.")
+  in
+  let algo_name =
+    Arg.(value & opt (some string) None
+         & info [ "a"; "algorithm" ] ~doc:"Catalogue algorithm to synthesize for.")
+  in
+  let spec_file =
+    Arg.(value & opt (some file) None
+         & info [ "spec" ] ~docv:"FILE" ~doc:"A .dfr spec to synthesize for.")
+  in
+  let random_n =
+    Arg.(value & opt (some int) None
+         & info [ "random" ] ~docv:"N"
+             ~doc:
+               "Run on $(docv) random multi-wait designs from the fuzz \
+                generator (deliverable draws only).")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ]
+             ~doc:
+               "Seed for --random; the whole run is a pure function of \
+                (seed, N, max-nodes), independent of --domains.")
+  in
+  let max_nodes =
+    Arg.(value & opt int 6
+         & info [ "max-nodes" ] ~doc:"Largest random network, in nodes.")
+  in
+  let budget =
+    Arg.(value & opt int 4000
+         & info [ "budget" ] ~doc:"Search budget in BWG rebuilds.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ]
+             ~doc:
+               "Per-candidate BWG build parallelism; outcomes are \
+                bit-for-bit independent of it.")
+  in
+  let minimize =
+    Arg.(value & flag
+         & info [ "minimize" ]
+             ~doc:
+               "Greedily restore removals that turn out unnecessary (mode \
+                bwg; repair and optimal always minimize).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the result as JSON.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the synthesized .dfr spec to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Synthesize deadlock-free designs: find a BWG' automatically \
+          (Theorem 3), repair a deadlocking algorithm by minimal \
+          restriction, or certify a restriction maximal (Theorem 6).  \
+          Outputs reprint as checkable .dfr specs.  Exit: 0 synthesized, 1 \
+          proven unsatisfiable / not maximal, 2 usage, 3 gave up."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "Find a BWG' for the Two-Buffer algorithm:";
+           `Pre "  dfcheck synth --mode bwg -a two-buffer";
+           `P "Repair the deadlocking 1-VC dragonfly control and re-check it:";
+           `Pre
+             "  dfcheck synth --mode repair -a dragonfly-minimal-1vc -o \
+              fixed.dfr\n\
+             \  dfcheck spec check fixed.dfr";
+         ])
+    Term.(
+      const synth_run $ mode $ algo_name $ spec_file $ random_n $ seed $ max_nodes
+      $ budget $ domains $ minimize $ json $ output $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve: the batched NDJSON checking service                          *)
@@ -855,6 +1228,7 @@ let () =
            audit_cmd;
            spec_cmd;
            fuzz_cmd;
+           synth_cmd;
            serve_cmd;
            client_cmd;
          ])

@@ -11,8 +11,19 @@ type outcome =
 (* No True Cycles in [bwg]?  Returns [Ok (Some witness)] when a True Cycle
    exists, [Ok None] when provably none does, [Error reason] when a cap was
    hit. *)
-let true_cycle_status ?cycle_limits ?class_limits bwg =
+let true_cycle_status ?cycle_limits ?class_limits ?(shortest_first = false) bwg
+    =
   let cycles, cycles_exhaustive = Bwg.cycles ?limits:cycle_limits bwg in
+  let cycles =
+    (* shortest cycles have the fewest witness packets, so a caller
+       learning blocking clauses from the witness gets the tightest
+       clause; stable sort keeps determinism *)
+    if shortest_first then
+      List.stable_sort
+        (fun a b -> compare (List.length a) (List.length b))
+        cycles
+    else cycles
+  in
   let rec go uncertain = function
     | [] -> if uncertain then Error "cycle classification hit its caps" else Ok None
     | c :: rest -> (

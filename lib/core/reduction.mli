@@ -25,6 +25,20 @@ type outcome =
           so by Theorem 3 the algorithm deadlocks *)
   | Gave_up of string  (** a cap was hit; no conclusion *)
 
+val true_cycle_status :
+  ?cycle_limits:Dfr_graph.Cycles.limits ->
+  ?class_limits:Cycle_class.limits ->
+  ?shortest_first:bool ->
+  Bwg.t ->
+  ((int list * Cycle_class.packet list) option, string) result
+(** One freedom probe of a candidate BWG': [Ok (Some (cycle, packets))]
+    is a True Cycle with its witness packets; [Ok None] means every cycle
+    was exhaustively classified False; [Error reason] means a cap was hit
+    before a verdict.  [shortest_first] classifies shortest cycles first,
+    which gives callers that learn from the witness the tightest one.
+    This is the probe both {!search} and the synthesis engine
+    ({!Dfr_synth.Synth}) drive. *)
+
 val verify_hint :
   ?cycle_limits:Dfr_graph.Cycles.limits ->
   ?class_limits:Cycle_class.limits ->

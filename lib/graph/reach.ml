@@ -1,0 +1,106 @@
+type t = {
+  graph : Csr.t;
+  rev : Csr.t;
+  sinks : int list;
+  disabled : (int * int, int) Hashtbl.t; (* edge -> disable multiplicity *)
+  mutable total_disabled : int;
+  mutable reached : Bytes.t option; (* '\001' = reaches a sink; None = stale *)
+}
+
+let create graph ~sinks =
+  let n = Csr.num_vertices graph in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Reach.create: sink out of range")
+    sinks;
+  {
+    graph;
+    rev = Csr.transpose graph;
+    sinks;
+    disabled = Hashtbl.create 64;
+    total_disabled = 0;
+    reached = None;
+  }
+
+let is_disabled t u v = Hashtbl.mem t.disabled (u, v)
+
+(* Reverse BFS from the sinks over enabled edges.  [t.rev] successors of
+   [v] are the sources [u] of base edges [u -> v]. *)
+let recompute t =
+  let n = Csr.num_vertices t.graph in
+  let reached = Bytes.make n '\000' in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if Bytes.get reached s = '\000' then begin
+        Bytes.set reached s '\001';
+        Queue.add s queue
+      end)
+    t.sinks;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Csr.iter_succ
+      (fun u ->
+        if Bytes.get reached u = '\000' && not (is_disabled t u v) then begin
+          Bytes.set reached u '\001';
+          Queue.add u queue
+        end)
+      t.rev v
+  done;
+  t.reached <- Some reached;
+  reached
+
+let bitmap t = match t.reached with Some b -> b | None -> recompute t
+
+let disable_edge t u v =
+  if not (Csr.mem_edge t.graph u v) then
+    invalid_arg "Reach.disable_edge: no such edge";
+  let count = try Hashtbl.find t.disabled (u, v) with Not_found -> 0 in
+  Hashtbl.replace t.disabled (u, v) (count + 1);
+  t.total_disabled <- t.total_disabled + 1;
+  (* The bitmap can only change if this edge was carrying reachability:
+     its source reached a sink and its target still does.  If the source
+     was already cut off, or this is a repeated disable, nothing moves. *)
+  (if count = 0 then
+     match t.reached with
+     | Some reached
+       when Bytes.get reached u = '\001' && Bytes.get reached v = '\001' ->
+       t.reached <- None
+     | _ -> ())
+
+let enable_edge t u v =
+  (match Hashtbl.find_opt t.disabled (u, v) with
+  | None -> invalid_arg "Reach.enable_edge: edge not disabled"
+  | Some 1 -> Hashtbl.remove t.disabled (u, v)
+  | Some count -> Hashtbl.replace t.disabled (u, v) (count - 1));
+  t.total_disabled <- t.total_disabled - 1;
+  if not (is_disabled t u v) then
+    match t.reached with
+    | None -> ()
+    | Some reached ->
+      (* Re-adding [u -> v] can only add vertices, and only when it newly
+         connects [u] to the reached region: grow in place by a reverse
+         traversal from [u] over enabled edges. *)
+      if Bytes.get reached u = '\000' && Bytes.get reached v = '\001' then begin
+        let queue = Queue.create () in
+        Bytes.set reached u '\001';
+        Queue.add u queue;
+        while not (Queue.is_empty queue) do
+          let w = Queue.pop queue in
+          Csr.iter_succ
+            (fun p ->
+              if Bytes.get reached p = '\000' && not (is_disabled t p w) then begin
+                Bytes.set reached p '\001';
+                Queue.add p queue
+              end)
+            t.rev w
+        done
+      end
+
+let reaches t v =
+  if v < 0 || v >= Csr.num_vertices t.graph then
+    invalid_arg "Reach.reaches: vertex out of range";
+  Bytes.get (bitmap t) v = '\001'
+
+let reaches_all t ~sources = List.for_all (fun v -> reaches t v) sources
+let disabled_count t = t.total_disabled

@@ -1,0 +1,47 @@
+(** Decremental/incremental reachability to a fixed sink set.
+
+    The synthesis engine removes and restores edges of a fixed base graph
+    (route moves toward one destination) and after every mutation needs to
+    know whether a set of source vertices can still reach a sink.  A
+    [Reach.t] wraps a frozen {!Csr.t} with a multiset of disabled edges
+    and a lazily maintained "reaches some sink" bitmap:
+
+    - [disable_edge] / [enable_edge] are O(1) amortized; they invalidate
+      the bitmap only when the edge can actually change it (removing an
+      edge whose source is already cut off, or restoring an edge into an
+      unreached target, keeps the bitmap valid);
+    - [enable_edge] of a fruitful edge grows the reached set in place by
+      a reverse traversal from the newly reached vertex instead of a full
+      recompute;
+    - a full recompute is a reverse BFS from the sinks over the enabled
+      subgraph, O(V + E), and runs at most once per batch of disables.
+
+    Disables are counted, so disabling the same edge twice needs two
+    enables — matching a backtracking search that removes the same wait
+    entry at different depths.  Edges not present in the base graph are
+    rejected with [Invalid_argument]. *)
+
+type t
+
+val create : Csr.t -> sinks:int list -> t
+(** All edges start enabled.  Sink vertices out of range raise
+    [Invalid_argument]. *)
+
+val disable_edge : t -> int -> int -> unit
+(** [disable_edge t u v] removes one instance of [u -> v] from the enabled
+    subgraph.  Raises [Invalid_argument] if the base graph has no such
+    edge. *)
+
+val enable_edge : t -> int -> int -> unit
+(** Reverts one [disable_edge].  Raises [Invalid_argument] when [u -> v]
+    is not currently disabled. *)
+
+val reaches : t -> int -> bool
+(** [reaches t v]: can [v] reach some sink through enabled edges?  Sinks
+    reach themselves. *)
+
+val reaches_all : t -> sources:int list -> bool
+(** All of [sources] reach a sink.  [true] on the empty list. *)
+
+val disabled_count : t -> int
+(** Number of currently disabled edge instances (with multiplicity). *)

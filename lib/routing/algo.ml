@@ -23,6 +23,14 @@ let wait_everywhere t =
     reduced_waits = None;
   }
 
+let with_waits t ?name waits =
+  let name = Option.value name ~default:(t.name ^ "+bwg'") in
+  { t with name; waits; reduced_waits = None }
+
+let with_relation t ?name route =
+  let name = Option.value name ~default:(t.name ^ "+repair") in
+  { t with name; route; waits = route; reduced_waits = None }
+
 let rec has_dup = function
   | [] -> false
   | x :: rest -> List.mem x rest || has_dup rest

@@ -47,6 +47,19 @@ val make :
 (** [waits] defaults to the full [route] set (wait on any permitted
     output). *)
 
+val with_waits :
+  t -> ?name:string -> (Net.t -> Buf.t -> dest:int -> int list) -> t
+(** Same routing relation with a replacement waiting rule (the BWG'
+    injection point used by the synthesis engine: the new rule is
+    typically a subset of the old waits).  The declarative hint is
+    dropped — the replacement {e is} the reduction. *)
+
+val with_relation :
+  t -> ?name:string -> (Net.t -> Buf.t -> dest:int -> int list) -> t
+(** Replacement routing relation; [waits] follows it (wait on every
+    permitted output) and the hint is dropped.  Used by restriction
+    repair, which edits the relation itself. *)
+
 val wait_everywhere : t -> t
 (** Same relation, but waiting on every permitted output ([Any_wait],
     hint discarded).  Used by ablation experiments. *)

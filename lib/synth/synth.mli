@@ -1,0 +1,172 @@
+(** Automatic BWG' synthesis, restriction repair, and optimality
+    certification — the constructive side of the paper's Theorem 3.
+
+    The checker decides deadlock freedom of a {e given} design; this
+    module {e finds} designs.  Three entry points share one engine, a
+    CDCL-flavoured backtracking search over wait (or route) entries:
+
+    - {!synthesize} (Theorem 3 forward): find a wait-connected,
+      True-Cycle-free subset of the waiting rule — a BWG' — for a
+      multi-wait algorithm, without a hand-supplied hint;
+    - {!repair} (design methodology, §6): given a deadlocking algorithm,
+      re-decide, for every (occupied buffer, destination) state and every
+      physical hop it takes, {e which} virtual copy of that hop to use —
+      a conflict-driven search over copy assignments whose solution space
+      contains the classic dateline/layered designs;
+    - {!certify} (Theorem 6 style): prove a candidate restriction maximal
+      by exhibiting, for every removed entry, a True Cycle that appears
+      the moment that single entry is re-admitted — each witness is a
+      machine-checkable certificate replayed with {!replay}.
+
+    The search learns {e blocking clauses} from every True Cycle it
+    meets: the witness packets name the wait entries generating the
+    cycle's edges, and as long as all of them stay live the same cycle
+    family recurs — so at least one must go.  Candidates violating a
+    learned clause are pruned without rebuilding the BWG.  In
+    {!synthesize} routes are fixed, the True-Cycle property is monotone
+    in the kept entries, the implication is exact, and exhaustion is an
+    honest [Unsat] — Theorem 3's necessity direction.  In {!repair}
+    reassignments change occupancy, clauses are heuristic, and
+    exhaustion only says [Gave_up]; the accepted candidate is instead
+    re-verified end to end by the checker.
+
+    Every search is deterministic: entries are ordered by activity
+    (bumped on every clause mention) with identifier ties, no wall clock
+    or randomness enters, and [domains] only parallelizes BWG
+    construction, whose merge is deterministic. *)
+
+open Dfr_network
+open Dfr_routing
+open Dfr_core
+
+type entry = { head : int; dest : int; target : int }
+(** "A packet destined [dest] whose header occupies [head] may wait on /
+    move to [target]" — one removable atom of the waiting rule
+    ({!synthesize}) or of the widened routing relation ({!repair}). *)
+
+type stats = {
+  rebuilds : int;  (** BWG (re)constructions, the search's cost unit *)
+  decisions : int;  (** branch choices taken *)
+  conflicts : int;  (** True Cycles discovered by probes *)
+  learned : int;  (** distinct blocking clauses recorded *)
+  pruned : int;  (** candidates rejected by a learned clause, no rebuild *)
+  restored : int;  (** removals undone by greedy minimization *)
+}
+
+type success = {
+  space : State_space.t;
+      (** the candidate's state space — {!repair} rebuilds it from the
+          repaired relation; {!synthesize} passes the input through *)
+  bwg : Bwg.t;  (** the final candidate BWG: wait-connected, no True Cycle
+                    found (exhaustively, for the verified paths) *)
+  full_bwg : Bwg.t option;
+      (** {!synthesize} only: the unreduced BWG, for overlay rendering *)
+  algo : Algo.t;  (** the input algorithm with the synthesized rule wired
+                      in via {!Algo.with_waits} / {!Algo.with_relation} *)
+  removed : entry list;  (** ascending; relative to the full waiting rule
+                             ({!synthesize}) or widened relation
+                             ({!repair}) *)
+  widened : int;
+      (** {!repair}: route entries the virtual-copy widening added on top
+          of the original relation; [0] for {!synthesize} *)
+  spec : (string, string) result;
+      (** the result reprinted as a checkable [.dfr]
+          ({!Dfr_spec.Printer}) *)
+  stats : stats;
+}
+
+type outcome =
+  | Synthesized of success
+  | Already_free of Checker.proof
+      (** {!repair} only: the input needs no repair *)
+  | Unsat of string
+      (** {!synthesize} only, and honest: no wait-connected BWG' without a
+          True Cycle exists (Theorem 3 ⇒ the algorithm deadlocks).
+          {!repair} folds this case into [Gave_up] — unsatisfiability of
+          one particular widening is not a verdict on the design. *)
+  | Gave_up of string  (** a cap or budget hit; no conclusion *)
+
+val synthesize :
+  ?cycle_limits:Dfr_graph.Cycles.limits ->
+  ?class_limits:Cycle_class.limits ->
+  ?budget:int ->
+  ?domains:int ->
+  ?minimize:bool ->
+  State_space.t ->
+  outcome
+(** Find a BWG' for the algorithm of [space].  [budget] caps BWG rebuilds
+    (default 4000).  [minimize] (default false) runs a greedy restore
+    pass so the removed set is 1-minimal — the form {!certify} expects.
+    An algorithm whose full BWG is already True-Cycle-free synthesizes
+    with [removed = \[\]]. *)
+
+val repair :
+  ?cycle_limits:Dfr_graph.Cycles.limits ->
+  ?class_limits:Cycle_class.limits ->
+  ?budget:int ->
+  ?domains:int ->
+  Net.t ->
+  Algo.t ->
+  outcome
+(** Repair a deadlocking algorithm.  The relation is first widened
+    across the virtual copies of each physical resource (other virtual
+    channels of the same link; other buffer classes of the same node) —
+    a deadlocking single-VC design has no freedom left to restrict, so
+    the unused copies must open first.  Restricting only the {e waiting}
+    rule of that widened design cannot work in this model (movement
+    follows routes, so the widened occupancy itself deadlocks — a knot);
+    the search instead assigns, per state and physical hop, exactly one
+    virtual copy.  Conflicts (True Cycles and knots of the candidate)
+    learn value clauses — "at least one occupant of this cycle must take
+    a different copy" — and per-destination deliverability from every
+    injection is kept as an invariant of every reassignment
+    (decrementally, via {!Dfr_graph.Reach}).  A greedy re-admission pass
+    then restores removed copies wherever freedom survives, making the
+    removal set 1-minimal, and the result is re-verified end to end with
+    {!Checker.verdict} before being reported. *)
+
+type cert_item = {
+  relaxed : entry;
+  cycle : int list;
+  packets : Cycle_class.packet list;
+}
+(** Re-admitting [relaxed] alone creates [cycle], realized by
+    [packets]. *)
+
+type certification =
+  | Maximal of cert_item list  (** one witness per removed entry *)
+  | Relaxable of entry list
+      (** these removals were unnecessary: re-admitting any one of them
+          leaves the BWG' True-Cycle-free *)
+  | Cert_unknown of string  (** a classification cap hit *)
+
+val certify :
+  ?cycle_limits:Dfr_graph.Cycles.limits ->
+  ?class_limits:Cycle_class.limits ->
+  ?domains:int ->
+  State_space.t ->
+  removed:entry list ->
+  certification
+(** Theorem-6-style maximality: for each entry of [removed], rebuild the
+    BWG with that single entry restored and demand a True Cycle.  Run it
+    on a minimized {!synthesize} result. *)
+
+val replay :
+  ?class_limits:Cycle_class.limits ->
+  ?domains:int ->
+  State_space.t ->
+  removed:entry list ->
+  cert_item ->
+  bool
+(** Independent check of one certificate: rebuild the relaxed BWG from
+    scratch, confirm every consecutive pair of [cycle] is an edge, and
+    re-classify the cycle through {!Cycle_class.classify} — the same
+    machinery the checker trusts.  [removed] must be the certification's
+    removed set. *)
+
+val bwg_prime_dot : success -> string
+(** DOT overlay of a {!synthesize} result: the full BWG with kept (BWG')
+    edges solid and removed edges dashed, vertex labels in the paper's
+    buffer notation. *)
+
+val describe_entry : Net.t -> entry -> string

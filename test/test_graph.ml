@@ -487,3 +487,115 @@ let test_dot_escape () =
   Alcotest.check Alcotest.bool "no unescaped quote" false !unescaped_quote
 
 let suite = suite @ [ Alcotest.test_case "dot escape" `Quick test_dot_escape ]
+
+(* ---------------- Reach: decremental reachability ---------------- *)
+
+(* 0 -> 1 -> 3, 0 -> 2 -> 3, with 3 the sink: two vertex-disjoint routes,
+   so cutting one arm leaves everything reachable and cutting both cuts
+   the sources off. *)
+let diamond () = Csr.of_edges 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_reach_cut_and_restore () =
+  let r = Reach.create (diamond ()) ~sinks:[ 3 ] in
+  let check = Alcotest.check Alcotest.bool in
+  check "all reach initially" true (Reach.reaches_all r ~sources:[ 0; 1; 2 ]);
+  Reach.disable_edge r 1 3;
+  check "one arm cut: 1 is off" false (Reach.reaches r 1);
+  check "one arm cut: 0 detours" true (Reach.reaches r 0);
+  Reach.disable_edge r 2 3;
+  check "both arms cut: 0 is off" false (Reach.reaches r 0);
+  check "sink still reaches itself" true (Reach.reaches r 3);
+  Reach.enable_edge r 1 3;
+  check "restore flips 0 back" true (Reach.reaches_all r ~sources:[ 0; 1 ]);
+  check "2 still cut" false (Reach.reaches r 2);
+  Reach.enable_edge r 2 3;
+  check "full restore" true (Reach.reaches_all r ~sources:[ 0; 1; 2 ]);
+  Alcotest.check Alcotest.int "nothing left disabled" 0 (Reach.disabled_count r)
+
+let test_reach_counted_disables () =
+  let r = Reach.create (diamond ()) ~sinks:[ 3 ] in
+  Reach.disable_edge r 2 3;
+  (* same edge disabled at two search depths: one enable is not enough *)
+  Reach.disable_edge r 1 3;
+  Reach.disable_edge r 1 3;
+  Alcotest.check Alcotest.int "three instances" 3 (Reach.disabled_count r);
+  Reach.enable_edge r 1 3;
+  Alcotest.check Alcotest.bool "still one disable pending" false
+    (Reach.reaches r 1);
+  Reach.enable_edge r 1 3;
+  Alcotest.check Alcotest.bool "second enable restores" true
+    (Reach.reaches r 1);
+  Alcotest.check_raises "over-enable rejected"
+    (Invalid_argument "Reach.enable_edge: edge not disabled") (fun () ->
+      Reach.enable_edge r 1 3);
+  Alcotest.check_raises "unknown edge rejected"
+    (Invalid_argument "Reach.disable_edge: no such edge") (fun () ->
+      Reach.disable_edge r 3 0)
+
+(* Random graphs, random disable/enable scripts: Reach must agree with a
+   naive reverse BFS over the surviving edge multiset at every step. *)
+let prop_reach_matches_naive =
+  qtest
+  @@ QCheck.Test.make ~count:60 ~name:"Reach agrees with naive recompute"
+       QCheck.(
+         pair (int_range 2 9)
+           (pair (list_of_size Gen.(int_range 0 25) (pair small_nat small_nat))
+              (list_of_size Gen.(int_range 0 40) (pair bool small_nat))))
+       (fun (n, (raw_edges, script)) ->
+         let edges =
+           List.sort_uniq compare
+             (List.map (fun (u, v) -> (u mod n, v mod n)) raw_edges)
+         in
+         let g = Csr.of_edges n edges in
+         let sinks = [ 0 ] in
+         let r = Reach.create g ~sinks in
+         (* the naive model: multiset of disabled edges as an assoc count *)
+         let disabled = Hashtbl.create 16 in
+         let count e = Option.value (Hashtbl.find_opt disabled e) ~default:0 in
+         let naive_reaches v =
+           let live (u, w) = count (u, w) = 0 in
+           let seen = Array.make n false in
+           let rec go u =
+             if not seen.(u) then begin
+               seen.(u) <- true;
+               List.iter
+                 (fun (a, b) -> if b = u && live (a, b) then go a)
+                 edges
+             end
+           in
+           List.iter go sinks;
+           seen.(v)
+         in
+         let ok = ref true in
+         let step (enable, i) =
+           match edges with
+           | [] -> ()
+           | _ ->
+             let e = List.nth edges (i mod List.length edges) in
+             let u, v = e in
+             if enable then begin
+               if count e > 0 then begin
+                 Hashtbl.replace disabled e (count e - 1);
+                 Reach.enable_edge r u v
+               end
+             end
+             else begin
+               Hashtbl.replace disabled e (count e + 1);
+               Reach.disable_edge r u v
+             end;
+             for w = 0 to n - 1 do
+               if Reach.reaches r w <> naive_reaches w then ok := false
+             done
+         in
+         List.iter step script;
+         !ok)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "reach cut and restore" `Quick
+        test_reach_cut_and_restore;
+      Alcotest.test_case "reach counted disables" `Quick
+        test_reach_counted_disables;
+      prop_reach_matches_naive;
+    ]

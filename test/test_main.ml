@@ -18,4 +18,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("differential", Test_differential.suite);
       ("serve", Test_serve.suite);
+      ("synth", Test_synth.suite);
     ]
