@@ -665,6 +665,163 @@ let run_micro () =
   write_bench_json estimated;
   run_obs ()
 
+(* ------------- E18: incremental re-checking --------------------------- *)
+
+let bench8_json = "BENCH_8.json"
+
+(* Single-clause edits on the 11k-buffer dragonfly (the E16 headline
+   instance), re-verdicted through an incremental session instead of a
+   cold check.  The minimal routing is deterministic, so the measured
+   route edit is a real one: widening one destination's final local hop
+   to either virtual channel.  vc1 channels never route back to vc0, so
+   the BWG stays acyclic and every re-verdict rides the fast path — but
+   each widen adds rank-backward edges, so it also exercises the lazy
+   rank recompute.  The wait-layer edits measure the O(cached emissions)
+   patch path.  The ISSUE gate is the 10x speedup over cold; the 100 us
+   target is reported, not gated, since the route edit pays a full
+   certificate recompute. *)
+let run_incr () =
+  Printf.printf "\n=== E18: incremental re-checking — dragonfly:10x4x41 ===\n%!";
+  let module J = Dfr_util.Json in
+  let entry =
+    match Registry.find "dragonfly-minimal" with
+    | Some e -> e
+    | None -> failwith "incr: dragonfly-minimal not registered"
+  in
+  let topo =
+    match Topology.of_string "dragonfly:10x4x41" with
+    | Ok t -> t
+    | Error m -> failwith ("incr: " ^ m)
+  in
+  let net = Registry.network_for entry (Some topo) in
+  let algo = { entry.Registry.algo with Algo.reduced_waits = None } in
+  let a =
+    match Topology.dragonfly_params topo with
+    | Some (a, _, _) -> a
+    | None -> failwith "incr: not a dragonfly"
+  in
+  (* widen destination [d]'s final local hop to both vcs; every other
+     destination routes exactly as before, so the frontier is [d] *)
+  let widen d =
+    Algo.with_relation algo ~name:algo.Algo.name (fun net b ~dest ->
+        let base = algo.Algo.route net b ~dest in
+        let head = Buf.head_node b in
+        if dest = d && head / a = d / a && head <> d then
+          let port = ((d mod a) - (head mod a) - 1 + a) mod a in
+          let vc1 =
+            Buf.id (Net.channel net ~src:head ~dim:port ~dir:Topology.Plus ~vc:1)
+          in
+          if List.mem vc1 base then base else base @ [ vc1 ]
+        else base)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    ((Unix.gettimeofday () -. t0) *. 1e9, r)
+  in
+  let cold_ns, cold_report =
+    time (fun () ->
+        let report = Checker.check net algo in
+        J.to_string (Report_json.of_outcome net algo report))
+  in
+  Printf.printf "cold check: %.2f s\n%!" (cold_ns /. 1e9);
+  let create_ns, (session, r0) = time (fun () -> Incr.create net algo) in
+  if J.to_string r0.Incr.report <> cold_report then begin
+    Printf.eprintf "FAIL: incremental baseline differs from the cold report\n";
+    exit 1
+  end;
+  let nn = State_space.num_nodes (Incr.space session) in
+  let require_fast (r : Incr.result) =
+    if r.Incr.path <> Incr.Fast then begin
+      Printf.eprintf "FAIL: single-clause edit left the fast path\n";
+      exit 1
+    end
+  in
+  let edits = 20 in
+  (* route-layer: widen a destination, then restore it — both are real
+     single-destination changes re-deriving 1/nn of the instance *)
+  let route_samples =
+    List.concat
+      (List.init edits (fun i ->
+           let d = (i * 97 + 1) mod nn in
+           let dt1, r1 = time (fun () -> Incr.update session (widen d) ~dirty:[ d ]) in
+           let dt2, r2 = time (fun () -> Incr.update session algo ~dirty:[ d ]) in
+           require_fast r1;
+           require_fast r2;
+           if J.to_string r2.Incr.report <> cold_report then begin
+             Printf.eprintf "FAIL: restored instance differs from the cold report\n";
+             exit 1
+           end;
+           [ dt1; dt2 ]))
+  in
+  (* wait-layer: a rewrapped waiting rule with unchanged values rides the
+     quick patch path (this instance is deterministic, so there is
+     nothing to narrow — the patch machinery itself is what's timed) *)
+  let wait_samples =
+    List.init edits (fun i ->
+        let d = (i * 53 + 7) mod nn in
+        let algo' =
+          Algo.with_waits algo ~name:algo.Algo.name (fun net b ~dest ->
+              algo.Algo.waits net b ~dest)
+        in
+        let dt, r = time (fun () -> Incr.update session algo' ~dirty:[ d ]) in
+        require_fast r;
+        dt)
+  in
+  let route_ns = median route_samples in
+  let wait_ns = median wait_samples in
+  let c = Incr.counters session in
+  if c.Incr.patched_dests < edits then begin
+    Printf.eprintf "FAIL: wait edits did not ride the patch path (%d patched)\n"
+      c.Incr.patched_dests;
+    exit 1
+  end;
+  let speedup = cold_ns /. route_ns in
+  Printf.printf
+    "cold %.0f ms, create %.0f ms; re-verdict: route edit %.0f us, wait edit \
+     %.1f us -> %.0fx vs cold\n"
+    (cold_ns /. 1e6) (create_ns /. 1e6) (route_ns /. 1e3) (wait_ns /. 1e3)
+    speedup;
+  if speedup < 10.0 then begin
+    Printf.eprintf
+      "FAIL: incremental re-verdict only %.1fx faster than cold (budget 10x)\n"
+      speedup;
+    exit 1
+  end;
+  let doc =
+    J.Obj
+      [
+        ("suite", J.String "incr");
+        ("problem", J.String "dragonfly-minimal@dragonfly:10x4x41");
+        ("destinations", J.Int nn);
+        ("edits", J.Int (List.length route_samples + List.length wait_samples));
+        ("cold_ns", J.Float cold_ns);
+        ("create_ns", J.Float create_ns);
+        ("delta_route_edit_ns", J.Float route_ns);
+        ("delta_wait_edit_ns", J.Float wait_ns);
+        ("speedup_vs_cold", J.Float speedup);
+        ("speedup_budget", J.Float 10.0);
+        ("target_us", J.Int 100);
+        ("route_edit_meets_target", J.Bool (route_ns <= 100_000.0));
+        ("wait_edit_meets_target", J.Bool (wait_ns <= 100_000.0));
+        ("verified_bit_for_bit", J.Bool true);
+        ( "counters",
+          J.Obj
+            [
+              ("updates", J.Int c.Incr.updates);
+              ("fast_verdicts", J.Int c.Incr.fast_verdicts);
+              ("replays", J.Int c.Incr.replays);
+              ("patched_dests", J.Int c.Incr.patched_dests);
+              ("reemitted_dests", J.Int c.Incr.reemitted_dests);
+            ] );
+      ]
+  in
+  let oc = open_out bench8_json in
+  output_string oc (J.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" bench8_json
+
 (* --------------------------------------------------------------------- *)
 
 let () =
@@ -686,14 +843,16 @@ let () =
   | "serve" -> run_serve ()
   | "scale" -> run_scale ()
   | "synth" -> run_synth ()
+  | "incr" -> run_incr ()
   | "all" ->
     Experiments.all ();
     run_micro ();
     run_serve ();
     run_scale ();
-    run_synth ()
+    run_synth ();
+    run_incr ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro serve scale synth all)\n"
+      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro serve scale synth incr all)\n"
       other;
     exit 1

@@ -388,11 +388,58 @@ let with_spec file k =
     2
   | Ok spec -> k spec
 
-let spec_check_run file replay certificate json domains trace metrics =
-  with_spec file (fun spec ->
-      let net = spec.Dfr_spec.Spec.net and algo = spec.Dfr_spec.Spec.algo in
-      run_check_report ~name:algo.Algo.name ~replay ~certificate ~json ~domains
-        ~trace ~metrics net algo)
+(* `spec check --base OLD.dfr NEW.dfr`: build an incremental session on
+   the base, re-derive only the destinations the edit touched, and print
+   the JSON report — byte-identical to a cold `spec check --json` of the
+   edited file (Incr's contract).  The delta summary goes to stderr so
+   stdout stays a parseable report either way. *)
+let spec_check_delta ~base_file ~file ~domains ~trace ~metrics =
+  with_spec base_file (fun bspec ->
+      with_spec file (fun spec ->
+          obs_setup ~trace ~metrics;
+          let finish code =
+            obs_teardown ~trace;
+            code
+          in
+          let cold reason =
+            Printf.eprintf "delta: %s; checking cold\n%!" reason;
+            let report =
+              Checker.check ~domains spec.Dfr_spec.Spec.net spec.Dfr_spec.Spec.algo
+            in
+            print_endline
+              (Dfr_util.Json.to_string_pretty
+                 (Report_json.of_outcome spec.Dfr_spec.Spec.net
+                    spec.Dfr_spec.Spec.algo report));
+            finish (Report_json.exit_code report.Checker.verdict)
+          in
+          let bval = bspec.Dfr_spec.Spec.elaborated.Dfr_spec.Elaborate.spec in
+          let eval = spec.Dfr_spec.Spec.elaborated.Dfr_spec.Elaborate.spec in
+          match Dfr_spec.Diff.diff bval eval with
+          | Dfr_spec.Diff.Incompatible reason -> cold ("base incompatible: " ^ reason)
+          | Dfr_spec.Diff.Frontier f ->
+            let session, _ =
+              Incr.create ~domains bspec.Dfr_spec.Spec.net bspec.Dfr_spec.Spec.algo
+            in
+            (match Incr.update session spec.Dfr_spec.Spec.algo ~dirty:f.Dfr_spec.Diff.dirty with
+            | exception Invalid_argument msg -> cold msg
+            | res ->
+              Printf.eprintf "delta: %s, %d/%d destinations re-derived\n%!"
+                (match res.Incr.path with
+                | Incr.Fast -> "fast path"
+                | Incr.Replay -> "replay path")
+                res.Incr.dirty_dests
+                (res.Incr.dirty_dests + res.Incr.reused_dests);
+              print_endline (Dfr_util.Json.to_string_pretty res.Incr.report);
+              finish res.Incr.exit_code)))
+
+let spec_check_run file base replay certificate json domains trace metrics =
+  match base with
+  | Some base_file -> spec_check_delta ~base_file ~file ~domains ~trace ~metrics
+  | None ->
+    with_spec file (fun spec ->
+        let net = spec.Dfr_spec.Spec.net and algo = spec.Dfr_spec.Spec.algo in
+        run_check_report ~name:algo.Algo.name ~replay ~certificate ~json ~domains
+          ~trace ~metrics net algo)
 
 let spec_check_cmd =
   let replay =
@@ -402,6 +449,16 @@ let spec_check_cmd =
     Arg.(value & flag & info [ "certificate" ] ~doc:"Print a full proof certificate.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.") in
+  let base =
+    Arg.(value & opt (some file) None
+         & info [ "base" ] ~docv:"BASE"
+             ~doc:
+               "Check incrementally against $(docv), an earlier version of \
+                the spec: only destinations whose routing the edit touched \
+                are re-derived.  Prints the JSON report (bit-identical to a \
+                cold $(b,--json) check) on stdout and a delta summary on \
+                stderr; $(b,--replay) and $(b,--certificate) are ignored.")
+  in
   let domains =
     Arg.(
       value & opt int 1
@@ -411,7 +468,7 @@ let spec_check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Decide deadlock freedom for a spec-defined network")
-    Term.(const spec_check_run $ spec_file_arg $ replay $ certificate $ json
+    Term.(const spec_check_run $ spec_file_arg $ base $ replay $ certificate $ json
           $ domains $ trace_arg $ metrics_arg)
 
 let write_or_print output what content =
@@ -998,14 +1055,14 @@ let synth_cmd =
 (* serve: the batched NDJSON checking service                          *)
 
 let serve_run port workers queue cache cache_entry_bytes timeout_ms domains
-    trace metrics =
+    sessions trace metrics =
   if
     workers < 1 || queue < 1 || domains < 1 || cache < 0 || cache_entry_bytes < 0
-    || timeout_ms < 0
+    || timeout_ms < 0 || sessions < 0
   then begin
     prerr_endline
       "dfcheck serve: --workers, --queue and --domains must be >= 1; --cache, \
-       --cache-entry-bytes and --timeout-ms must be >= 0";
+       --cache-entry-bytes, --timeout-ms and --sessions must be >= 0";
     2
   end
   else begin
@@ -1013,7 +1070,7 @@ let serve_run port workers queue cache cache_entry_bytes timeout_ms domains
     let engine =
       Engine.create
         { Engine.workers; capacity = queue; cache_capacity = cache;
-          cache_entry_bytes; timeout_ms; domains }
+          cache_entry_bytes; timeout_ms; domains; sessions }
     in
     let code =
       match port with
@@ -1073,6 +1130,14 @@ let serve_cmd =
          & info [ "domains" ]
              ~doc:"Per-check BWG/classification parallelism, as in `check'.")
   in
+  let sessions =
+    Arg.(value & opt int Engine.default_config.Engine.sessions
+         & info [ "sessions" ]
+             ~doc:
+               "Incremental sessions kept live for $(b,check_delta) requests \
+                (0 disables the delta path; such requests then re-check \
+                cold).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1082,7 +1147,7 @@ let serve_cmd =
           re-checking the same spec (or a named problem equal to it) is \
           answered without recomputation.")
     Term.(const serve_run $ port $ workers $ queue $ cache $ cache_entry_bytes
-          $ timeout_ms $ domains $ trace_arg $ metrics_arg)
+          $ timeout_ms $ domains $ sessions $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* client: one-shot scripting client for a TCP serve instance          *)

@@ -196,22 +196,15 @@ let edges_for_dest space ~wait_sets ~wormhole ~dense_closures dest ~emit =
       reach
   end
 
-let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1)
-    ?(dense_closures = false) space =
-  Obs.span "bwg.build" @@ fun () ->
-  let wait_sets =
-    match wait_sets with
-    | Some w -> w
-    | None -> fun ~buf ~dest -> State_space.waits space ~buf ~dest
-  in
-  let net = State_space.net space in
-  let num_nodes = State_space.num_nodes space in
-  let num_bufs = State_space.num_buffers space in
-  let graph = Digraph.create num_bufs in
-  let witnesses = Array.make num_bufs [] in
-  let num_edges = ref 0 in
-  (* the witness cell doubles as the duplicate-edge check: only the first
-     witness of an edge touches the adjacency structure *)
+let default_wait_sets space =
+ fun ~buf ~dest -> State_space.waits space ~buf ~dest
+
+(* Shared edge recorder: the witness cell doubles as the duplicate-edge
+   check, so only the first witness of an edge touches the adjacency
+   structure.  Both the cold build and [replay] feed emissions through
+   this same code, which is what makes a replayed BWG structurally
+   identical to a built one. *)
+let make_recorder ~witness_cap ~graph ~witnesses ~num_edges =
   let add_edge q1 q2 w =
     match find_cell q2 witnesses.(q1) with
     | Some cell ->
@@ -225,6 +218,41 @@ let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1)
       incr num_edges;
       Digraph.unsafe_add_edge graph q1 q2
   in
+  add_edge
+
+let dest_edges ?wait_sets ?(dense_closures = false) space ~dest ~emit =
+  let wait_sets =
+    match wait_sets with Some w -> w | None -> default_wait_sets space
+  in
+  let wormhole = Net.switching (State_space.net space) = Net.Wormhole in
+  edges_for_dest space ~wait_sets ~wormhole ~dense_closures dest ~emit
+
+let replay ?wait_sets ?(witness_cap = 32) space f =
+  let wait_sets =
+    match wait_sets with Some w -> w | None -> default_wait_sets space
+  in
+  let num_bufs = State_space.num_buffers space in
+  let graph = Digraph.create num_bufs in
+  let witnesses = Array.make num_bufs [] in
+  let num_edges = ref 0 in
+  f (make_recorder ~witness_cap ~graph ~witnesses ~num_edges);
+  { space; graph; witnesses; wait_sets; witness_cap }
+
+let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1)
+    ?(dense_closures = false) space =
+  Obs.span "bwg.build" @@ fun () ->
+  let wait_sets =
+    match wait_sets with
+    | Some w -> w
+    | None -> default_wait_sets space
+  in
+  let net = State_space.net space in
+  let num_nodes = State_space.num_nodes space in
+  let num_bufs = State_space.num_buffers space in
+  let graph = Digraph.create num_bufs in
+  let witnesses = Array.make num_bufs [] in
+  let num_edges = ref 0 in
+  let add_edge = make_recorder ~witness_cap ~graph ~witnesses ~num_edges in
   let wormhole = indirect && Net.switching net = Net.Wormhole in
   (* the closure pass reads each destination's move graph exactly once,
      through [move_graph_view]: a transient build per destination instead

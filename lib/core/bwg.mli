@@ -50,6 +50,39 @@ val build :
     (tested); the flag exists so the equivalence tests and the memory
     benches can compare the two allocation regimes. *)
 
+val dest_edges :
+  ?wait_sets:wait_sets ->
+  ?dense_closures:bool ->
+  State_space.t ->
+  dest:int ->
+  emit:(int -> int -> witness -> unit) ->
+  unit
+(** The waiting edges contributed by one destination's traffic, streamed to
+    [emit q1 q2 witness] in exactly the order {!build} records them
+    (buffers in [reachable_with] order; per buffer, waiting heads
+    ascending; per head, waits in rule order).  The BWG's edge set is the
+    union of these per-destination emissions over all destinations — this
+    is the decomposition the incremental re-checker caches and diffs, one
+    destination at a time.  For wormhole networks the indirect continuation
+    closure is always applied (there is no [indirect] ablation knob
+    here). *)
+
+val replay :
+  ?wait_sets:wait_sets ->
+  ?witness_cap:int ->
+  State_space.t ->
+  ((int -> int -> witness -> unit) -> unit) ->
+  t
+(** [replay space f] constructs a BWG by handing [f] the same edge recorder
+    {!build} uses internally and letting the caller drive every emission.
+    If [f] emits, for each destination in ascending order, exactly the
+    sequence {!dest_edges} produces for that destination, the result is
+    structurally identical to [build space] — same adjacency, same witness
+    lists, same caps — by construction, since the emissions pass through
+    the same recorder in the same order.  This is the incremental
+    re-checker's slow path: it replays its cached per-destination emission
+    lists instead of recomputing the continuation closures. *)
+
 val space : t -> State_space.t
 val graph : t -> Dfr_graph.Digraph.t
 

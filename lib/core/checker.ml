@@ -123,10 +123,17 @@ let scan_cycles ?class_limits ?(domains = 1) bwg cycles =
     collect false 0 0
   end
 
-let check ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) net algo =
-  Obs.span "checker.check" @@ fun () ->
-  let space = State_space.build net algo in
-  let bwg = Bwg.build ~domains space in
+(* The verdict pipeline downstream of the BWG build, factored out so the
+   incremental re-checker (Incr) can run it against a replayed BWG: the
+   stuck / wait-connectivity prefixes are passed in because Incr maintains
+   them per destination, and everything after — acyclicity, knot, cycle
+   enumeration, classification, reduction — is exactly [check]'s code, which
+   is what makes incremental slow-path verdicts bit-for-bit identical to
+   cold ones.  [unconnected] is only consulted when [stuck] is empty, so
+   callers that already have stuck states may pass [[]] for it. *)
+let decide ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) ~stuck
+    ~unconnected space bwg =
+  let algo = State_space.algo space in
   let n_cycles = ref None in
   let ran_knot = ref false and ran_scan = ref false and ran_classify = ref false in
   let stage ran name f =
@@ -141,10 +148,10 @@ let check ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) net algo 
     if not !ran_classify then Obs.span "checker.classify" (fun () -> ());
     { verdict; space; bwg; bwg_cycles = !n_cycles }
   in
-  match State_space.stuck_states space with
-  | _ :: _ as stuck -> finish (Deadlock_possible (Stuck_states stuck))
+  match stuck with
+  | _ :: _ -> finish (Deadlock_possible (Stuck_states stuck))
   | [] -> (
-    match Bwg.unconnected_states bwg with
+    match unconnected with
     | _ :: _ as states -> finish (Deadlock_possible (Not_wait_connected states))
     | [] ->
       if Bwg.is_acyclic bwg then finish (Deadlock_free Acyclic_bwg)
@@ -212,6 +219,15 @@ let check ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) net algo 
               (* Theorems 2 and 3 sufficiency with BWG' = BWG: only False
                  Resource Cycles remain. *)
               finish (Deadlock_free (No_true_cycles { cycles_examined = examined })))))
+
+let check ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) net algo =
+  Obs.span "checker.check" @@ fun () ->
+  let space = State_space.build net algo in
+  let bwg = Bwg.build ~domains space in
+  let stuck = State_space.stuck_states space in
+  let unconnected = if stuck = [] then Bwg.unconnected_states bwg else [] in
+  decide ?cycle_limits ?class_limits ?reduction_budget ~domains ~stuck
+    ~unconnected space bwg
 
 let verdict ?cycle_limits ?class_limits ?reduction_budget ?domains net algo =
   (check ?cycle_limits ?class_limits ?reduction_budget ?domains net algo).verdict

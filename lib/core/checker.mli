@@ -69,6 +69,25 @@ val check :
     run: the classification fan-out still reports the True Cycle of
     minimal index in the shortest-first order. *)
 
+val decide :
+  ?cycle_limits:Dfr_graph.Cycles.limits ->
+  ?class_limits:Cycle_class.limits ->
+  ?reduction_budget:int ->
+  ?domains:int ->
+  stuck:(int * int) list ->
+  unconnected:(int * int) list ->
+  State_space.t ->
+  Bwg.t ->
+  report
+(** The verdict pipeline downstream of the BWG build — exactly the code
+    {!check} runs after constructing [space] and [bwg], exposed for the
+    incremental re-checker, which maintains the stuck / wait-connectivity
+    state lists and the BWG per destination and replays them here.  [stuck]
+    and [unconnected] must be what {!State_space.stuck_states} and
+    {!Bwg.unconnected_states} would return (reachable-iteration order);
+    [unconnected] is only consulted when [stuck] is empty, so callers
+    holding stuck states may pass [[]]. *)
+
 val verdict :
   ?cycle_limits:Dfr_graph.Cycles.limits ->
   ?class_limits:Cycle_class.limits ->

@@ -78,10 +78,10 @@ let verdict_json net = function
 
 (* The one constructor of the report object.  Every surface that renders a
    checker outcome as JSON — `dfcheck check --json', `dfcheck spec check
-   --json', the audit, and the serving layer's cached verdicts — goes
-   through here, so the three cannot drift apart field by field. *)
-let of_outcome ?metrics net algo (report : Checker.report) =
-  let g = Bwg.graph report.Checker.bwg in
+   --json', the audit, the serving layer's cached verdicts, and the
+   incremental re-checker's fast path — goes through here, so none of them
+   can drift apart field by field. *)
+let of_counts ?metrics net algo ~bwg_vertices ~bwg_edges ~bwg_cycles ~verdict =
   let fields =
     [
       ("algorithm", Json.String algo.Algo.name);
@@ -96,20 +96,25 @@ let of_outcome ?metrics net algo (report : Checker.report) =
       ( "bwg",
         Json.Obj
           [
-            ("vertices", Json.Int (Dfr_graph.Digraph.num_vertices g));
-            ("edges", Json.Int (Dfr_graph.Digraph.num_edges g));
+            ("vertices", Json.Int bwg_vertices);
+            ("edges", Json.Int bwg_edges);
             ( "cycles",
-              match report.Checker.bwg_cycles with
-              | Some n -> Json.Int n
-              | None -> Json.Null );
+              match bwg_cycles with Some n -> Json.Int n | None -> Json.Null );
           ] );
-      ("verdict", verdict_json net report.Checker.verdict);
+      ("verdict", verdict_json net verdict);
     ]
   in
   (* the report parser ignores unknown fields, so appending is compatible *)
   match metrics with
   | Some m -> Json.Obj (fields @ [ ("metrics", m) ])
   | None -> Json.Obj fields
+
+let of_outcome ?metrics net algo (report : Checker.report) =
+  let g = Bwg.graph report.Checker.bwg in
+  of_counts ?metrics net algo
+    ~bwg_vertices:(Dfr_graph.Digraph.num_vertices g)
+    ~bwg_edges:(Dfr_graph.Digraph.num_edges g)
+    ~bwg_cycles:report.Checker.bwg_cycles ~verdict:report.Checker.verdict
 
 let of_report net algo report = of_outcome net algo report
 let to_string net algo report = Json.to_string_pretty (of_report net algo report)

@@ -147,7 +147,59 @@ let build_dense net algo ~num_buffers ~num_nodes =
 
 (* Same closure, one destination at a time: the BFS for a destination only
    ever revisits its own states, so a size-B scratch reused across
-   destinations replaces the B*N flat arrays entirely. *)
+   destinations replaces the B*N flat arrays entirely.  The single-slice
+   function is shared with [with_updated_dests], which re-runs it for just
+   the dirty destinations — a slice is a pure function of (net, algo,
+   dest), so a rebuilt slice is identical to what a cold build produces. *)
+let sparse_slice net algo ~num_nodes ~seen ~out_scratch ~wait_scratch
+    ~red_scratch dest =
+  let touched = ref [] in
+  let queue = Queue.create () in
+  let visit buf =
+    if not seen.(buf) then begin
+      seen.(buf) <- true;
+      touched := buf :: !touched;
+      Queue.add buf queue
+    end
+  in
+  for src = 0 to num_nodes - 1 do
+    if src <> dest then visit (Buf.id (Net.injection net src))
+  done;
+  while not (Queue.is_empty queue) do
+    let buf = Queue.pop queue in
+    let b = Net.buffer net buf in
+    if Buf.head_node b <> dest then begin
+      let outs =
+        List.filter
+          (fun o -> Buf.is_transit (Net.buffer net o))
+          (algo.Algo.route net b ~dest)
+      in
+      out_scratch.(buf) <- outs;
+      wait_scratch.(buf) <- algo.Algo.waits net b ~dest;
+      (match (red_scratch, algo.Algo.reduced_waits) with
+      | Some arr, Some rw -> arr.(buf) <- rw net b ~dest
+      | _ -> ());
+      List.iter visit outs
+    end
+  done;
+  let bufs = Array.of_list (List.sort compare !touched) in
+  let slice =
+    {
+      bufs;
+      outs = Array.map (fun b -> out_scratch.(b)) bufs;
+      wts = Array.map (fun b -> wait_scratch.(b)) bufs;
+      rdc = Option.map (fun arr -> Array.map (fun b -> arr.(b)) bufs) red_scratch;
+    }
+  in
+  List.iter
+    (fun b ->
+      seen.(b) <- false;
+      out_scratch.(b) <- [];
+      wait_scratch.(b) <- [];
+      match red_scratch with Some arr -> arr.(b) <- [] | None -> ())
+    !touched;
+  slice
+
 let build_sparse net algo ~num_buffers ~num_nodes =
   let seen = Array.make num_buffers false in
   let out_scratch = Array.make num_buffers [] in
@@ -158,53 +210,11 @@ let build_sparse net algo ~num_buffers ~num_nodes =
   let states = ref 0 in
   let slices =
     Array.init num_nodes (fun dest ->
-        let touched = ref [] in
-        let queue = Queue.create () in
-        let visit buf =
-          if not seen.(buf) then begin
-            seen.(buf) <- true;
-            touched := buf :: !touched;
-            Queue.add buf queue
-          end
-        in
-        for src = 0 to num_nodes - 1 do
-          if src <> dest then visit (Buf.id (Net.injection net src))
-        done;
-        while not (Queue.is_empty queue) do
-          let buf = Queue.pop queue in
-          let b = Net.buffer net buf in
-          if Buf.head_node b <> dest then begin
-            let outs =
-              List.filter
-                (fun o -> Buf.is_transit (Net.buffer net o))
-                (algo.Algo.route net b ~dest)
-            in
-            out_scratch.(buf) <- outs;
-            wait_scratch.(buf) <- algo.Algo.waits net b ~dest;
-            (match (red_scratch, algo.Algo.reduced_waits) with
-            | Some arr, Some rw -> arr.(buf) <- rw net b ~dest
-            | _ -> ());
-            List.iter visit outs
-          end
-        done;
-        let bufs = Array.of_list (List.sort compare !touched) in
-        states := !states + Array.length bufs;
         let slice =
-          {
-            bufs;
-            outs = Array.map (fun b -> out_scratch.(b)) bufs;
-            wts = Array.map (fun b -> wait_scratch.(b)) bufs;
-            rdc = Option.map (fun arr -> Array.map (fun b -> arr.(b)) bufs)
-                red_scratch;
-          }
+          sparse_slice net algo ~num_nodes ~seen ~out_scratch ~wait_scratch
+            ~red_scratch dest
         in
-        List.iter
-          (fun b ->
-            seen.(b) <- false;
-            out_scratch.(b) <- [];
-            wait_scratch.(b) <- [];
-            match red_scratch with Some arr -> arr.(b) <- [] | None -> ())
-          !touched;
+        states := !states + Array.length slice.bufs;
         slice)
   in
   Obs.count "space.states" !states;
@@ -329,6 +339,139 @@ let reachable_with t ~dest =
     done;
     !acc
   | Sparse_tab slices -> Array.to_list slices.(dest).bufs
+
+type dest_view = {
+  view_bufs : int array;
+  view_outs : int list array;
+  view_wts : int list array;
+}
+
+let dest_view t ~dest =
+  match t.storage with
+  | Sparse_tab slices ->
+    let s = slices.(dest) in
+    { view_bufs = s.bufs; view_outs = s.outs; view_wts = s.wts }
+  | Dense_tab d ->
+    let acc = ref [] in
+    for buf = t.num_buffers - 1 downto 0 do
+      if d.reachable.((buf * t.num_nodes) + dest) then acc := buf :: !acc
+    done;
+    let bufs = Array.of_list !acc in
+    let idx b = (b * t.num_nodes) + dest in
+    {
+      view_bufs = bufs;
+      view_outs = Array.map (fun b -> d.outputs.(idx b)) bufs;
+      view_wts = Array.map (fun b -> d.waits.(idx b)) bufs;
+    }
+
+(* Rebuild only the named destinations' tables under a new algorithm,
+   sharing everything else.  A destination's slice (and move graph) is a
+   pure function of (net, algo restricted to that dest), so as long as the
+   caller's dirty set covers every destination whose applicable rules
+   changed — Diff.diff computes exactly that set for spec edits — the
+   result is indistinguishable from a cold build of [algo].  No
+   [Algo.validate] pass runs here: the callers hold pre-validated
+   algorithms (Elaborate validates every compiled spec; the bench path
+   warrants its own edits), and a full validation sweep is O(B * N) route
+   calls — precisely the cost this function exists to avoid. *)
+let with_updated_dests t algo ~dests =
+  Obs.span "space.update" @@ fun () ->
+  let num_buffers = t.num_buffers and num_nodes = t.num_nodes in
+  let dests = List.sort_uniq compare dests in
+  List.iter
+    (fun d ->
+      if d < 0 || d >= num_nodes then
+        invalid_arg "State_space.with_updated_dests: destination out of range")
+    dests;
+  let hint = algo.Algo.reduced_waits <> None in
+  (* a hint cannot be introduced incrementally: the clean destinations'
+     reduced tables were never computed *)
+  (match t.storage with
+  | Dense_tab d ->
+    if hint && d.reduced = None then
+      invalid_arg
+        "State_space.with_updated_dests: cannot introduce a reduced-waits hint"
+  | Sparse_tab slices ->
+    if hint && Array.exists (fun s -> s.rdc = None) slices then
+      invalid_arg
+        "State_space.with_updated_dests: cannot introduce a reduced-waits hint");
+  let storage =
+    match t.storage with
+    | Sparse_tab slices ->
+      let slices' = Array.copy slices in
+      (* a hint the new algorithm no longer carries must not survive in the
+         shared slices either, or [reduced_waits] would diverge from a
+         cold build of [algo] *)
+      if not hint then
+        Array.iteri
+          (fun i s -> if s.rdc <> None then slices'.(i) <- { s with rdc = None })
+          slices';
+      let seen = Array.make num_buffers false in
+      let out_scratch = Array.make num_buffers [] in
+      let wait_scratch = Array.make num_buffers [] in
+      let red_scratch =
+        Option.map (fun _ -> Array.make num_buffers []) algo.Algo.reduced_waits
+      in
+      List.iter
+        (fun dest ->
+          Obs.count "space.dest.rebuilds" 1;
+          slices'.(dest) <-
+            sparse_slice t.net algo ~num_nodes ~seen ~out_scratch ~wait_scratch
+              ~red_scratch dest)
+        dests;
+      Sparse_tab slices'
+    | Dense_tab d ->
+      let reachable = Array.copy d.reachable in
+      let outputs = Array.copy d.outputs in
+      let waits = Array.copy d.waits in
+      let reduced = if hint then Option.map Array.copy d.reduced else None in
+      let idx buf dest = (buf * num_nodes) + dest in
+      List.iter
+        (fun dest ->
+          Obs.count "space.dest.rebuilds" 1;
+          for buf = 0 to num_buffers - 1 do
+            let i = idx buf dest in
+            reachable.(i) <- false;
+            outputs.(i) <- [];
+            waits.(i) <- [];
+            match reduced with Some arr -> arr.(i) <- [] | None -> ()
+          done;
+          (* single-destination column of [build_dense]'s BFS *)
+          let queue = Queue.create () in
+          let visit buf =
+            let i = idx buf dest in
+            if not reachable.(i) then begin
+              reachable.(i) <- true;
+              Queue.add buf queue
+            end
+          in
+          for src = 0 to num_nodes - 1 do
+            if src <> dest then visit (Buf.id (Net.injection t.net src))
+          done;
+          while not (Queue.is_empty queue) do
+            let buf = Queue.pop queue in
+            let b = Net.buffer t.net buf in
+            if Buf.head_node b <> dest then begin
+              let i = idx buf dest in
+              let outs =
+                List.filter
+                  (fun o -> Buf.is_transit (Net.buffer t.net o))
+                  (algo.Algo.route t.net b ~dest)
+              in
+              outputs.(i) <- outs;
+              waits.(i) <- algo.Algo.waits t.net b ~dest;
+              (match (reduced, algo.Algo.reduced_waits) with
+              | Some arr, Some rw -> arr.(i) <- rw t.net b ~dest
+              | _ -> ());
+              List.iter visit outs
+            end
+          done)
+        dests;
+      Dense_tab { reachable; outputs; waits; reduced }
+  in
+  let move_graphs = Array.copy t.move_graphs in
+  List.iter (fun dest -> move_graphs.(dest) <- None) dests;
+  { t with algo; storage; move_graphs }
 
 let stuck_states t =
   let acc = ref [] in

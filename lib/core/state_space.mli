@@ -78,6 +78,37 @@ val materialize_move_graphs : t -> unit
 val reachable_with : t -> dest:int -> int list
 (** Buffers some [dest]-bound packet can occupy, ascending. *)
 
+(** {2 Incremental access}
+
+    The state table decomposes by destination — a destination's slice is a
+    pure function of (net, algo restricted to that destination) — which is
+    the sharing unit of the incremental re-checker. *)
+
+type dest_view = {
+  view_bufs : int array;  (** reachable buffers, ascending *)
+  view_outs : int list array;  (** parallel: permitted transit outputs *)
+  view_wts : int list array;  (** parallel: waiting sets *)
+}
+
+val dest_view : t -> dest:int -> dest_view
+(** One destination's reachable states and routing relation as parallel
+    arrays.  On the sparse layout this aliases the internal slice (do not
+    mutate); on the dense layout it is extracted fresh per call. *)
+
+val with_updated_dests : t -> Algo.t -> dests:int list -> t
+(** A state space for the new algorithm that rebuilds only the slices (and
+    invalidates only the move-graph cache entries) of the listed
+    destinations, sharing every other destination's structures with [t].
+    Sound when the algorithms agree on every destination outside [dests] —
+    the caller (Diff / Incr) is responsible for that frontier; the result
+    is then indistinguishable from [build net algo].  [Algo.validate] is
+    deliberately {e not} re-run (callers hold pre-validated algorithms;
+    re-validating would cost the full O(B·N) sweep this function avoids).
+    Raises [Invalid_argument] on an out-of-range destination, or when
+    [algo] carries a [reduced_waits] hint and [t] was built without one
+    (the clean destinations' hint tables cannot be filled in
+    retroactively). *)
+
 val stuck_states : t -> (int * int) list
 (** Reachable states that are neither arrived nor have any output: the
     routing relation dead-ends there (a malformed algorithm). *)

@@ -57,16 +57,21 @@ let push_front t n =
   (match t.front with Some f -> f.prev <- Some n | None -> t.back <- Some n);
   t.front <- Some n
 
+(* capacity 0 disables storage: every lookup would be a structural miss,
+   and counting those would report a 0% hit rate for a cache that was
+   never asked to store anything — so a disabled cache counts nothing *)
 let find t key =
-  match Hashtbl.find_opt t.table key with
-  | Some n ->
-    t.hits <- t.hits + 1;
-    unlink t n;
-    push_front t n;
-    Some n.value
-  | None ->
-    t.misses <- t.misses + 1;
-    None
+  if t.cap = 0 then None
+  else
+    match Hashtbl.find_opt t.table key with
+    | Some n ->
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      Some n.value
+    | None ->
+      t.misses <- t.misses + 1;
+      None
 
 let mem t key = Hashtbl.mem t.table key
 

@@ -12,8 +12,11 @@
 type 'a t
 
 val create : ?max_entry_bytes:int -> capacity:int -> unit -> 'a t
-(** [capacity] is the maximum number of entries; [0] disables storage
-    (every {!find} is a miss, {!add} is a no-op).  [max_entry_bytes]
+(** [capacity] is the maximum number of entries; [0] disables storage:
+    {!add} is a no-op, every {!find} returns [None], and — because a
+    disabled cache was never asked to store anything — neither counter
+    moves, so {!stats_json}'s [hit_rate] stays [null] instead of
+    reporting a meaningless 0%.  [max_entry_bytes]
     (default [0] = unlimited) rejects entries whose declared byte weight
     exceeds it — a multi-megabyte deadlock witness passes through
     uncached instead of pinning its rendering until [capacity] further
@@ -22,7 +25,8 @@ val create : ?max_entry_bytes:int -> capacity:int -> unit -> 'a t
 
 val find : 'a t -> string -> 'a option
 (** Lookup; a hit refreshes the entry's recency and increments the hit
-    counter, a miss increments the miss counter. *)
+    counter, a miss increments the miss counter.  On a disabled cache
+    (capacity 0) always [None], with neither counter incremented. *)
 
 val mem : 'a t -> string -> bool
 (** Counter-neutral membership test (does not touch recency). *)

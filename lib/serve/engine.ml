@@ -10,6 +10,7 @@ type config = {
   cache_entry_bytes : int;
   timeout_ms : int;
   domains : int;
+  sessions : int;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     cache_entry_bytes = 1 lsl 20;
     timeout_ms = 0;
     domains = 1;
+    sessions = 8;
   }
 
 (* What the cache stores per digest: the report object exactly as first
@@ -27,6 +29,17 @@ let default_config =
    envelope (id, cached flag) differs between the original miss and the
    hits. *)
 type entry = { report : Json.t; exit_code : int }
+
+(* An incremental session, addressed by the digest of the spec it
+   currently answers for.  The record is mutable and the LRU has no
+   remove, so after an update moves the session to the edit's digest the
+   old binding still aliases it — [current] detects and ignores such
+   stale bindings. *)
+type session = {
+  mutable incr : Incr.t;
+  mutable validated : Dfr_spec.Validate.t;
+  mutable current : string;
+}
 
 type outcome = Checked of entry | Slept of int
 
@@ -44,6 +57,7 @@ type t = {
   config : config;
   pool : Pool.t;
   cache : entry Cache.t;
+  sessions : session Cache.t;
   inflight : (string, (outcome, string) result Pool.promise) Hashtbl.t;
       (* digest -> promise of the first, still-running request for it *)
   named_digests : (string, string) Hashtbl.t;
@@ -61,6 +75,7 @@ let create config =
     cache =
       Cache.create ~max_entry_bytes:config.cache_entry_bytes
         ~capacity:config.cache_capacity ();
+    sessions = Cache.create ~capacity:config.sessions ();
     inflight = Hashtbl.create 64;
     named_digests = Hashtbl.create 64;
     requests = 0;
@@ -76,6 +91,7 @@ let stats_json t =
     [
       ("requests", Json.Int t.requests);
       ("cache", Cache.stats_json t.cache);
+      ("sessions", Cache.stats_json t.sessions);
       ( "pool",
         Json.Obj
           [
@@ -91,9 +107,11 @@ let stats_json t =
 let ready j = Ready j
 let gauge_depth t = Obs.gauge "serve.queue.depth" (float_of_int (Pool.outstanding t.pool))
 
+(* Deadlines are monotonic-clock instants: an NTP step of the wall clock
+   must neither spuriously expire an in-flight request nor extend it. *)
 let deadline_of t =
   if t.config.timeout_ms <= 0 then None
-  else Some (Unix.gettimeofday () +. (float_of_int t.config.timeout_ms /. 1000.))
+  else Some (Monotime.now () +. (float_of_int t.config.timeout_ms /. 1000.))
 
 (* Digest of an elaborated problem, with a safety net: the canonical
    reprint refuses networks whose channels are not identity-unique (none
@@ -159,6 +177,72 @@ let submit_check t ~id ~digest net algo =
         Waiting
           { digest = Some digest; promise; deadline = deadline_of t; cached = false }))
 
+(* Incremental re-checks run synchronously on the orchestrator: the whole
+   point of the delta path is sub-millisecond latency, and a mutable
+   session must not be shared with a worker anyway.  A session miss (or
+   an incompatible edit) falls back to a cold [Incr.create] inline —
+   costly, but it seeds the session later deltas reuse. *)
+let check_delta t ~id ~base ~spec =
+  Obs.span "serve.check_delta" @@ fun () ->
+  match Dfr_spec.Spec.compile_string spec with
+  | Error e ->
+    Obs.count "serve.errors" 1;
+    Protocol.error_response ~id ~kind:"spec" (Dfr_spec.Spec.error_to_string e)
+  | Ok compiled -> (
+    let digest = digest_of_spec compiled ~source:spec in
+    let net = compiled.Dfr_spec.Spec.net in
+    let algo = compiled.Dfr_spec.Spec.algo in
+    let validated = compiled.Dfr_spec.Spec.elaborated.Dfr_spec.Elaborate.spec in
+    let answer ~mode (res : Incr.result) =
+      (* the delta verdict is the cold verdict, so plain checks of the
+         edited spec may hit the cache on these bytes *)
+      if not (Cache.mem t.cache digest) then begin
+        let entry = { report = res.Incr.report; exit_code = res.Incr.exit_code } in
+        let bytes = String.length (Json.to_string entry.report) in
+        Cache.add ~bytes t.cache digest entry
+      end;
+      Obs.count ("serve.delta." ^ mode) 1;
+      Protocol.check_delta_response ~id ~digest ~exit_code:res.Incr.exit_code
+        ~report:res.Incr.report
+        ~delta:
+          (Json.Obj
+             [
+               ("base", Json.String base);
+               ("mode", Json.String mode);
+               ("dirty_dests", Json.Int res.Incr.dirty_dests);
+               ("reused_dests", Json.Int res.Incr.reused_dests);
+             ])
+    in
+    let cold () =
+      match Incr.create ~domains:t.config.domains net algo with
+      | exception Invalid_argument msg ->
+        Obs.count "serve.errors" 1;
+        Protocol.error_response ~id ~kind:"check" msg
+      | incr, res ->
+        Cache.add t.sessions digest { incr; validated; current = digest };
+        answer ~mode:"cold" res
+    in
+    match Cache.find t.sessions base with
+    | Some sess when sess.current = base -> (
+      match Dfr_spec.Diff.diff sess.validated validated with
+      | Dfr_spec.Diff.Incompatible _ -> cold ()
+      | Dfr_spec.Diff.Frontier f -> (
+        match Incr.update sess.incr algo ~dirty:f.Dfr_spec.Diff.dirty with
+        | exception Invalid_argument _ ->
+          (* e.g. the edit introduces a reduced-waits hint the session
+             was built without; the session is untouched but easier to
+             retire than to prove so *)
+          sess.current <- "";
+          cold ()
+        | res ->
+          sess.validated <- validated;
+          sess.current <- digest;
+          Cache.add t.sessions digest sess;
+          answer
+            ~mode:(match res.Incr.path with Incr.Fast -> "fast" | Incr.Replay -> "replay")
+            res))
+    | _ -> cold ())
+
 let dispatch t ~id (req : Protocol.request) =
   match req with
   | Protocol.Ping -> ready (Protocol.ok_response ~id ~op:"ping" [])
@@ -212,6 +296,7 @@ let dispatch t ~id (req : Protocol.request) =
           let key = algo ^ "@" ^ Option.value topology ~default:"" in
           let digest = digest_of_named t ~key net e.Registry.algo in
           submit_check t ~id ~digest net e.Registry.algo)))
+  | Protocol.Check_delta { base; spec } -> ready (check_delta t ~id ~base ~spec)
   | Protocol.Check_spec { spec } -> (
     match Dfr_spec.Spec.compile_string spec with
     | Error e ->
@@ -289,7 +374,7 @@ let poll t slot =
       Some j
     | None -> (
       match p.deadline with
-      | Some d when Unix.gettimeofday () > d ->
+      | Some d when Monotime.now () > d ->
         let j = timed_out t ~id:slot.id p in
         slot.state <- Ready j;
         Some j

@@ -25,11 +25,14 @@ type config = {
           are served but not cached. *)
   timeout_ms : int;  (** per-request deadline; 0 disables *)
   domains : int;  (** per-check BWG/classification parallelism *)
+  sessions : int;
+      (** incremental sessions kept live for [check_delta]; 0 disables
+          the delta path (every delta request re-checks cold) *)
 }
 
 val default_config : config
 (** 1 worker, capacity 64, 256 cache entries of at most 1 MiB each, no
-    timeout, 1 domain per check. *)
+    timeout, 1 domain per check, 8 incremental sessions. *)
 
 type t
 

@@ -5,6 +5,7 @@ open Dfr_routing
 type request =
   | Check_spec of { spec : string }
   | Check_named of { algo : string; topology : string option }
+  | Check_delta of { base : string; spec : string }
   | Catalogue
   | Stats
   | Ping
@@ -34,6 +35,14 @@ let parse line =
             let topology = Option.bind (Json.member "topology" doc) Json.to_str in
             Ok { id; req = Check_named { algo; topology } }
           | None -> err "op \"check\" needs a \"spec\" or an \"algo\" field"))
+      | Some "check_delta" -> (
+        match
+          ( Option.bind (Json.member "base" doc) Json.to_str,
+            Option.bind (Json.member "spec" doc) Json.to_str )
+        with
+        | Some base, Some spec -> Ok { id; req = Check_delta { base; spec } }
+        | None, _ -> err "op \"check_delta\" needs a string \"base\" digest"
+        | _, None -> err "op \"check_delta\" needs a \"spec\" field")
       | Some "catalogue" -> Ok { id; req = Catalogue }
       | Some "stats" -> Ok { id; req = Stats }
       | Some "ping" -> Ok { id; req = Ping }
@@ -72,6 +81,15 @@ let check_response ~id ~cached ~digest ~exit_code ~report =
       ("digest", Json.String digest);
       ("exit", Json.Int exit_code);
       ("report", report);
+    ]
+
+let check_delta_response ~id ~digest ~exit_code ~report ~delta =
+  ok_response ~id ~op:"check_delta"
+    [
+      ("digest", Json.String digest);
+      ("exit", Json.Int exit_code);
+      ("report", report);
+      ("delta", delta);
     ]
 
 let catalogue_json () =

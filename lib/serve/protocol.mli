@@ -5,6 +5,7 @@
     {v
     {"id": <any>, "op": "check", "spec": "<.dfr text>"}
     {"id": <any>, "op": "check", "algo": "efa", "topology": "hypercube:3"}
+    {"id": <any>, "op": "check_delta", "base": "<digest>", "spec": "<.dfr text>"}
     {"op": "catalogue"} {"op": "stats"} {"op": "ping"}
     {"op": "sleep", "ms": 250}          (testing/latency probe)
     {"op": "shutdown"}
@@ -22,6 +23,10 @@ type request =
   | Check_spec of { spec : string }  (** inline .dfr source *)
   | Check_named of { algo : string; topology : string option }
       (** a registry algorithm, optionally on an explicit topology *)
+  | Check_delta of { base : string; spec : string }
+      (** re-check an edited spec against the incremental session for
+          [base] (the digest a previous check/check_delta response
+          reported); falls back to a cold build on a session miss *)
   | Catalogue
   | Stats
   | Ping
@@ -46,6 +51,13 @@ val error_response : id:Json.t option -> kind:string -> string -> Json.t
 
 val check_response :
   id:Json.t option -> cached:bool -> digest:string -> exit_code:int -> report:Json.t -> Json.t
+
+val check_delta_response :
+  id:Json.t option -> digest:string -> exit_code:int -> report:Json.t -> delta:Json.t -> Json.t
+(** Same ["report"] bytes a plain check of the edited spec would emit,
+    plus a ["delta"] object [{"base", "mode", "dirty_dests",
+    "reused_dests"}] where ["mode"] is ["fast"], ["replay"] or
+    ["cold"]. *)
 
 val catalogue_json : unit -> Json.t
 (** The machine-readable registry: name, expected verdict, description

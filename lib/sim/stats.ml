@@ -16,8 +16,15 @@ let mean_latency t =
     Some
       (float_of_int (List.fold_left ( + ) 0 ls) /. float_of_int (List.length ls))
 
-let max_latency t = List.fold_left max 0 t.latencies
+let max_latency t =
+  match t.latencies with
+  | [] -> None
+  | l :: ls -> Some (List.fold_left max l ls)
 
+(* Nearest-rank: the p-th percentile of n sorted samples is the one at
+   rank ceil(p*n), 1-based.  The previous truncating [int_of_float
+   (p *. n)] was off by one rank: p50 of [1;2] returned 2, and p95 over
+   exactly 20 samples returned the max. *)
 let percentile_latency t p =
   match t.latencies with
   | [] -> 0
@@ -25,8 +32,8 @@ let percentile_latency t p =
     let sorted = Array.of_list ls in
     Array.sort Int.compare sorted;
     let n = Array.length sorted in
-    let idx = max 0 (min (n - 1) (int_of_float (p *. float_of_int n))) in
-    sorted.(idx)
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
 
 let throughput t ~nodes =
   if t.cycles = 0 then 0.0
@@ -60,7 +67,8 @@ let to_json t ~nodes =
       ("flits_delivered", J.Int t.flits_delivered);
       ( "mean_latency",
         match mean_latency t with None -> J.Null | Some m -> J.Float m );
-      ("max_latency", J.Int (max_latency t));
+      ( "max_latency",
+        match max_latency t with None -> J.Null | Some m -> J.Int m );
       ("p50_latency", J.Int (percentile_latency t 0.5));
       ("p95_latency", J.Int (percentile_latency t 0.95));
       ("throughput", J.Float (throughput t ~nodes));

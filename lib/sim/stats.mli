@@ -15,10 +15,14 @@ val mean_latency : t -> float option
     latency, and the former [nan] result leaked into printed tables and
     JSON reports as an unparseable token. *)
 
-val max_latency : t -> int
+val max_latency : t -> int option
+(** [None] when nothing was delivered, like {!mean_latency} — the former
+    0 was indistinguishable from a genuine zero-latency delivery. *)
 
 val percentile_latency : t -> float -> int
-(** e.g. [percentile_latency t 0.95]; 0 when nothing was delivered. *)
+(** Nearest-rank percentile (rank [ceil(p*n)], 1-based) over the sorted
+    latencies, e.g. [percentile_latency t 0.95]; 0 when nothing was
+    delivered. *)
 
 val throughput : t -> nodes:int -> float
 (** Flits delivered per node per cycle. *)

@@ -1,0 +1,90 @@
+(* Structural differ over validated specs: given a base and an edited
+   spec, compute which destinations' routing could differ — the "dirty
+   frontier" the incremental re-checker rebuilds, everything else being
+   reused.
+
+   Soundness rests on how {!Elaborate} resolves rules: the route (resp.
+   wait) table entry of a state (buf, dest) is decided by first-match over
+   the kind-filtered rule list restricted to rules whose [dst] is the
+   wildcard or exactly [dest].  So destination [dest]'s entire table is a
+   function of the *subsequence of applicable rules* (and of the shared
+   skeleton: channels, topology, switching...).  If that subsequence —
+   compared by position-stripped structural keys — is unchanged between
+   base and edit, every table entry of [dest] is unchanged, and with it
+   the destination's state-space slice, move graph and BWG emissions.
+
+   The comparison is conservative in the other direction: a rule rewrite
+   that happens to resolve to the same tables (say, replacing a wildcard
+   with the equivalent per-destination rules) marks destinations dirty
+   that did not semantically change.  That only costs reuse, never
+   correctness. *)
+
+open Dfr_topology
+
+type frontier = { dirty : int list; total : int }
+(** [dirty] ascending; [total] is the destination count (= nodes). *)
+
+type t =
+  | Incompatible of string
+      (** the skeletons differ (named part); only a cold check is sound *)
+  | Frontier of frontier
+
+(* A rule's identity for table-resolution purposes: kind, selector and
+   outputs, with source positions stripped (moving a rule to another line
+   must not dirty anything) and [dst] excluded — applicability to the
+   destination under comparison is what filtered the rule in, and beyond
+   that the destination's tables do not depend on whether the rule was a
+   wildcard or explicit. *)
+let outs_key = function
+  | Validate.Explicit l -> `Explicit (List.map fst l)
+  | Validate.Empty -> `Empty
+  | Validate.Min v -> `Min v
+
+let rule_key (r : Validate.rule) =
+  (r.Validate.kind, r.Validate.sel, outs_key r.Validate.outs)
+
+let applicable ~dest rules =
+  List.filter_map
+    (fun r ->
+      match r.Validate.dst with
+      | Some d when d <> dest -> None
+      | _ -> Some (rule_key r))
+    rules
+
+(* Everything a destination's tables depend on besides its applicable
+   rules.  The name is included because it is embedded in every rendered
+   report; channel names are not (buffers are described by their (src,
+   dst, vc) triple, and the canonical reprint regenerates names). *)
+let skeleton_mismatch (a : Validate.t) (b : Validate.t) =
+  let chan_triple (c : Validate.channel) = (c.Validate.csrc, c.Validate.cdst, c.Validate.cvc) in
+  if a.Validate.name <> b.Validate.name then Some "network name"
+  else if a.Validate.switching <> b.Validate.switching then Some "switching mode"
+  else if a.Validate.waiting <> b.Validate.waiting then Some "waiting discipline"
+  else if a.Validate.num_nodes <> b.Validate.num_nodes then Some "node count"
+  else if a.Validate.vcs <> b.Validate.vcs then Some "virtual channel count"
+  else if
+    Option.map Topology.name a.Validate.topology
+    <> Option.map Topology.name b.Validate.topology
+  then Some "topology"
+  else if
+    Array.length a.Validate.channels <> Array.length b.Validate.channels
+    || not
+         (Array.for_all2
+            (fun c1 c2 -> chan_triple c1 = chan_triple c2)
+            a.Validate.channels b.Validate.channels)
+  then Some "channel table"
+  else None
+
+let diff (base : Validate.t) (edit : Validate.t) =
+  match skeleton_mismatch base edit with
+  | Some what -> Incompatible (what ^ " changed")
+  | None ->
+    let n = base.Validate.num_nodes in
+    let dirty = ref [] in
+    for dest = n - 1 downto 0 do
+      if
+        applicable ~dest base.Validate.rules
+        <> applicable ~dest edit.Validate.rules
+      then dirty := dest :: !dirty
+    done;
+    Frontier { dirty = !dirty; total = n }

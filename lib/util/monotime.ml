@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "dfr_monotime_ns"
+
+let now () = Int64.to_float (now_ns ()) *. 1e-9
+let elapsed_ns ~since = Int64.sub (now_ns ()) since

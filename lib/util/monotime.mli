@@ -1,0 +1,17 @@
+(** Monotonic clock readings for deadlines and latency measurement.
+
+    Wall-clock time ([Unix.gettimeofday]) steps when NTP corrects the
+    system clock, so deadlines computed from it can fire spuriously or
+    never.  These readings come from [CLOCK_MONOTONIC]: the origin is
+    arbitrary (boot time on Linux), only differences mean anything, and
+    they never go backwards. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary fixed origin. *)
+
+val now : unit -> float
+(** Seconds since the same origin, for deadline arithmetic in the units
+    [Unix.gettimeofday] callers already use. *)
+
+val elapsed_ns : since:int64 -> int64
+(** [now_ns () - since], for latency measurements. *)

@@ -1,0 +1,37 @@
+/* Monotonic clock for deadline arithmetic.
+
+   CLOCK_MONOTONIC is immune to NTP steps and manual clock changes, which
+   wall-clock deadlines (Unix.gettimeofday) are not.  Readings are
+   nanoseconds from an arbitrary origin; only differences are meaningful. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value dfr_monotime_ns(value unit)
+{
+  static LARGE_INTEGER freq;
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0) QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return caml_copy_int64(
+      (int64_t)((double)now.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+
+#else
+#include <time.h>
+
+CAMLprim value dfr_monotime_ns(value unit)
+{
+  struct timespec ts;
+#if defined(CLOCK_MONOTONIC)
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}
+#endif

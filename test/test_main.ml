@@ -18,5 +18,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("differential", Test_differential.suite);
       ("serve", Test_serve.suite);
+      ("incr", Test_incr.suite);
       ("synth", Test_synth.suite);
     ]

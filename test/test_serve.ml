@@ -43,6 +43,14 @@ let test_cache_disabled () =
   Cache.add c "a" 1;
   check Alcotest.(option int) "never stores" None (Cache.find c "a");
   check Alcotest.int "empty" 0 (Cache.length c);
+  (* regression: a disabled cache used to count every find as a miss,
+     reporting a 0% hit rate for a cache never asked to store anything *)
+  check Alcotest.int "disabled counts no misses" 0 (Cache.misses c);
+  check Alcotest.int "disabled counts no hits" 0 (Cache.hits c);
+  check Alcotest.bool "hit_rate stays null" true
+    (match Dfr_util.Json.member "hit_rate" (Cache.stats_json c) with
+    | Some Dfr_util.Json.Null -> true
+    | _ -> false);
   Alcotest.check_raises "negative capacity"
     (Invalid_argument "Cache.create: negative capacity") (fun () ->
       ignore (Cache.create ~capacity:(-1) ()))
@@ -358,6 +366,128 @@ let test_engine_shutdown_guard () =
       check Alcotest.string "late arrivals refused" "shutting_down"
         (error_kind late))
 
+(* ---------------- check_delta ---------------- *)
+
+let fullmesh_spec ~adaptive =
+  String.concat "\n"
+    ([
+       "network fullmesh-direct-4";
+       "topology fullmesh 4";
+       "switching wormhole";
+       "vcs 1";
+       "waiting any";
+       (if adaptive then "route at 0 to 1 : c0_1_0 c0_2_0"
+        else "route at 0 to 1 : c0_1_0");
+       "route at 0 to 2 : c0_2_0";
+       "route at 0 to 3 : c0_3_0";
+       "route at 1 to 0 : c1_0_0";
+       "route at 1 to 2 : c1_2_0";
+       "route at 1 to 3 : c1_3_0";
+       "route at 2 to 0 : c2_0_0";
+       "route at 2 to 1 : c2_1_0";
+       "route at 2 to 3 : c2_3_0";
+       "route at 3 to 0 : c3_0_0";
+       "route at 3 to 1 : c3_1_0";
+       "route at 3 to 2 : c3_2_0";
+     ])
+
+let delta_req ~base spec =
+  J.to_string
+    (J.Obj
+       [
+         ("op", J.String "check_delta");
+         ("base", J.String base);
+         ("spec", J.String spec);
+       ])
+
+let spec_req spec =
+  J.to_string (J.Obj [ ("op", J.String "check"); ("spec", J.String spec) ])
+
+let delta_field name doc =
+  match J.member name (member "delta" doc) with
+  | Some v -> v
+  | None -> Alcotest.failf "delta lacks %S: %s" name (J.to_string doc)
+
+let delta_mode doc =
+  match delta_field "mode" doc with
+  | J.String m -> m
+  | _ -> Alcotest.fail "non-string delta mode"
+
+let test_protocol_parse_delta () =
+  (match Protocol.parse "{\"op\":\"check_delta\",\"base\":\"abc\",\"spec\":\"x\"}" with
+  | Ok { Protocol.req = Protocol.Check_delta { base; spec }; _ } ->
+    check Alcotest.string "base" "abc" base;
+    check Alcotest.string "spec" "x" spec
+  | _ -> Alcotest.fail "check_delta not parsed");
+  match Protocol.parse "{\"op\":\"check_delta\",\"spec\":\"x\"}" with
+  | Error (_, msg) ->
+    check Alcotest.bool "missing base diagnosed" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "check_delta without base accepted"
+
+let test_engine_delta_cold_then_fast () =
+  with_engine (fun e ->
+      let base_spec = fullmesh_spec ~adaptive:false in
+      let edit_spec = fullmesh_spec ~adaptive:true in
+      (* unknown base digest: cold fallback that seeds the session *)
+      let cold = Engine.await e (Engine.handle_line e (delta_req ~base:"nope" base_spec)) in
+      check Alcotest.bool "cold ok" true (is_ok cold);
+      check Alcotest.string "session miss is cold" "cold" (delta_mode cold);
+      let digest =
+        match member "digest" cold with
+        | J.String d -> d
+        | _ -> Alcotest.fail "no digest"
+      in
+      (* the delta verdict equals a plain check's report bytes — and the
+         plain check hits the verdict cache the delta populated *)
+      let plain = Engine.await e (Engine.handle_line e (spec_req base_spec)) in
+      check Alcotest.bool "delta seeded the verdict cache" true (is_cached plain);
+      check Alcotest.string "cold delta report = plain report"
+        (J.to_string (member "report" plain))
+        (J.to_string (member "report" cold));
+      (* now the edit, against the session the cold call parked *)
+      let fast = Engine.await e (Engine.handle_line e (delta_req ~base:digest edit_spec)) in
+      check Alcotest.bool "fast ok" true (is_ok fast);
+      check Alcotest.string "session hit is fast" "fast" (delta_mode fast);
+      check Alcotest.int "one dirty dest" 1
+        (match delta_field "dirty_dests" fast with J.Int n -> n | _ -> -1);
+      check Alcotest.int "rest reused" 3
+        (match delta_field "reused_dests" fast with J.Int n -> n | _ -> -1);
+      let plain_edit = Engine.await e (Engine.handle_line e (spec_req edit_spec)) in
+      check Alcotest.string "fast delta report = plain report"
+        (J.to_string (member "report" plain_edit))
+        (J.to_string (member "report" fast));
+      (* chaining: the session moved to the edit's digest *)
+      let edit_digest =
+        match member "digest" fast with
+        | J.String d -> d
+        | _ -> Alcotest.fail "no digest"
+      in
+      let back = Engine.await e (Engine.handle_line e (delta_req ~base:edit_digest base_spec)) in
+      check Alcotest.string "chained edit stays incremental" "fast" (delta_mode back))
+
+let test_engine_delta_sessions_disabled () =
+  let config = { Engine.default_config with Engine.sessions = 0 } in
+  with_engine ~config (fun e ->
+      let spec = fullmesh_spec ~adaptive:false in
+      let r1 = Engine.await e (Engine.handle_line e (delta_req ~base:"x" spec)) in
+      check Alcotest.string "first is cold" "cold" (delta_mode r1);
+      let digest =
+        match member "digest" r1 with J.String d -> d | _ -> Alcotest.fail "no digest"
+      in
+      (* no session store: even a well-addressed delta re-checks cold *)
+      let r2 = Engine.await e (Engine.handle_line e (delta_req ~base:digest spec)) in
+      check Alcotest.string "still cold" "cold" (delta_mode r2);
+      check Alcotest.string "verdict bytes unaffected"
+        (J.to_string (member "report" r1))
+        (J.to_string (member "report" r2)))
+
+let test_engine_delta_bad_spec () =
+  with_engine (fun e ->
+      let resp = Engine.await e (Engine.handle_line e (delta_req ~base:"x" "not a spec")) in
+      check Alcotest.bool "rejected" false (is_ok resp);
+      check Alcotest.string "spec error kind" "spec" (error_kind resp))
+
 let test_engine_deterministic_across_domains () =
   (* every response byte must be a function of the request sequence
      alone, whatever the parallelism knobs say *)
@@ -415,4 +545,12 @@ let suite =
       test_engine_shutdown_guard;
     Alcotest.test_case "engine: transcript is domain-count independent" `Quick
       test_engine_deterministic_across_domains;
+    Alcotest.test_case "protocol: check_delta parse" `Quick
+      test_protocol_parse_delta;
+    Alcotest.test_case "engine: delta cold seed then fast re-check" `Quick
+      test_engine_delta_cold_then_fast;
+    Alcotest.test_case "engine: sessions 0 disables the delta path" `Quick
+      test_engine_delta_sessions_disabled;
+    Alcotest.test_case "engine: delta of a broken spec errors cleanly" `Quick
+      test_engine_delta_bad_spec;
   ]

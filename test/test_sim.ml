@@ -10,6 +10,9 @@ open Dfr_sim
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
 
+(* lower bound for threshold checks; an idle run counts as 0 *)
+let max_lat s = Option.value ~default:0 (Stats.max_latency s)
+
 let cube3 = Net.wormhole (Topology.hypercube 3) ~vcs:2
 let topo3 = Net.topology_exn cube3
 
@@ -111,14 +114,34 @@ let test_stats () =
   in
   check (Alcotest.option (Alcotest.float 1e-9)) "mean" (Some 25.0)
     (Stats.mean_latency s);
-  check Alcotest.int "max" 40 (Stats.max_latency s);
+  check (Alcotest.option Alcotest.int) "max" (Some 40) (Stats.max_latency s);
   check Alcotest.int "p95" 40 (Stats.percentile_latency s 0.95);
-  check Alcotest.int "p50" 30 (Stats.percentile_latency s 0.5);
+  (* nearest-rank: p50 of 4 samples is rank ceil(0.5*4)=2, the 2nd *)
+  check Alcotest.int "p50" 20 (Stats.percentile_latency s 0.5);
   check (Alcotest.float 1e-9) "throughput" 0.05 (Stats.throughput s ~nodes:8);
   check (Alcotest.option (Alcotest.float 1e-9)) "empty mean" None
     (Stats.mean_latency Stats.empty);
+  check (Alcotest.option Alcotest.int) "empty max" None
+    (Stats.max_latency Stats.empty);
   check Alcotest.int "empty percentile" 0
     (Stats.percentile_latency Stats.empty 0.95)
+
+(* regression: the percentile rank was truncating instead of nearest-rank,
+   so p50 of [1;2] returned 2 and p95 over exactly 20 samples returned the
+   max instead of the 19th sample *)
+let test_percentile_nearest_rank () =
+  let with_lat ls = { Stats.empty with latencies = ls } in
+  check Alcotest.int "p50 of [1;2]" 1
+    (Stats.percentile_latency (with_lat [ 1; 2 ]) 0.5);
+  let twenty = List.init 20 (fun i -> i + 1) in
+  check Alcotest.int "p95 of 1..20" 19
+    (Stats.percentile_latency (with_lat twenty) 0.95);
+  check Alcotest.int "p100 of 1..20" 20
+    (Stats.percentile_latency (with_lat twenty) 1.0);
+  check Alcotest.int "p0 clamps to first" 1
+    (Stats.percentile_latency (with_lat twenty) 0.0);
+  check Alcotest.int "singleton" 7
+    (Stats.percentile_latency (with_lat [ 7 ]) 0.5)
 
 (* ---------------- wormhole simulator ---------------- *)
 
@@ -151,7 +174,7 @@ let test_single_packet_delivery () =
     check Alcotest.int "delivered" 1 s.Stats.delivered;
     check Alcotest.int "flits" 6 s.Stats.flits_delivered;
     (* 3 hops + pipeline: latency at least hops + length *)
-    check Alcotest.bool "latency sane" true (Stats.max_latency s >= 6 + 3)
+    check Alcotest.bool "latency sane" true (max_lat s >= 6 + 3)
   | o -> Alcotest.failf "expected completion, got %a" Wormhole_sim.pp_outcome o
 
 let test_conservation_under_load () =
@@ -290,7 +313,7 @@ let test_saf_single_packet () =
   | Saf_sim.Completed s ->
     check Alcotest.int "delivered" 1 s.Stats.delivered;
     (* 4 hops + injection + consumption *)
-    check Alcotest.bool "latency >= 5" true (Stats.max_latency s >= 5)
+    check Alcotest.bool "latency >= 5" true (max_lat s >= 5)
   | o -> Alcotest.failf "expected completion, got %a" Saf_sim.pp_outcome o
 
 let test_saf_two_buffer_stress () =
@@ -354,6 +377,8 @@ let suite =
       test_batch_uniform_topology_free;
     Alcotest.test_case "scripted entry point" `Quick test_scripted_entry_point;
     Alcotest.test_case "stats accessors" `Quick test_stats;
+    Alcotest.test_case "percentile nearest rank" `Quick
+      test_percentile_nearest_rank;
     Alcotest.test_case "empty-stats report JSON" `Quick
       test_empty_stats_report_json;
     Alcotest.test_case "single packet delivery" `Quick test_single_packet_delivery;
@@ -418,7 +443,7 @@ let test_router_single_packet () =
     check Alcotest.int "flits" 6 s.Stats.flits_delivered;
     (* pipeline overhead: at least RC+VA per hop on top of serialization *)
     check Alcotest.bool "latency above flit-sim floor" true
-      (Stats.max_latency s >= 6 + (3 * 2))
+      (max_lat s >= 6 + (3 * 2))
   | o -> Alcotest.failf "expected completion, got %a" Router_sim.pp_outcome o
 
 let test_router_conservation () =
@@ -487,8 +512,8 @@ let test_router_agrees_with_flit_sim_on_deadlock () =
 let test_router_latency_dominates_flit_sim () =
   (* same single-packet run: the pipelined router is slower by construction *)
   let t = [ { Traffic.src = 0; dst = 7; length = 4; inject_at = 0; mode = Traffic.Adaptive } ] in
-  let r = Stats.max_latency (Router_sim.stats (Router_sim.run cube3 Hypercube_wormhole.ecube t)) in
-  let w = Stats.max_latency (Wormhole_sim.stats (run_wh cube3 Hypercube_wormhole.ecube t)) in
+  let r = max_lat (Router_sim.stats (Router_sim.run cube3 Hypercube_wormhole.ecube t)) in
+  let w = max_lat (Wormhole_sim.stats (run_wh cube3 Hypercube_wormhole.ecube t)) in
   check Alcotest.bool "router latency higher" true (r > w)
 
 let suite =

@@ -578,9 +578,32 @@ let test_json_accessors () =
     | _ -> None);
   check Alcotest.bool "absent" true (Json.member "zzz" doc = None)
 
+(* ---------------- monotonic clock ---------------- *)
+
+let test_monotime_nondecreasing () =
+  (* a sleep must register, and readings must never go backwards *)
+  let t0 = Monotime.now_ns () in
+  Unix.sleepf 0.002;
+  let t1 = Monotime.now_ns () in
+  check Alcotest.bool "sleep advances the clock" true
+    (Int64.sub t1 t0 >= 1_000_000L);
+  let prev = ref (Monotime.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Monotime.now_ns () in
+    check Alcotest.bool "nondecreasing" true (Int64.compare t !prev >= 0);
+    prev := t
+  done;
+  let s0 = Monotime.now () in
+  let s1 = Monotime.now () in
+  check Alcotest.bool "float view agrees" true (s1 >= s0);
+  check Alcotest.bool "elapsed is nonnegative" true
+    (Monotime.elapsed_ns ~since:t0 >= 0L)
+
 let suite =
   suite
   @ [
+      Alcotest.test_case "monotime nondecreasing" `Quick
+        test_monotime_nondecreasing;
       Alcotest.test_case "json parse scalars" `Quick test_json_parse_scalars;
       Alcotest.test_case "json parse escapes" `Quick test_json_parse_escapes;
       Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
