@@ -14,14 +14,15 @@ open Dfr_network
 open Dfr_routing
 open Dfr_core
 open Dfr_sim
+module Mono = Dfr_util.Monotime
 
 let section title =
   Printf.printf "\n=== %s ===\n%!" title
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mono.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Mono.now () -. t0)
 
 let fmt_mean_latency s =
   match Stats.mean_latency s with

@@ -15,6 +15,10 @@ open Dfr_network
 open Dfr_routing
 open Dfr_core
 
+(* all wall-time measurements use the monotonic clock: an NTP step
+   mid-bench must not corrupt a published BENCH_*.json figure *)
+module Mono = Dfr_util.Monotime
+
 (* --------------------------- E8: micro benchmarks ------------------- *)
 
 let cube3 = Net.wormhole (Topology.hypercube 3) ~vcs:2
@@ -120,13 +124,13 @@ let run_obs () =
   let per_probe_ns =
     let batch = 100_000 in
     let timed () =
-      let t0 = Unix.gettimeofday () in
+      let t0 = Mono.now () in
       for _ = 1 to batch do
         Obs.span "noop" (fun () -> ());
         Obs.count "noop" 1
       done;
       (* the loop body is two probes *)
-      (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int batch /. 2.0
+      (Mono.now () -. t0) *. 1e9 /. float_of_int batch /. 2.0
     in
     median (List.init 9 (fun _ -> timed ()))
   in
@@ -146,9 +150,9 @@ let run_obs () =
   let build_ns =
     median
       (List.init 21 (fun _ ->
-           let t0 = Unix.gettimeofday () in
+           let t0 = Mono.now () in
            ignore (Bwg.build space3);
-           (Unix.gettimeofday () -. t0) *. 1e9))
+           (Mono.now () -. t0) *. 1e9))
   in
   let overhead_pct = 100.0 *. float_of_int probes *. per_probe_ns /. build_ns in
   Printf.printf
@@ -211,9 +215,9 @@ let run_serve () =
   in
   let ok resp = match J.member "ok" resp with Some (J.Bool b) -> b | _ -> false in
   let request engine =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mono.now () in
     let resp = E.await engine (E.handle_line engine line) in
-    ((Unix.gettimeofday () -. t0) *. 1e9, resp)
+    ((Mono.now () -. t0) *. 1e9, resp)
   in
   let cold_ns =
     median
@@ -241,11 +245,11 @@ let run_serve () =
            dt))
   in
   let reqs = 5_000 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mono.now () in
   for _ = 1 to reqs do
     ignore (E.await engine (E.handle_line engine line))
   done;
-  let rps = float_of_int reqs /. (Unix.gettimeofday () -. t0) in
+  let rps = float_of_int reqs /. (Mono.now () -. t0) in
   E.shutdown engine;
   let speedup = cold_ns /. warm_ns in
   Printf.printf
@@ -330,18 +334,18 @@ let run_scale () =
     Obs.enable ();
     let before = Obs.counters () in
     let gc0 = Gc.quick_stat () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mono.now () in
     let verdict = Checker.verdict net entry.Registry.algo in
-    let first_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    let first_ns = (Mono.now () -. t0) *. 1e9 in
     let gc1 = Gc.quick_stat () in
     let after = Obs.counters () in
     Obs.disable ();
     let best_ns =
       List.fold_left
         (fun best _ ->
-          let t0 = Unix.gettimeofday () in
+          let t0 = Mono.now () in
           ignore (Checker.verdict net entry.Registry.algo : Checker.verdict);
-          min best ((Unix.gettimeofday () -. t0) *. 1e9))
+          min best ((Mono.now () -. t0) *. 1e9))
         first_ns
         (List.init (repeats - 1) Fun.id)
     in
@@ -388,9 +392,9 @@ let run_scale () =
     ignore (Obs.reset_peak_rss ());
     Obs.enable ();
     let before = Obs.counters () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mono.now () in
     let bwg = Bwg.build ~dense_closures:dense space in
-    let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    let ns = (Mono.now () -. t0) *. 1e9 in
     let after = Obs.counters () in
     Obs.disable ();
     let words = counter_of "bwg.closure.words" after - counter_of "bwg.closure.words" before in
@@ -420,9 +424,9 @@ let run_scale () =
     List.map
       (fun domains ->
         Gc.compact ();
-        let t0 = Unix.gettimeofday () in
+        let t0 = Mono.now () in
         let v = Checker.verdict ~domains net entry.Registry.algo in
-        let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+        let ns = (Mono.now () -. t0) *. 1e9 in
         (domains, v, ns))
       [ 1; 2; 4 ]
   in
@@ -477,6 +481,102 @@ let run_scale () =
   close_out oc;
   Printf.printf "wrote %s\n%!" bench6_json
 
+(* ------------------- E19: --domains end-to-end speedup ----------------- *)
+
+let bench9_json = "BENCH_9.json"
+
+(* Full checks (validate + state space + BWG + classification) of the
+   largest catalogue instance across --domains 1/2/4.  Two gates:
+
+   - the JSON reports must be byte-identical across domain counts —
+     the determinism contract of Domain_pool, end to end;
+   - a hardware-aware performance gate.  On >= 4 cores the parallel
+     phases must deliver >= 1.6x end-to-end at --domains 4.  On
+     smaller machines a speedup cannot physically exist, so the gate
+     degrades to bounded overhead: --domains 4 may cost at most 1.25x
+     serial (the pool's concurrency cap makes oversubscription run the
+     same chunks sequentially).  The JSON records the core count and
+     which gate applied, so a CI log can never pass silently for the
+     wrong reason. *)
+let run_domains () =
+  Printf.printf "\n=== E19: --domains end-to-end, dragonfly:10x4x41 ===\n%!";
+  let module J = Dfr_util.Json in
+  let _, entry, net, _ =
+    resolve_instance ("dragonfly:10x4x41", "dragonfly-minimal", 1)
+  in
+  let algo = entry.Registry.algo in
+  let run domains =
+    (* best of two: the first run also warms the page cache and the
+       major heap, so a single timing would overcharge domains=1 *)
+    let once () =
+      Gc.compact ();
+      let t0 = Mono.now () in
+      let r = Checker.check ~domains net algo in
+      (Mono.now () -. t0, Report_json.to_string net algo r)
+    in
+    let s1, report = once () in
+    let s2, report' = once () in
+    if report <> report' then begin
+      Printf.eprintf "FAIL: domains=%d is not deterministic across runs\n"
+        domains;
+      exit 1
+    end;
+    (domains, report, Float.min s1 s2)
+  in
+  let runs = List.map run [ 1; 2; 4 ] in
+  let reference = match runs with (_, r, _) :: _ -> r | [] -> "" in
+  let identical = List.for_all (fun (_, r, _) -> r = reference) runs in
+  List.iter (fun (d, _, s) -> Printf.printf "domains=%d  %6.2f s\n%!" d s) runs;
+  if not identical then begin
+    Printf.eprintf "FAIL: reports differ across --domains\n";
+    exit 1
+  end;
+  let time d =
+    match List.find_opt (fun (d', _, _) -> d' = d) runs with
+    | Some (_, _, s) -> s
+    | None -> assert false
+  in
+  let t1 = time 1 and t4 = time 4 in
+  let speedup = t1 /. t4 in
+  let cores = Domain.recommended_domain_count () in
+  let gate, pass =
+    if cores >= 4 then ("speedup_ge_1.6", speedup >= 1.6)
+    else ("overhead_le_1.25", t4 <= t1 *. 1.25)
+  in
+  Printf.printf "cores=%d  speedup(1->4)=%.2fx  gate=%s  %s\n%!" cores speedup
+    gate
+    (if pass then "ok" else "FAIL");
+  let doc =
+    J.Obj
+      [
+        ("suite", J.String "domains");
+        ("instance", J.String "dragonfly:10x4x41");
+        ("cores", J.Int cores);
+        ("pool_cap", J.Int (Dfr_util.Domain_pool.cap ()));
+        ("pool_workers_spawned", J.Int (Dfr_util.Domain_pool.spawned ()));
+        ("reports_identical", J.Bool identical);
+        ( "runs",
+          J.List
+            (List.map
+               (fun (d, _, s) ->
+                 J.Obj [ ("domains", J.Int d); ("seconds", J.Float s) ])
+               runs) );
+        ("speedup_1_to_4", J.Float speedup);
+        ("gate", J.String gate);
+        ("gate_passed", J.Bool pass);
+      ]
+  in
+  let oc = open_out bench9_json in
+  output_string oc (J.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" bench9_json;
+  if not pass then begin
+    Printf.eprintf "FAIL: --domains gate %s did not hold (speedup %.2fx)\n" gate
+      speedup;
+    exit 1
+  end
+
 (* ------------------- E17: synthesis and repair costs ------------------ *)
 
 let bench7_json = "BENCH_7.json"
@@ -495,9 +595,9 @@ let run_synth () =
     | None -> failwith ("synth bench: unknown registry entry " ^ name)
   in
   let timed f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mono.now () in
     let r = f () in
-    (r, (Unix.gettimeofday () -. t0) *. 1e9)
+    (r, (Mono.now () -. t0) *. 1e9)
   in
   let stats_json (s : Synth.stats) =
     J.Obj
@@ -715,9 +815,9 @@ let run_incr () =
         else base)
   in
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Mono.now () in
     let r = f () in
-    ((Unix.gettimeofday () -. t0) *. 1e9, r)
+    ((Mono.now () -. t0) *. 1e9, r)
   in
   let cold_ns, cold_report =
     time (fun () ->
@@ -842,6 +942,7 @@ let () =
   | "micro" -> run_micro ()
   | "serve" -> run_serve ()
   | "scale" -> run_scale ()
+  | "domains" -> run_domains ()
   | "synth" -> run_synth ()
   | "incr" -> run_incr ()
   | "all" ->
@@ -849,10 +950,11 @@ let () =
     run_micro ();
     run_serve ();
     run_scale ();
+    run_domains ();
     run_synth ();
     run_incr ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro serve scale synth incr all)\n"
+      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro serve scale domains synth incr all)\n"
       other;
     exit 1

@@ -259,38 +259,41 @@ let build ?wait_sets ?(witness_cap = 32) ?(indirect = true) ?(domains = 1)
      of pinning the whole N-entry cache for the rest of the run.  Workers
      only ever *read* the cache (entries are written by serial phases), so
      the fan-out stays safe without materializing first. *)
-  let dests = List.init num_nodes Fun.id in
   if domains <= 1 || num_nodes <= 1 then
     (* serial: stream edges straight into the recorder, no staging lists *)
-    List.iter
-      (fun d ->
-        Obs.span "bwg.closure" (fun () ->
-            edges_for_dest space ~wait_sets ~wormhole ~dense_closures d
-              ~emit:add_edge))
-      dests
+    for d = 0 to num_nodes - 1 do
+      Obs.span "bwg.closure" (fun () ->
+          edges_for_dest space ~wait_sets ~wormhole ~dense_closures d
+            ~emit:add_edge)
+    done
   else begin
+    (* Work items are single destinations claimed off an atomic ticket,
+       not static chunks: a destination's move-graph materialization
+       ([move_graph_view] inside [edges_for_dest]) is the producer half
+       and its SCC/closure/emission pass the consumer half, so with
+       dynamic claiming one domain is materializing destination d+1's
+       move graph while another is still folding destination d's
+       closures — the two halves overlap instead of serializing, and an
+       expensive destination never leaves a whole chunk idle behind it.
+       Determinism is unaffected: emissions are staged per destination
+       and merged in ascending order below, and every Obs counter on
+       this path is a per-destination sum. *)
     let n_dom = min domains num_nodes in
-    let chunks = Array.make n_dom [] in
-    List.iteri (fun i d -> chunks.(i mod n_dom) <- d :: chunks.(i mod n_dom)) dests;
     let results = Array.make num_nodes [] in
-    let workers =
-      Array.map
-        (fun chunk ->
-          Domain.spawn (fun () ->
-              Obs.span "bwg.build.worker" @@ fun () ->
-              List.map
-                (fun d ->
-                  Obs.span "bwg.closure" @@ fun () ->
-                  let acc = ref [] in
-                  edges_for_dest space ~wait_sets ~wormhole ~dense_closures d
-                    ~emit:(fun q w wit -> acc := (q, w, wit) :: !acc);
-                  (d, !acc))
-                chunk))
-        chunks
-    in
-    Array.iter
-      (fun w -> List.iter (fun (d, es) -> results.(d) <- es) (Domain.join w))
-      workers;
+    let next = Atomic.make 0 in
+    Dfr_util.Domain_pool.parallel ~domains:n_dom (fun _ ->
+        Obs.span "bwg.build.worker" @@ fun () ->
+        let continue = ref true in
+        while !continue do
+          let d = Atomic.fetch_and_add next 1 in
+          if d >= num_nodes then continue := false
+          else
+            Obs.span "bwg.closure" (fun () ->
+                let acc = ref [] in
+                edges_for_dest space ~wait_sets ~wormhole ~dense_closures d
+                  ~emit:(fun q w wit -> acc := (q, w, wit) :: !acc);
+                results.(d) <- !acc)
+        done);
     (* merge sequentially: destinations ascending, witnesses in emit order,
        so the result is identical to the serial construction *)
     Array.iter

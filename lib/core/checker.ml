@@ -64,7 +64,7 @@ let scan_cycles ?class_limits ?(domains = 1) bwg cycles =
   (if n > 1 then
      let space = Bwg.space bwg in
      if Net.switching (State_space.net space) = Net.Wormhole then
-       State_space.materialize_move_graphs space);
+       State_space.materialize_move_graphs ~domains space);
   if domains <= 1 || n <= 1 then
     let rec go uncertain examined = function
       | [] ->
@@ -102,8 +102,7 @@ let scan_cycles ?class_limits ?(domains = 1) bwg cycles =
         i := !i + n_dom
       done
     in
-    let workers = Array.init n_dom (fun k -> Domain.spawn (worker k)) in
-    Array.iter Domain.join workers;
+    Dfr_util.Domain_pool.parallel ~domains:n_dom (fun k -> worker k ());
     let rec collect uncertain examined i =
       if i >= n then begin
         classified examined;
@@ -222,7 +221,7 @@ let decide ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) ~stuck
 
 let check ?cycle_limits ?class_limits ?reduction_budget ?(domains = 1) net algo =
   Obs.span "checker.check" @@ fun () ->
-  let space = State_space.build net algo in
+  let space = State_space.build ~domains net algo in
   let bwg = Bwg.build ~domains space in
   let stuck = State_space.stuck_states space in
   let unconnected = if stuck = [] then Bwg.unconnected_states bwg else [] in

@@ -291,7 +291,7 @@ let conclude t ~dirty_dests =
 let create ?(witness_cap = 32) ?cycle_limits ?class_limits ?reduction_budget
     ?(domains = 1) net algo =
   Obs.span "incr.create" @@ fun () ->
-  let space = State_space.build net algo in
+  let space = State_space.build ~domains net algo in
   let num_nodes = State_space.num_nodes space in
   let num_bufs = State_space.num_buffers space in
   let t =

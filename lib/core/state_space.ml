@@ -103,31 +103,40 @@ let reduced_waits t =
             if i >= 0 then arr.(i) else [])
     else None
 
-let build_dense net algo ~num_buffers ~num_nodes =
-  let size = num_buffers * num_nodes in
-  let reachable = Array.make size false in
-  let outputs = Array.make size [] in
-  let waits = Array.make size [] in
-  let reduced = Option.map (fun _ -> Array.make size []) algo.Algo.reduced_waits in
-  let idx buf dest = (buf * num_nodes) + dest in
+(* One destination's column of the dense table: clear it, then BFS from
+   the injection buffers.  A state's stored content is a pure function
+   of (net, algo, buf, dest) and a destination's reachability never
+   consults another destination's states, so columns can be built in any
+   order — or concurrently, the writes being disjoint — and the table is
+   identical to the historical single-queue BFS over all columns at
+   once.  Shared by the (possibly parallel) cold build and by
+   [with_updated_dests]' dirty-column rebuilds. *)
+let dense_column net algo ~num_buffers ~num_nodes ~reachable ~outputs ~waits
+    ~reduced dest =
+  let idx buf = (buf * num_nodes) + dest in
+  for buf = 0 to num_buffers - 1 do
+    let i = idx buf in
+    reachable.(i) <- false;
+    outputs.(i) <- [];
+    waits.(i) <- [];
+    match reduced with Some arr -> arr.(i) <- [] | None -> ()
+  done;
   let queue = Queue.create () in
-  let visit buf dest =
-    let i = idx buf dest in
+  let visit buf =
+    let i = idx buf in
     if not reachable.(i) then begin
       reachable.(i) <- true;
-      Queue.add (buf, dest) queue
+      Queue.add buf queue
     end
   in
   for src = 0 to num_nodes - 1 do
-    for dest = 0 to num_nodes - 1 do
-      if src <> dest then visit (Buf.id (Net.injection net src)) dest
-    done
+    if src <> dest then visit (Buf.id (Net.injection net src))
   done;
   while not (Queue.is_empty queue) do
-    let buf, dest = Queue.pop queue in
+    let buf = Queue.pop queue in
     let b = Net.buffer net buf in
     if Buf.head_node b <> dest then begin
-      let i = idx buf dest in
+      let i = idx buf in
       let outs =
         List.filter
           (fun o -> Buf.is_transit (Net.buffer net o))
@@ -138,9 +147,25 @@ let build_dense net algo ~num_buffers ~num_nodes =
       (match (reduced, algo.Algo.reduced_waits) with
       | Some arr, Some rw -> arr.(i) <- rw net b ~dest
       | _ -> ());
-      List.iter (fun o -> visit o dest) outs
+      List.iter visit outs
     end
-  done;
+  done
+
+let build_dense ?(domains = 1) net algo ~num_buffers ~num_nodes =
+  let size = num_buffers * num_nodes in
+  let reachable = Array.make size false in
+  let outputs = Array.make size [] in
+  let waits = Array.make size [] in
+  let reduced = Option.map (fun _ -> Array.make size []) algo.Algo.reduced_waits in
+  let n_dom = max 1 (min domains num_nodes) in
+  Dfr_util.Domain_pool.parallel ~domains:n_dom (fun k ->
+      let start, stop =
+        Dfr_util.Domain_pool.chunk ~n:num_nodes ~domains:n_dom k
+      in
+      for dest = start to stop - 1 do
+        dense_column net algo ~num_buffers ~num_nodes ~reachable ~outputs ~waits
+          ~reduced dest
+      done);
   Obs.count "space.states"
     (Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 reachable);
   Dense_tab { reachable; outputs; waits; reduced }
@@ -200,29 +225,40 @@ let sparse_slice net algo ~num_nodes ~seen ~out_scratch ~wait_scratch
     !touched;
   slice
 
-let build_sparse net algo ~num_buffers ~num_nodes =
-  let seen = Array.make num_buffers false in
-  let out_scratch = Array.make num_buffers [] in
-  let wait_scratch = Array.make num_buffers [] in
-  let red_scratch =
-    Option.map (fun _ -> Array.make num_buffers []) algo.Algo.reduced_waits
-  in
-  let states = ref 0 in
-  let slices =
-    Array.init num_nodes (fun dest ->
-        let slice =
+(* Destinations partition across domains: each worker owns a contiguous
+   chunk and a private size-B scratch, and writes only its own slices —
+   a slice is a pure function of (net, algo, dest), so the filled array
+   is identical whatever the chunking.  The states counter is a sum of
+   per-slice sizes, hence domain-count-invariant. *)
+let build_sparse ?(domains = 1) net algo ~num_buffers ~num_nodes =
+  let empty = { bufs = [||]; outs = [||]; wts = [||]; rdc = None } in
+  let slices = Array.make num_nodes empty in
+  let n_dom = max 1 (min domains num_nodes) in
+  Dfr_util.Domain_pool.parallel ~domains:n_dom (fun k ->
+      let seen = Array.make num_buffers false in
+      let out_scratch = Array.make num_buffers [] in
+      let wait_scratch = Array.make num_buffers [] in
+      let red_scratch =
+        Option.map (fun _ -> Array.make num_buffers []) algo.Algo.reduced_waits
+      in
+      let start, stop =
+        Dfr_util.Domain_pool.chunk ~n:num_nodes ~domains:n_dom k
+      in
+      for dest = start to stop - 1 do
+        slices.(dest) <-
           sparse_slice net algo ~num_nodes ~seen ~out_scratch ~wait_scratch
             ~red_scratch dest
-        in
-        states := !states + Array.length slice.bufs;
-        slice)
+      done);
+  let states =
+    Array.fold_left (fun acc s -> acc + Array.length s.bufs) 0 slices
   in
-  Obs.count "space.states" !states;
+  Obs.count "space.states" states;
   Sparse_tab slices
 
-let build ?(storage = `Auto) net algo =
+let build ?(storage = `Auto) ?(domains = 1) net algo =
   Obs.span "space.build" @@ fun () ->
-  (match Algo.validate algo net with
+  (match Obs.span "space.validate" (fun () -> Algo.validate ~domains algo net)
+   with
   | Ok () -> ()
   | Error msg -> invalid_arg ("State_space.build: " ^ msg));
   let num_buffers = Net.num_buffers net in
@@ -234,8 +270,8 @@ let build ?(storage = `Auto) net algo =
     | `Auto -> num_buffers * num_nodes > dense_threshold
   in
   let storage =
-    if sparse then build_sparse net algo ~num_buffers ~num_nodes
-    else build_dense net algo ~num_buffers ~num_nodes
+    if sparse then build_sparse ~domains net algo ~num_buffers ~num_nodes
+    else build_dense ~domains net algo ~num_buffers ~num_nodes
   in
   {
     net;
@@ -322,13 +358,21 @@ let move_graph t ~dest =
   | None -> Obs.count "space.move-graph.builds" 1);
   move_graph_quiet t ~dest
 
-let materialize_move_graphs t =
-  for dest = 0 to t.num_nodes - 1 do
-    (match t.move_graphs.(dest) with
-    | None -> Obs.count "space.move-graph.builds" 1
-    | Some _ -> ());
-    ignore (move_graph_quiet t ~dest)
-  done
+(* Cache slots are written at most once per destination and the chunks
+   are disjoint, so the parallel fill is race-free; the pool's join
+   orders the writes before any later read from any domain.  The builds
+   counter is a per-destination sum, hence domain-count-invariant. *)
+let materialize_move_graphs ?(domains = 1) t =
+  let n = t.num_nodes in
+  let n_dom = max 1 (min domains n) in
+  Dfr_util.Domain_pool.parallel ~domains:n_dom (fun k ->
+      let start, stop = Dfr_util.Domain_pool.chunk ~n ~domains:n_dom k in
+      for dest = start to stop - 1 do
+        (match t.move_graphs.(dest) with
+        | None -> Obs.count "space.move-graph.builds" 1
+        | Some _ -> ());
+        ignore (move_graph_quiet t ~dest)
+      done)
 
 let reachable_with t ~dest =
   match t.storage with
@@ -425,47 +469,11 @@ let with_updated_dests t algo ~dests =
       let outputs = Array.copy d.outputs in
       let waits = Array.copy d.waits in
       let reduced = if hint then Option.map Array.copy d.reduced else None in
-      let idx buf dest = (buf * num_nodes) + dest in
       List.iter
         (fun dest ->
           Obs.count "space.dest.rebuilds" 1;
-          for buf = 0 to num_buffers - 1 do
-            let i = idx buf dest in
-            reachable.(i) <- false;
-            outputs.(i) <- [];
-            waits.(i) <- [];
-            match reduced with Some arr -> arr.(i) <- [] | None -> ()
-          done;
-          (* single-destination column of [build_dense]'s BFS *)
-          let queue = Queue.create () in
-          let visit buf =
-            let i = idx buf dest in
-            if not reachable.(i) then begin
-              reachable.(i) <- true;
-              Queue.add buf queue
-            end
-          in
-          for src = 0 to num_nodes - 1 do
-            if src <> dest then visit (Buf.id (Net.injection t.net src))
-          done;
-          while not (Queue.is_empty queue) do
-            let buf = Queue.pop queue in
-            let b = Net.buffer t.net buf in
-            if Buf.head_node b <> dest then begin
-              let i = idx buf dest in
-              let outs =
-                List.filter
-                  (fun o -> Buf.is_transit (Net.buffer t.net o))
-                  (algo.Algo.route t.net b ~dest)
-              in
-              outputs.(i) <- outs;
-              waits.(i) <- algo.Algo.waits t.net b ~dest;
-              (match (reduced, algo.Algo.reduced_waits) with
-              | Some arr, Some rw -> arr.(i) <- rw t.net b ~dest
-              | _ -> ());
-              List.iter visit outs
-            end
-          done)
+          dense_column t.net algo ~num_buffers ~num_nodes ~reachable ~outputs
+            ~waits ~reduced dest)
         dests;
       Dense_tab { reachable; outputs; waits; reduced }
   in

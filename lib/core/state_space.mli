@@ -14,7 +14,8 @@ open Dfr_routing
 
 type t
 
-val build : ?storage:[ `Auto | `Dense | `Sparse ] -> Net.t -> Algo.t -> t
+val build :
+  ?storage:[ `Auto | `Dense | `Sparse ] -> ?domains:int -> Net.t -> Algo.t -> t
 (** Raises [Invalid_argument] when [Algo.validate] rejects the pair.
 
     [storage] picks the state-table layout: [`Dense] keeps flat
@@ -22,7 +23,13 @@ val build : ?storage:[ `Auto | `Dense | `Sparse ] -> Net.t -> Algo.t -> t
     the actually-reachable states, and [`Auto] (the default) switches to
     sparse once the flat table would exceed ~4M entries.  The two layouts
     are observationally identical (tested); sparse is what lets
-    10^4-10^5-buffer instances fit in memory. *)
+    10^4-10^5-buffer instances fit in memory.
+
+    [domains] fans both serial phases of the build out over the shared
+    {!Dfr_util.Domain_pool}: the [Algo.validate] sweep partitions by
+    buffer, the reachability BFS by destination (a destination's states
+    never depend on another's).  The resulting table — and the error
+    message on a rejected pair — is identical to the serial build's. *)
 
 val is_sparse : t -> bool
 (** Whether the sparse per-destination layout is in use. *)
@@ -70,10 +77,12 @@ val move_graph_view : t -> dest:int -> Dfr_graph.Csr.t
     N per-destination CSRs at once; at 10^5 buffers that cache alone would
     dwarf the state table. *)
 
-val materialize_move_graphs : t -> unit
+val materialize_move_graphs : ?domains:int -> t -> unit
 (** Populate the move-graph cache for every destination (required before
     fanning work out over domains).  Counts cache builds but not hits, so
-    the counters agree between lazy serial and eager parallel builds. *)
+    the counters agree between lazy serial and eager parallel builds.
+    With [domains > 1] the fill itself fans out over the pool (each
+    destination's slot is written at most once, chunks are disjoint). *)
 
 val reachable_with : t -> dest:int -> int list
 (** Buffers some [dest]-bound packet can occupy, ascending. *)

@@ -119,14 +119,9 @@ let run ?check (cfg : config) =
     done
   in
   (Obs.span "fuzz.run" @@ fun () ->
-   if cfg.domains = 1 then worker 0 ()
-   else begin
-     let spawned =
-       Array.init (cfg.domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
-     in
-     worker 0 ();
-     Array.iter Domain.join spawned
-   end);
+   (* trials stride across the shared domain pool; trial [t]'s outcome
+      depends only on its derived seed, so the placement is irrelevant *)
+   Domain_pool.parallel ~domains:cfg.domains (fun k -> worker k ()));
   let free = ref 0
   and deadlock = ref 0
   and unknown = ref 0

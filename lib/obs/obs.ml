@@ -15,13 +15,22 @@ type collector = {
   gauges : (string, float) Hashtbl.t;
   mutex : Mutex.t;
   epoch : float;
+  epoch_wall_us : float;
+      (* wall clock captured at [enable], so trace consumers can place the
+         monotonic timeline in calendar time without the timestamps
+         themselves ever stepping *)
 }
 
 (* One global slot.  Probes read it with a single [Atomic.get]; [None]
    (the default) makes every probe a near-free no-op. *)
 let state : collector option Atomic.t = Atomic.make None
 
-let now_us () = Unix.gettimeofday () *. 1e6
+(* Span timestamps come from CLOCK_MONOTONIC, not [Unix.gettimeofday]:
+   an NTP step mid-run would otherwise move the wall clock under an open
+   span and export negative durations (Chrome's trace viewer renders
+   those as zero-width events at the wrong offset).  Monotonic readings
+   never go backwards, which the obs test suite pins. *)
+let now_us () = Int64.to_float (Monotime.now_ns ()) *. 1e-3
 
 let enable () =
   Atomic.set state
@@ -33,6 +42,7 @@ let enable () =
          gauges = Hashtbl.create 16;
          mutex = Mutex.create ();
          epoch = now_us ();
+         epoch_wall_us = Unix.gettimeofday () *. 1e6;
        })
 
 let disable () = Atomic.set state None
@@ -219,11 +229,20 @@ let trace_json () =
         ("args", Json.Obj [ ("depth", Json.Int ev.depth) ]);
       ]
   in
+  let epoch_wall =
+    match Atomic.get state with
+    | None -> []
+    | Some c ->
+      (* lets trace consumers map the monotonic "ts" axis back onto
+         calendar time: wall ≈ epoch_wall_us + ts *)
+      [ ("epochWallUs", Json.Float c.epoch_wall_us) ]
+  in
   Json.Obj
-    [
-      ("traceEvents", Json.List (List.map event (events ())));
-      ("displayTimeUnit", Json.String "ms");
-    ]
+    ([
+       ("traceEvents", Json.List (List.map event (events ())));
+       ("displayTimeUnit", Json.String "ms");
+     ]
+    @ epoch_wall)
 
 let write_trace file =
   let oc = open_out file in

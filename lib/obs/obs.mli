@@ -31,10 +31,12 @@
     - {!metrics_json}: a flat object of counters, gauges and per-name
       span aggregates, suitable for merging into checker/sim reports.
 
-    Timestamps come from [Unix.gettimeofday] re-based to the collector's
-    installation instant — the sealed build environment has no monotonic
-    clock binding, and span durations in this codebase (µs to s) are far
-    above its resolution. *)
+    Timestamps come from {!Dfr_util.Monotime} ([CLOCK_MONOTONIC])
+    re-based to the collector's installation instant, so they are
+    immune to wall-clock steps (NTP adjustments can otherwise produce
+    negative span durations mid-run).  The wall-clock time at
+    installation is captured once and exported as [epochWallUs] in
+    {!trace_json} for consumers that want calendar alignment. *)
 
 val enable : unit -> unit
 (** Install a fresh collector (discarding any previous one). *)
@@ -99,9 +101,13 @@ val metrics_json : unit -> Dfr_util.Json.t
 
 val trace_json : unit -> Dfr_util.Json.t
 (** Chrome [trace_event] document: [{"traceEvents": [...],
-    "displayTimeUnit": "ms"}].  Each event is a complete ("ph": "X")
-    event with [ts]/[dur] in microseconds, [pid] 0 and [tid] the OCaml
-    domain id that recorded it. *)
+    "displayTimeUnit": "ms", "epochWallUs": t}].  Each event is a
+    complete ("ph": "X") event with [ts]/[dur] in microseconds (from the
+    monotonic clock, relative to collector installation), [pid] 0 and
+    [tid] the OCaml domain id that recorded it.  [epochWallUs] is the
+    wall-clock time of collector installation in µs since the Unix
+    epoch, so [epochWallUs + ts] approximates an event's calendar time;
+    the field is present only while the collector is installed. *)
 
 val write_trace : string -> unit
 (** Write {!trace_json} (pretty-printed) to a file. *)

@@ -35,10 +35,19 @@ let rec has_dup = function
   | [] -> false
   | x :: rest -> List.mem x rest || has_dup rest
 
-let validate t net =
-  let problems = ref [] in
-  let report fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
-  let check_state b dest =
+(* Validation visits every (buffer, destination) state independently, so
+   the sweep partitions cleanly across domains: each worker takes a
+   contiguous chunk of the buffer array and accumulates its problems
+   per buffer; the merge walks buffers in index order, which is exactly
+   the order the serial sweep reports in — the error string is
+   byte-identical whatever [domains] says.  The [route]/[waits]
+   closures are called concurrently under [domains > 1]; every
+   algorithm in this repository (catalogue, elaborated specs, fuzz
+   cases) reads only tables frozen at construction, so the calls are
+   safe from any domain. *)
+let validate ?(domains = 1) t net =
+  let check_state acc b dest =
+    let report fmt = Printf.ksprintf (fun s -> acc := s :: !acc) fmt in
     let outputs = t.route net b ~dest in
     let waits = t.waits net b ~dest in
     let head = Buf.head_node b in
@@ -76,19 +85,32 @@ let validate t net =
               dest)
         (rw net b ~dest)
   in
-  let consider b =
+  let consider acc b =
     match Buf.kind b with
     | Buf.Delivery _ -> ()
     | Buf.Injection n ->
       for dest = 0 to Net.num_nodes net - 1 do
-        if dest <> n then check_state b dest
+        if dest <> n then check_state acc b dest
       done
     | Buf.Channel _ | Buf.Node_buffer _ ->
       for dest = 0 to Net.num_nodes net - 1 do
-        if dest <> Buf.head_node b then check_state b dest
+        if dest <> Buf.head_node b then check_state acc b dest
       done
   in
-  Array.iter consider (Net.buffers net);
-  match !problems with
+  let bufs = Net.buffers net in
+  let n = Array.length bufs in
+  (* per-buffer problem lists (each in reverse report order), filled by
+     disjoint chunks; the ordered merge below is the serial sweep's
+     report order *)
+  let per_buf = Array.make n [] in
+  let n_dom = max 1 (min domains n) in
+  Dfr_util.Domain_pool.parallel ~domains:n_dom (fun k ->
+      let start, stop = Dfr_util.Domain_pool.chunk ~n ~domains:n_dom k in
+      for i = start to stop - 1 do
+        let acc = ref [] in
+        consider acc bufs.(i);
+        per_buf.(i) <- !acc
+      done);
+  match Array.fold_right (fun ps acc -> List.rev_append ps acc) per_buf [] with
   | [] -> Ok ()
-  | ps -> Error (String.concat "; " (List.rev ps))
+  | ps -> Error (String.concat "; " ps)

@@ -64,8 +64,15 @@ val wait_everywhere : t -> t
 (** Same relation, but waiting on every permitted output ([Any_wait],
     hint discarded).  Used by ablation experiments. *)
 
-val validate : t -> Net.t -> (unit, string) result
+val validate : ?domains:int -> t -> Net.t -> (unit, string) result
 (** Checks the structural contract on every (transit or injection buffer,
     destination) pair: waits ⊆ route, reduced waits ⊆ waits, no output is a
     delivery buffer of another node, no output repeats, and every output
-    buffer is adjacent (its source endpoint is the packet's head node). *)
+    buffer is adjacent (its source endpoint is the packet's head node).
+
+    With [domains > 1] the sweep fans the buffer array out over the
+    shared {!Dfr_util.Domain_pool}; the reported error string is
+    byte-identical to the serial sweep's.  The algorithm's closures are
+    then called from several domains concurrently, which is safe for
+    every algorithm built from construction-time tables (all catalogue,
+    spec-elaborated and fuzz algorithms). *)

@@ -1,0 +1,145 @@
+(* Parked worker domains, reused across phases.
+
+   Each worker owns a mailbox (mutex + condition + job slot) and loops
+   forever: wait for a job, run it, wait again.  [parallel] pops free
+   workers from a global stack, posts one job per index, runs index 0
+   (and any indices it could not place) itself, then blocks on a
+   completion latch.  A job reparks its worker on the free stack
+   *before* signalling the latch, so by the time [parallel] returns its
+   workers are visible to the next phase — this is what makes
+   [spawned] stable across consecutive calls, the reuse guarantee the
+   tests pin.
+
+   The latch mutex also orders memory: every write a worker made is
+   visible to the caller after the join, and the caller's writes are
+   visible to workers through the job-submission mutex.  Callers can
+   therefore fill disjoint slots of shared arrays from workers and read
+   them after [parallel] returns without further synchronization. *)
+
+type worker = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable job : (unit -> unit) option;
+}
+
+let max_workers = 64
+
+(* Concurrency cap.  Running more domains than cores is not a harmless
+   no-op in OCaml: every minor collection is a stop-the-world handshake
+   across all running domains, and when they share one core each
+   handshake pays scheduling latency — a [--domains 4] check on a
+   1-core machine measures >2x slower than serial.  The pool therefore
+   never keeps more than [cap ()] indices in flight; the rest run
+   sequentially on the caller, which changes placement but (by the
+   determinism contract) never output. *)
+let cap_override : int option Atomic.t = Atomic.make None
+
+let cap () =
+  match Atomic.get cap_override with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+let set_cap o =
+  (match o with
+  | Some n when n < 1 -> invalid_arg "Domain_pool.set_cap: cap must be >= 1"
+  | _ -> ());
+  Atomic.set cap_override o
+
+(* free workers; the same mutex guards the spawn counter so growth
+   decisions and acquisitions are atomic *)
+let pool_m = Mutex.create ()
+let free : worker Stack.t = Stack.create ()
+let spawned_n = ref 0
+
+let spawned () =
+  Mutex.lock pool_m;
+  let n = !spawned_n in
+  Mutex.unlock pool_m;
+  n
+
+let rec worker_loop w =
+  Mutex.lock w.m;
+  while w.job = None do
+    Condition.wait w.cv w.m
+  done;
+  let job = Option.get w.job in
+  w.job <- None;
+  Mutex.unlock w.m;
+  job ();
+  worker_loop w
+
+(* pop up to [need] free workers, spawning below the cap; fewer than
+   [need] is a legal result the caller absorbs by running the leftover
+   indices itself *)
+let acquire need =
+  Mutex.lock pool_m;
+  let rec go acc need =
+    if need = 0 then acc
+    else
+      match Stack.pop_opt free with
+      | Some w -> go (w :: acc) (need - 1)
+      | None ->
+        if !spawned_n >= max_workers then acc
+        else begin
+          incr spawned_n;
+          let w = { m = Mutex.create (); cv = Condition.create (); job = None } in
+          ignore (Domain.spawn (fun () -> worker_loop w) : unit Domain.t);
+          go (w :: acc) (need - 1)
+        end
+  in
+  let ws = go [] need in
+  Mutex.unlock pool_m;
+  ws
+
+let submit w job =
+  Mutex.lock w.m;
+  w.job <- Some job;
+  Condition.signal w.cv;
+  Mutex.unlock w.m
+
+let parallel ~domains f =
+  if domains <= 1 then f 0
+  else begin
+    let errors = Array.make domains None in
+    let run k = try f k with e -> errors.(k) <- Some e in
+    let workers = acquire (min (domains - 1) (cap () - 1)) in
+    let placed = List.length workers in
+    let latch_m = Mutex.create () in
+    let latch_cv = Condition.create () in
+    let pending = ref placed in
+    List.iteri
+      (fun i w ->
+        let k = i + 1 in
+        submit w (fun () ->
+            run k;
+            (* repark before signalling: a caller that has observed the
+               completion must also observe the freed worker *)
+            Mutex.lock pool_m;
+            Stack.push w free;
+            Mutex.unlock pool_m;
+            Mutex.lock latch_m;
+            decr pending;
+            if !pending = 0 then Condition.signal latch_cv;
+            Mutex.unlock latch_m))
+      workers;
+    run 0;
+    (* indices the pool had no worker for run here, in order *)
+    for k = placed + 1 to domains - 1 do
+      run k
+    done;
+    Mutex.lock latch_m;
+    while !pending > 0 do
+      Condition.wait latch_cv latch_m
+    done;
+    Mutex.unlock latch_m;
+    Array.iter (function Some e -> raise e | None -> ()) errors
+  end
+
+let chunk ~n ~domains k =
+  let d = max 1 domains in
+  if k < 0 || k >= d then (0, 0)
+  else begin
+    let base = n / d and extra = n mod d in
+    let start = (k * base) + min k extra in
+    (start, start + base + if k < extra then 1 else 0)
+  end

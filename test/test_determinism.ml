@@ -11,12 +11,21 @@ open Dfr_core
 
 let check = Alcotest.check
 
+(* The pool clamps in-flight indices to the core count, so on a 1-core
+   CI machine ~domains:4 would silently degrade to ordered serial
+   execution and these differentials would stop exercising real
+   concurrency.  Force the cap up for the duration of each test. *)
+let with_cap n f =
+  Dfr_util.Domain_pool.set_cap (Some n);
+  Fun.protect ~finally:(fun () -> Dfr_util.Domain_pool.set_cap None) f
+
 let cube2 = Net.wormhole (Topology.hypercube 2) ~vcs:2
 let cube3 = Net.wormhole (Topology.hypercube 3) ~vcs:2
 let saf33 = Net.store_and_forward (Topology.mesh [| 3; 3 |]) ~classes:2
 
 (* graph + every edge's witness list, serial vs ~domains *)
 let check_build_identical name net algo =
+  with_cap 4 @@ fun () ->
   let space = State_space.build net algo in
   let serial = Bwg.build space in
   let parallel = Bwg.build ~domains:4 space in
@@ -52,6 +61,7 @@ let test_build_domains_exceed_dests () =
    minimal index in shortest-first order — no matter how many domains
    race over the cycle list *)
 let check_verdict_identical name net algo =
+  with_cap 4 @@ fun () ->
   let serial = Checker.verdict net algo in
   let parallel = Checker.verdict ~domains:4 net algo in
   if serial <> parallel then Alcotest.failf "%s: verdicts differ" name
@@ -70,6 +80,105 @@ let test_verdict_registry () =
       check_verdict_identical e.Registry.name net e.Registry.algo)
     Registry.all
 
+(* ---- the phases parallelized by the domain pool, individually ---- *)
+
+(* Algo.validate sweeps (buffer, dest) pairs; the parallel sweep must
+   produce the same Ok, and — harder — the same Error string with the
+   problems in the same buffer order *)
+let test_validate_parallel () =
+  with_cap 4 @@ fun () ->
+  List.iter
+    (fun (e : Registry.entry) ->
+      let net = Registry.network_for e None in
+      let serial = Algo.validate e.Registry.algo net in
+      List.iter
+        (fun d ->
+          if Algo.validate ~domains:d e.Registry.algo net <> serial then
+            Alcotest.failf "%s: validate differs at domains=%d" e.Registry.name
+              d)
+        [ 2; 4; 16 ])
+    Registry.all;
+  (* a broken relation: every buffer misroutes, so the error message
+     aggregates many problems and any merge-order slip shows up *)
+  let broken =
+    Algo.make ~name:"broken" ~wait:Algo.Any_wait
+      ~route:(fun _ b ~dest:_ -> [ Buf.id b ])
+      ()
+  in
+  let serial = Algo.validate broken cube2 in
+  check Alcotest.bool "broken algo is rejected" true (Result.is_error serial);
+  List.iter
+    (fun d ->
+      if Algo.validate ~domains:d broken cube2 <> serial then
+        Alcotest.failf "broken: error string differs at domains=%d" d)
+    [ 2; 4 ]
+
+(* the state space itself: reachability, outputs and waits per
+   (buffer, dest) must match the serial build, under both storages *)
+let check_space_identical name ~storage net algo =
+  with_cap 4 @@ fun () ->
+  let s1 = State_space.build ~storage ~domains:1 net algo in
+  let s4 = State_space.build ~storage ~domains:4 net algo in
+  for buf = 0 to State_space.num_buffers s1 - 1 do
+    for dest = 0 to State_space.num_nodes s1 - 1 do
+      if
+        State_space.is_reachable s1 ~buf ~dest
+        <> State_space.is_reachable s4 ~buf ~dest
+        || State_space.outputs s1 ~buf ~dest
+           <> State_space.outputs s4 ~buf ~dest
+        || State_space.waits s1 ~buf ~dest <> State_space.waits s4 ~buf ~dest
+      then Alcotest.failf "%s: state (%d, %d) differs" name buf dest
+    done
+  done;
+  check Alcotest.bool (name ^ ": same stuck states") true
+    (State_space.stuck_states s1 = State_space.stuck_states s4)
+
+let test_space_dense () =
+  check_space_identical "dense efa 3-cube" ~storage:`Dense cube3
+    Hypercube_wormhole.efa
+
+let test_space_sparse () =
+  check_space_identical "sparse efa 3-cube" ~storage:`Sparse cube3
+    Hypercube_wormhole.efa;
+  check_space_identical "sparse two-buffer 3x3" ~storage:`Sparse saf33
+    Mesh_saf.two_buffer
+
+(* ---- end to end: the whole catalogue, byte for byte ---- *)
+
+let report_bytes ~domains net algo =
+  Report_json.to_string net algo (Checker.check ~domains net algo)
+
+let test_report_catalogue () =
+  with_cap 4 @@ fun () ->
+  List.iter
+    (fun (e : Registry.entry) ->
+      let net = Registry.network_for e None in
+      let reference = report_bytes ~domains:1 net e.Registry.algo in
+      List.iter
+        (fun d ->
+          check Alcotest.string
+            (Printf.sprintf "%s: report bytes at domains=%d" e.Registry.name d)
+            reference
+            (report_bytes ~domains:d net e.Registry.algo))
+        [ 2; 4 ])
+    Registry.all
+
+(* no hand-picked structure: random routing relations from the fuzzer's
+   generator must also report identically across domain counts *)
+let prop_report_domains_invariant =
+  QCheck.Test.make ~name:"random cases report identically across domains"
+    ~count:25
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      with_cap 4 @@ fun () ->
+      let rng = Dfr_util.Prng.create seed in
+      let case = Dfr_fuzz.Gen.case rng ~max_nodes:8 in
+      let net, algo = Dfr_fuzz.Case.to_net_algo case in
+      let reference = report_bytes ~domains:1 net algo in
+      List.for_all
+        (fun d -> report_bytes ~domains:d net algo = reference)
+        [ 2; 4 ])
+
 let suite =
   [
     Alcotest.test_case "build: efa-relaxed 2-cube" `Quick test_build_efa_relaxed;
@@ -79,4 +188,10 @@ let suite =
     Alcotest.test_case "verdict: efa-relaxed 2-cube" `Quick test_verdict_efa_relaxed;
     Alcotest.test_case "verdict: efa 3-cube" `Quick test_verdict_efa_3cube;
     Alcotest.test_case "verdict: registry sweep" `Slow test_verdict_registry;
+    Alcotest.test_case "validate: parallel sweep" `Quick test_validate_parallel;
+    Alcotest.test_case "space: dense parallel build" `Quick test_space_dense;
+    Alcotest.test_case "space: sparse parallel build" `Quick test_space_sparse;
+    Alcotest.test_case "reports: catalogue across domains" `Slow
+      test_report_catalogue;
+    QCheck_alcotest.to_alcotest prop_report_domains_invariant;
   ]

@@ -8,6 +8,12 @@ module Json = Dfr_util.Json
 
 let check = Alcotest.check
 
+(* force true concurrency: the pool otherwise clamps to the machine's
+   core count and a 1-core CI box would run everything serially *)
+let with_cap n f =
+  Dfr_util.Domain_pool.set_cap (Some n);
+  Fun.protect ~finally:(fun () -> Dfr_util.Domain_pool.set_cap None) f
+
 let test_span_nesting () =
   Obs.enable ();
   let r =
@@ -50,6 +56,7 @@ let test_span_nesting () =
    deterministically (efa: wormhole, acyclic BWG; two-buffer: SAF with a
    full cycle scan) *)
 let counters_for name domains =
+  with_cap 4 @@ fun () ->
   let e =
     match Registry.find name with
     | Some e -> e
@@ -73,6 +80,32 @@ let test_counters_deterministic () =
         serial parallel;
       check Alcotest.bool (name ^ ": counters nonempty") true (serial <> []))
     [ "efa"; "two-buffer" ]
+
+(* same invariance for the phases this PR parallelized directly —
+   validate, the per-destination BFS (under both storages) and the
+   move-graph materialization — without the checker around them *)
+let space_counters ~storage domains =
+  with_cap 4 @@ fun () ->
+  let e = Option.get (Registry.find "efa") in
+  let net = Registry.network_for e None in
+  Obs.enable ();
+  let space = State_space.build ~storage ~domains net e.Registry.algo in
+  State_space.materialize_move_graphs ~domains space;
+  let cs = Obs.counters () in
+  Obs.disable ();
+  cs
+
+let test_space_counters_deterministic () =
+  List.iter
+    (fun (label, storage) ->
+      let serial = space_counters ~storage 1 in
+      let parallel = space_counters ~storage 4 in
+      check
+        Alcotest.(list (pair string int))
+        (label ^ ": space counters agree across domains")
+        serial parallel;
+      check Alcotest.bool (label ^ ": counters nonempty") true (serial <> []))
+    [ ("dense", `Dense); ("sparse", `Sparse) ]
 
 let test_trace_exports_valid_json () =
   let e = Option.get (Registry.find "efa") in
@@ -131,13 +164,55 @@ let test_disabled_sink_is_noop () =
     (report_bytes ~instrumented:false)
     (report_bytes ~instrumented:true)
 
+(* Timestamps are monotonic-clock readings: every exported ts must be
+   nonnegative (nothing before the collector's epoch) and the sorted
+   export must be nondecreasing.  Under gettimeofday an NTP step could
+   violate both; this pins the Monotime re-base.  The wall-clock anchor
+   is exported separately as epochWallUs. *)
+let test_timestamps_monotonic () =
+  Obs.enable ();
+  for _ = 1 to 100 do
+    Obs.span "tick" (fun () -> Obs.span "tock" (fun () -> ()))
+  done;
+  let doc = Obs.trace_json () in
+  let wall =
+    match Json.member "epochWallUs" doc with
+    | Some (Json.Float w) -> w
+    | _ -> Alcotest.fail "trace lacks epochWallUs"
+  in
+  check Alcotest.bool "wall epoch is a plausible gettimeofday" true
+    (wall > 1e15 (* ~2001 in µs; catches a zero or a ns/ms mixup *));
+  (match Option.bind (Json.member "traceEvents" doc) Json.to_list with
+  | None | Some [] -> Alcotest.fail "no trace events"
+  | Some evs ->
+    let ts =
+      List.filter_map
+        (fun e ->
+          match Json.member "ts" e with Some (Json.Float t) -> Some t | _ -> None)
+        evs
+    in
+    check Alcotest.int "every event has ts" (List.length evs) (List.length ts);
+    List.iter
+      (fun t ->
+        if t < 0.0 then Alcotest.failf "event before the epoch: ts=%f" t)
+      ts;
+    if List.sort compare ts <> ts then
+      Alcotest.fail "exported events are not in nondecreasing ts order");
+  Obs.disable ();
+  check Alcotest.bool "epochWallUs absent when disabled" true
+    (Json.member "epochWallUs" (Obs.trace_json ()) = None)
+
 let suite =
   [
     Alcotest.test_case "span nesting and depth" `Quick test_span_nesting;
     Alcotest.test_case "counters deterministic across domains" `Quick
       test_counters_deterministic;
+    Alcotest.test_case "space counters deterministic across domains" `Quick
+      test_space_counters_deterministic;
     Alcotest.test_case "trace and metrics export valid JSON" `Quick
       test_trace_exports_valid_json;
     Alcotest.test_case "disabled sink changes nothing" `Quick
       test_disabled_sink_is_noop;
+    Alcotest.test_case "timestamps are monotonic" `Quick
+      test_timestamps_monotonic;
   ]

@@ -599,6 +599,98 @@ let test_monotime_nondecreasing () =
   check Alcotest.bool "elapsed is nonnegative" true
     (Monotime.elapsed_ns ~since:t0 >= 0L)
 
+(* ---------------- domain pool ---------------- *)
+
+(* run with an explicit concurrency cap, restoring the hardware default
+   whatever happens — the pool is process-global state *)
+let with_cap n f =
+  Domain_pool.set_cap (Some n);
+  Fun.protect ~finally:(fun () -> Domain_pool.set_cap None) f
+
+let test_pool_runs_every_index () =
+  with_cap 4 @@ fun () ->
+  let hits = Array.make 7 0 in
+  Domain_pool.parallel ~domains:7 (fun k -> hits.(k) <- hits.(k) + 1);
+  check (Alcotest.array Alcotest.int) "each index exactly once"
+    (Array.make 7 1) hits;
+  (* degenerate cases *)
+  let solo = ref (-1) in
+  Domain_pool.parallel ~domains:1 (fun k -> solo := k);
+  check Alcotest.int "domains=1 runs index 0" 0 !solo
+
+let test_pool_reuse () =
+  with_cap 4 @@ fun () ->
+  (* warm: force workers into existence *)
+  Domain_pool.parallel ~domains:4 (fun _ -> ());
+  let n0 = Domain_pool.spawned () in
+  check Alcotest.bool "warm-up spawned workers" true (n0 >= 1);
+  for _ = 1 to 5 do
+    Domain_pool.parallel ~domains:4 (fun _ -> ())
+  done;
+  check Alcotest.int "later phases reuse, never respawn" n0
+    (Domain_pool.spawned ())
+
+exception Boom of int
+
+let test_pool_exception () =
+  with_cap 4 @@ fun () ->
+  (* indices 1 and 3 raise; the smallest index's exception surfaces *)
+  (match
+     Domain_pool.parallel ~domains:4 (fun k ->
+         if k = 1 || k = 3 then raise (Boom k))
+   with
+  | () -> Alcotest.fail "exception was swallowed"
+  | exception Boom 1 -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+  (* the pool survives: workers were reparked despite the failure *)
+  let hits = Array.make 4 0 in
+  Domain_pool.parallel ~domains:4 (fun k -> hits.(k) <- hits.(k) + 1);
+  check (Alcotest.array Alcotest.int) "pool usable after exception"
+    (Array.make 4 1) hits
+
+let test_pool_capped_serial_order () =
+  (* cap 1: no workers, every index runs on the caller in index order —
+     the oversubscription fallback the 1-core CI machines exercise *)
+  with_cap 1 @@ fun () ->
+  let order = ref [] in
+  Domain_pool.parallel ~domains:5 (fun k -> order := k :: !order);
+  check (Alcotest.list Alcotest.int) "caller runs indices in order"
+    [ 0; 1; 2; 3; 4 ] (List.rev !order)
+
+let prop_chunk_partitions =
+  QCheck.Test.make ~name:"chunk tiles [0,n) in order, balanced" ~count:300
+    QCheck.(pair (int_range 0 500) (int_range 1 32))
+    (fun (n, domains) ->
+      let pieces =
+        List.init domains (fun k -> Domain_pool.chunk ~n ~domains k)
+      in
+      let covered =
+        List.concat_map
+          (fun (lo, hi) -> List.init (hi - lo) (fun i -> lo + i))
+          pieces
+      in
+      let sizes = List.map (fun (lo, hi) -> hi - lo) pieces in
+      let min_sz = List.fold_left min max_int sizes
+      and max_sz = List.fold_left max 0 sizes in
+      covered = List.init n Fun.id
+      && max_sz - min_sz <= 1
+      && Domain_pool.chunk ~n ~domains (-1) = (0, 0)
+      && Domain_pool.chunk ~n ~domains domains = (0, 0))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "pool runs every index" `Quick
+        test_pool_runs_every_index;
+      Alcotest.test_case "pool reuses workers across phases" `Quick
+        test_pool_reuse;
+      Alcotest.test_case "pool re-raises smallest index" `Quick
+        test_pool_exception;
+      Alcotest.test_case "pool cap 1 is ordered serial" `Quick
+        test_pool_capped_serial_order;
+      qtest prop_chunk_partitions;
+    ]
+
 let suite =
   suite
   @ [
