@@ -150,7 +150,7 @@ let thm6 () =
   | None -> Printf.printf "unexpected: no True Cycle found\n");
   (match Checker.verdict net Hypercube_wormhole.efa_relaxed with
   | Checker.Deadlock_possible failure ->
-    (match Scenario.replay net Hypercube_wormhole.efa_relaxed failure with
+    (match Dfr_scenario.Scenario.replay net Hypercube_wormhole.efa_relaxed failure with
     | Some true -> Printf.printf "replay: deadlock confirmed in the flit simulator\n"
     | Some false -> Printf.printf "replay: NOT confirmed\n"
     | None -> Printf.printf "replay: nothing to replay\n")

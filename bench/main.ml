@@ -924,6 +924,197 @@ let run_incr () =
 
 (* --------------------------------------------------------------------- *)
 
+let bench10_json = "BENCH_10.json"
+
+(* E20, two gates:
+
+   (a) a 50-fault storm sweep on the 11k-buffer dragonfly rides ONE
+   incremental session, so the whole campaign must beat 50 cold checks
+   by >= 10x.  Cold cost is sampled (3 faults re-checked from scratch),
+   not paid 50 times — the sampled reports double as a bit-for-bit check
+   of the incremental path.
+
+   (b) the analytic worst-case latency bounds are sound: on every
+   catalogue wormhole instance where both sides are defined (bounds
+   exist and the simulated workload drains), analytic p100 >= the
+   simulator's observed p100. *)
+let run_scenario () =
+  Printf.printf "\n=== E20: fault campaigns + latency bounds ===\n%!";
+  let module J = Dfr_util.Json in
+  let module Fault = Dfr_scenario.Fault in
+  let module Degrade = Dfr_scenario.Degrade in
+  let module Scenario = Dfr_scenario.Scenario in
+  let module Latency = Dfr_scenario.Latency in
+  let module Traffic = Dfr_sim.Traffic in
+  let module Wormhole_sim = Dfr_sim.Wormhole_sim in
+  let module Stats = Dfr_sim.Stats in
+  let time f =
+    let t0 = Mono.now () in
+    let r = f () in
+    ((Mono.now () -. t0) *. 1e9, r)
+  in
+  (* ---- (a) the storm sweep ---------------------------------------- *)
+  let entry =
+    match Registry.find "dragonfly-minimal" with
+    | Some e -> e
+    | None -> failwith "scenario: dragonfly-minimal not registered"
+  in
+  let topo =
+    match Topology.of_string "dragonfly:10x4x41" with
+    | Ok t -> t
+    | Error m -> failwith ("scenario: " ^ m)
+  in
+  let net = Registry.network_for entry (Some topo) in
+  let algo = entry.Registry.algo in
+  let faults = 50 in
+  let plan =
+    {
+      Fault.name = Some "bench-storm";
+      seed = 8088;
+      steps = [ { Fault.at = 0; fault = Fault.Storm { count = faults; seed = None } } ];
+    }
+  in
+  let incr_ns, campaign =
+    time (fun () ->
+        match Scenario.campaign ~mode:`Sweep net algo plan with
+        | Ok c -> c
+        | Error m -> failwith ("scenario: campaign: " ^ m))
+  in
+  let outcomes = Array.of_list campaign.Scenario.outcomes in
+  if Array.length outcomes <> faults then begin
+    Printf.eprintf "FAIL: expected %d outcomes, got %d\n" faults
+      (Array.length outcomes);
+    exit 1
+  end;
+  Printf.printf "incremental sweep: %d faults in %.2f s (%d buffers)\n%!" faults
+    (incr_ns /. 1e9)
+    (Net.num_buffers net);
+  let steps =
+    match Fault.expand plan net with
+    | Ok s -> Array.of_list s
+    | Error m -> failwith ("scenario: expand: " ^ m)
+  in
+  let sampled = [ 0; faults / 2; faults - 1 ] in
+  let cold_samples =
+    List.map
+      (fun i ->
+        let step = steps.(i) in
+        let algo' =
+          match Degrade.apply campaign.Scenario.space [ step.Fault.fault ] with
+          | Ok (Degrade.Filtered { algo = a; _ }) -> a
+          | Ok (Degrade.Rebuilt _) ->
+            failwith "scenario: a storm kill rebuilt the skeleton"
+          | Error m -> failwith ("scenario: degrade: " ^ m)
+        in
+        let ns, cold_report =
+          time (fun () ->
+              let r = Checker.check net algo' in
+              J.to_string (Report_json.of_outcome net algo' r))
+        in
+        if J.to_string outcomes.(i).Scenario.report <> cold_report then begin
+          Printf.eprintf
+            "FAIL: fault %d: incremental report differs from cold bytes\n" i;
+          exit 1
+        end;
+        Printf.printf "  cold fault %-2d: %.2f s (bytes match)\n%!" i (ns /. 1e9);
+        ns)
+      sampled
+  in
+  let cold_per_fault = median cold_samples in
+  let est_cold_ns = cold_per_fault *. float_of_int faults in
+  let speedup = est_cold_ns /. incr_ns in
+  Printf.printf
+    "cold per fault %.2f s (median of %d) -> est. cold sweep %.0f s; \
+     speedup %.1fx (budget 10x)\n%!"
+    (cold_per_fault /. 1e9) (List.length cold_samples) (est_cold_ns /. 1e9)
+    speedup;
+  if speedup < 10.0 then begin
+    Printf.eprintf
+      "FAIL: incremental fault sweep only %.1fx faster than cold (budget 10x)\n"
+      speedup;
+    exit 1
+  end;
+  (* ---- (b) latency soundness over the catalogue -------------------- *)
+  let latency_rows =
+    List.filter_map
+      (fun (e : Registry.entry) ->
+        if e.Registry.expected_deadlock_free <> Some true then None
+        else
+          let net = Registry.network_for e None in
+          match (Net.switching net, Net.topology net) with
+          | Net.Wormhole, Some t -> (
+            let traffic =
+              Traffic.bursty t ~pattern:Traffic.Uniform ~burst:4 ~rate:0.02
+                ~length:4 ~horizon:400 ~seed:11
+            in
+            if traffic = [] then None
+            else
+              let report = Checker.check net e.Registry.algo in
+              match report.Checker.verdict with
+              | Checker.Deadlock_free _ -> (
+                let bounds =
+                  Latency.analyze report.Checker.space report.Checker.bwg traffic
+                in
+                let observed =
+                  match Wormhole_sim.run net e.Registry.algo traffic with
+                  | Wormhole_sim.Completed stats ->
+                    Some (Stats.percentile_latency stats 1.0)
+                  | _ -> None
+                in
+                match (bounds.Latency.defined, observed) with
+                | true, Some obs ->
+                  let sound = bounds.Latency.p100 >= obs in
+                  Printf.printf "  %-22s bound p100 %6d, observed %4d  %s\n%!"
+                    e.Registry.name bounds.Latency.p100 obs
+                    (if sound then "sound" else "VIOLATED");
+                  Some
+                    ( J.Obj
+                        [
+                          ("instance", J.String e.Registry.name);
+                          ("packets", J.Int (Traffic.count traffic));
+                          ("bound_p50", J.Int bounds.Latency.p50);
+                          ("bound_p100", J.Int bounds.Latency.p100);
+                          ("observed_p100", J.Int obs);
+                          ("sound", J.Bool sound);
+                        ],
+                      sound )
+                | _ -> None)
+              | _ -> None)
+          | _ -> None)
+      Registry.all
+  in
+  if latency_rows = [] then begin
+    Printf.eprintf "FAIL: no catalogue instance produced comparable bounds\n";
+    exit 1
+  end;
+  if List.exists (fun (_, sound) -> not sound) latency_rows then begin
+    Printf.eprintf "FAIL: an analytic latency bound fell below the observed p100\n";
+    exit 1
+  end;
+  let doc =
+    J.Obj
+      [
+        ("suite", J.String "scenario");
+        ("problem", J.String "dragonfly-minimal@dragonfly:10x4x41");
+        ("buffers", J.Int (Net.num_buffers net));
+        ("faults", J.Int faults);
+        ("sweep_ns", J.Float incr_ns);
+        ("cold_per_fault_ns", J.Float cold_per_fault);
+        ("est_cold_sweep_ns", J.Float est_cold_ns);
+        ("speedup_vs_cold", J.Float speedup);
+        ("speedup_budget", J.Float 10.0);
+        ("verified_bit_for_bit", J.Bool true);
+        ("latency_soundness", J.List (List.map fst latency_rows));
+      ]
+  in
+  let oc = open_out bench10_json in
+  output_string oc (J.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" bench10_json
+
+(* --------------------------------------------------------------------- *)
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match which with
@@ -945,6 +1136,7 @@ let () =
   | "domains" -> run_domains ()
   | "synth" -> run_synth ()
   | "incr" -> run_incr ()
+  | "scenario" -> run_scenario ()
   | "all" ->
     Experiments.all ();
     run_micro ();
@@ -952,9 +1144,10 @@ let () =
     run_scale ();
     run_domains ();
     run_synth ();
-    run_incr ()
+    run_incr ();
+    run_scenario ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro serve scale domains synth incr all)\n"
+      "unknown experiment %S (fig3 fig12 thm4 thm5 thm6 matrix perf ablations micro serve scale domains synth incr scenario all)\n"
       other;
     exit 1

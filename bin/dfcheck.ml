@@ -7,6 +7,7 @@
      adaptiveness  Figure 3: degree of adaptiveness vs hypercube dimension
      matrix        verdict matrix: algorithms x proof techniques (E6)
      simulate      flit-level simulation with a synthetic workload
+     scenario      fault-plan campaigns, adversarial traffic, latency bounds
      serve         batched NDJSON checking service (stdio or TCP)
      client        one-shot scripting client for a TCP serve instance *)
 
@@ -121,7 +122,7 @@ let run_check_report ~name ~replay ~certificate ~json ~domains ~trace ~metrics
   end;
   (match report.Checker.verdict with
   | Checker.Deadlock_possible failure when replay ->
-    (match Scenario.replay net algo failure with
+    (match Dfr_scenario.Scenario.replay net algo failure with
     | Some true -> Format.printf "  replay: deadlock confirmed in simulation@."
     | Some false -> Format.printf "  replay: configuration drained (not confirmed)@."
     | None -> Format.printf "  replay: nothing to replay for this failure@.")
@@ -375,18 +376,413 @@ let simulate_cmd =
           $ horizon $ seed $ router $ json $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
-(* spec: user-supplied .dfr networks, no recompilation needed          *)
+(* scenario: fault campaigns, adversarial traffic, latency bounds      *)
 
-let spec_file_arg =
-  let doc = "Network/routing specification (.dfr file; see DESIGN.md for the grammar)." in
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
-
+(* also the spec section's loader, hoisted here because scenario shares it *)
 let with_spec file k =
   match Dfr_spec.Spec.load_file file with
   | Error e ->
     prerr_endline (Dfr_spec.Spec.error_to_string ~file e);
     2
   | Ok spec -> k spec
+
+module Fault = Dfr_scenario.Fault
+module Degrade = Dfr_scenario.Degrade
+module Latency = Dfr_scenario.Latency
+module Scenario = Dfr_scenario.Scenario
+
+type scenario_traffic =
+  | T_none
+  | T_pattern of Traffic.pattern  (** open-loop Bernoulli arrivals *)
+  | T_bursty of int  (** leaky-bucket bursts of this depth, uniform dests *)
+  | T_storm of int list  (** multi-hotspot storm at these destinations *)
+  | T_permutation
+  | T_seeking  (** scripted packets aimed at the final verdict's witness *)
+
+let parse_scenario_traffic s =
+  let ints csv =
+    let parts = String.split_on_char ',' csv in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | p :: rest -> (
+        match int_of_string_opt p with
+        | Some n -> go (n :: acc) rest
+        | None -> None)
+    in
+    go [] parts
+  in
+  match s with
+  | "none" -> Ok T_none
+  | "permutation" -> Ok T_permutation
+  | "seeking" -> Ok T_seeking
+  | s when String.length s > 7 && String.sub s 0 7 = "bursty:" -> (
+    match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+    | Some b -> Ok (T_bursty b)
+    | None -> Error (`Msg "bursty:BURST"))
+  | s when String.length s > 6 && String.sub s 0 6 = "storm:" -> (
+    match ints (String.sub s 6 (String.length s - 6)) with
+    | Some ds -> Ok (T_storm ds)
+    | None -> Error (`Msg "storm:D1,D2,..."))
+  | s -> (
+    match parse_pattern s with
+    | Ok p -> Ok (T_pattern p)
+    | Error _ ->
+      Error
+        (`Msg
+           "expected none|uniform|transpose|complement|shuffle|hotspot:N|\
+            bursty:B|storm:D1,D2,...|permutation|seeking"))
+
+let scenario_traffic_conv =
+  Arg.conv (parse_scenario_traffic, fun fmt _ -> Format.fprintf fmt "<traffic>")
+
+let pp_classification fmt = function
+  | Scenario.Still_free -> Format.fprintf fmt "free"
+  | Scenario.Deadlocked { kind; _ } -> Format.fprintf fmt "deadlock (%s)" kind
+  | Scenario.Disconnected pairs ->
+    Format.fprintf fmt "disconnected (%d destination%s cut)" (List.length pairs)
+      (if List.length pairs = 1 then "" else "s")
+  | Scenario.Undetermined reason -> Format.fprintf fmt "unknown (%s)" reason
+
+let print_campaign_text (c : Scenario.campaign) =
+  Format.printf "plan %s on %s / %s: baseline exit %d@."
+    (Option.value c.Scenario.plan_name ~default:"<unnamed>")
+    c.Scenario.network c.Scenario.algorithm c.Scenario.baseline_exit;
+  List.iter
+    (fun (o : Scenario.outcome) ->
+      Format.printf "  at %-3d %s: %a (exit %d)@." o.Scenario.at
+        o.Scenario.label pp_classification o.Scenario.classification
+        o.Scenario.exit_code)
+    c.Scenario.outcomes;
+  Format.printf "overall exit %d@." c.Scenario.exit_code
+
+(* The degraded instance left standing after the whole plan — what the
+   traffic and latency stages run against. *)
+let final_instance (c : Scenario.campaign) net algo plan =
+  match Fault.expand plan net with
+  | Error msg -> Error msg
+  | Ok steps -> (
+    match steps with
+    | [] -> Ok (net, algo)
+    | _ -> (
+      match
+        Degrade.apply c.Scenario.space
+          (List.map (fun (s : Fault.step) -> s.Fault.fault) steps)
+      with
+      | Error msg -> Error msg
+      | Ok (Degrade.Filtered { algo = algo'; _ }) -> Ok (net, algo')
+      | Ok (Degrade.Rebuilt { net = net'; algo = algo'; _ }) -> Ok (net', algo')))
+
+(* Build the requested workload against the (possibly degraded) final
+   instance.  Generator validation errors (zero-length packets, an empty
+   or out-of-range storm destination set) raise [Invalid_argument], which
+   the caller maps to a usage error — exit 2, pinned by
+   test/cli_exit_codes.sh. *)
+let scenario_workload ~traffic ~rate ~length ~horizon ~seed ~report fnet =
+  let topo () =
+    match Net.topology fnet with
+    | Some t -> t
+    | None ->
+      invalid_arg
+        "this traffic kind needs a topology-backed network (the plan's node \
+         kills rebuild a custom network)"
+  in
+  match traffic with
+  | T_none -> None
+  | T_pattern p ->
+    Some (Traffic.generate (topo ()) ~pattern:p ~rate ~length ~horizon ~seed)
+  | T_bursty burst ->
+    Some
+      (Traffic.bursty (topo ()) ~pattern:Traffic.Uniform ~burst ~rate ~length
+         ~horizon ~seed)
+  | T_storm dests ->
+    Some (Traffic.storm (topo ()) ~dests ~rate ~length ~horizon ~seed)
+  | T_permutation -> Some (Traffic.permutation (topo ()) ~count:1 ~length ~seed)
+  | T_seeking -> (
+    let report = Lazy.force report in
+    match report.Checker.verdict with
+    | Checker.Deadlock_possible failure -> (
+      match
+        Scenario.seeking_traffic report.Checker.space ~length failure
+      with
+      | Some t -> Some t
+      | None ->
+        invalid_arg
+          "the final verdict's failure carries no packet configuration to \
+           aim traffic at")
+    | _ ->
+      invalid_arg
+        "--traffic seeking needs a deadlock verdict on the final degraded \
+         instance")
+
+let scenario_exec ~mode ~plan_file ~spec_file ~algo_name ~topo ~cold ~domains
+    ~traffic ~rate ~length ~horizon ~seed ~latency ~json ~trace ~metrics =
+  let with_instance k =
+    match (spec_file, algo_name) with
+    | Some file, None ->
+      with_spec file (fun spec ->
+          k spec.Dfr_spec.Spec.net spec.Dfr_spec.Spec.algo)
+    | None, Some name -> (
+      match lookup name with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok e -> k (Registry.network_for e topo) e.Registry.algo)
+    | _ ->
+      prerr_endline
+        "dfcheck scenario: give exactly one of --spec FILE or -a NAME";
+      2
+  in
+  if domains < 1 then begin
+    prerr_endline "dfcheck scenario: --domains must be >= 1";
+    2
+  end
+  else
+    with_instance (fun net algo ->
+        match Fault.load_file plan_file with
+        | Error msg ->
+          prerr_endline ("dfcheck scenario: " ^ msg);
+          2
+        | Ok plan -> (
+          obs_setup ~trace ~metrics;
+          let finish code =
+            obs_teardown ~trace;
+            code
+          in
+          match Scenario.campaign ~domains ~cold ~mode net algo plan with
+          | exception Invalid_argument msg ->
+            prerr_endline ("dfcheck scenario: " ^ msg);
+            finish 2
+          | Error msg ->
+            prerr_endline ("dfcheck scenario: " ^ msg);
+            finish 2
+          | Ok c ->
+            let extras () =
+              if traffic = T_none && not latency then
+                Ok ([], c.Scenario.exit_code)
+              else
+                match final_instance c net algo plan with
+                | Error msg -> Error msg
+                | Ok (fnet, falgo) -> (
+                  (* one cold check of the final instance feeds the
+                     seeking workload and the latency analyzer *)
+                  let freport = lazy (Checker.check ~domains fnet falgo) in
+                  match
+                    scenario_workload ~traffic ~rate ~length ~horizon ~seed
+                      ~report:freport fnet
+                  with
+                  | exception Invalid_argument msg -> Error msg
+                  | workload ->
+                    let sim =
+                      Option.map
+                        (fun w ->
+                          match Net.switching fnet with
+                          | Net.Wormhole -> (
+                            let o = Wormhole_sim.run fnet falgo w in
+                            ( Wormhole_sim.is_deadlocked o,
+                              Sim_report.wormhole o ~nodes:(Net.num_nodes fnet),
+                              match o with
+                              | Wormhole_sim.Completed stats ->
+                                Some (Stats.percentile_latency stats 1.0)
+                              | _ -> None ))
+                          | Net.Store_and_forward | Net.Virtual_cut_through ->
+                            let o = Saf_sim.run fnet falgo w in
+                            ( Saf_sim.is_deadlocked o,
+                              Sim_report.saf o ~nodes:(Net.num_nodes fnet),
+                              None ))
+                        workload
+                    in
+                    let lat =
+                      if not latency then None
+                      else begin
+                        let report = Lazy.force freport in
+                        let bounds =
+                          match report.Checker.verdict with
+                          | Checker.Deadlock_free _ ->
+                            Latency.analyze report.Checker.space
+                              report.Checker.bwg
+                              (Option.value workload ~default:[])
+                          | _ ->
+                            {
+                              Latency.defined = false;
+                              reason =
+                                Some
+                                  "the final degraded instance is not \
+                                   deadlock-free";
+                              packets = 0;
+                              components = 0;
+                              largest_component = 0;
+                              p50 = 0;
+                              p99 = 0;
+                              p100 = 0;
+                            }
+                        in
+                        Some bounds
+                      end
+                    in
+                    let fields =
+                      (match sim with
+                      | None -> []
+                      | Some (_, doc, _) -> [ ("traffic", doc) ])
+                      @
+                      match (lat, sim) with
+                      | None, _ -> []
+                      | Some b, Some (_, _, Some observed) ->
+                        [
+                          ( "latency",
+                            Dfr_util.Json.Obj
+                              ((match Latency.to_json b with
+                               | Dfr_util.Json.Obj fs -> fs
+                               | j -> [ ("bounds", j) ])
+                              @ [
+                                  ("observed_p100", Dfr_util.Json.Int observed);
+                                  ( "sound",
+                                    Dfr_util.Json.Bool
+                                      ((not b.Latency.defined)
+                                      || b.Latency.p100 >= observed) );
+                                ]) );
+                        ]
+                      | Some b, _ -> [ ("latency", Latency.to_json b) ]
+                    in
+                    let sim_exit =
+                      match sim with Some (true, _, _) -> 1 | _ -> 0
+                    in
+                    Ok (fields, max c.Scenario.exit_code sim_exit))
+            in
+            (match extras () with
+            | Error msg ->
+              prerr_endline ("dfcheck scenario: " ^ msg);
+              finish 2
+            | Ok (extra, exit_code) ->
+              (if json then
+                 let doc =
+                   match Scenario.campaign_to_json c with
+                   | Dfr_util.Json.Obj fields ->
+                     Dfr_util.Json.Obj (fields @ extra)
+                   | j -> j
+                 in
+                 print_endline
+                   (Dfr_util.Json.to_string_pretty (with_metrics ~metrics doc))
+               else begin
+                 print_campaign_text c;
+                 List.iter
+                   (fun (k, v) ->
+                     Format.printf "%s:@.%s@." k
+                       (Dfr_util.Json.to_string_pretty v))
+                   extra;
+                 print_text_metrics ~metrics
+               end);
+              finish exit_code)))
+
+let scenario_cmd =
+  let plan_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "plan" ] ~docv:"FILE" ~doc:"Fault plan (.plan file).")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:"Instance from a .dfr spec instead of the catalogue.")
+  in
+  let algo_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "a"; "algorithm" ] ~doc:"Catalogue algorithm (see `dfcheck list').")
+  in
+  let cold =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:
+            "Re-check every fault from scratch instead of riding one \
+             incremental session.  Same bytes, k times the cost — the \
+             determinism tests diff the two.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~doc:"Checker parallelism, as in `check'.")
+  in
+  let traffic =
+    Arg.(
+      value
+      & opt scenario_traffic_conv T_none
+      & info [ "traffic" ] ~docv:"KIND"
+          ~doc:
+            "Workload to simulate on the final degraded instance: \
+             $(b,uniform)|$(b,transpose)|$(b,complement)|$(b,shuffle)|\
+             $(b,hotspot:N)|$(b,bursty:B)|$(b,storm:D1,D2,...)|\
+             $(b,permutation)|$(b,seeking)|$(b,none).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.05
+      & info [ "r"; "rate" ] ~doc:"Packets per node per cycle.")
+  in
+  let length =
+    Arg.(value & opt int 8 & info [ "l"; "length" ] ~doc:"Packet length in flits.")
+  in
+  let horizon =
+    Arg.(
+      value & opt int 2000 & info [ "horizon" ] ~doc:"Injection horizon in cycles.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let latency =
+    Arg.(
+      value & flag
+      & info [ "latency" ]
+          ~doc:
+            "Analytic worst-case latency bounds for the workload on the \
+             final degraded instance, cross-checked against the simulated \
+             p100 when both exist.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the campaign as JSON.")
+  in
+  let run mode plan_file spec_file algo_name topo cold domains traffic rate
+      length horizon seed latency json trace metrics =
+    scenario_exec ~mode ~plan_file ~spec_file ~algo_name ~topo ~cold ~domains
+      ~traffic ~rate ~length ~horizon ~seed ~latency ~json ~trace ~metrics
+  in
+  let term mode =
+    Term.(
+      const (run mode) $ plan_arg $ spec_arg $ algo_name $ topo_arg $ cold
+      $ domains $ traffic $ rate $ length $ horizon $ seed $ latency $ json
+      $ trace_arg $ metrics_arg)
+  in
+  Cmd.group
+    (Cmd.info "scenario"
+       ~doc:
+         "Fault campaigns: degrade a checked instance along a fault plan, \
+          re-check each step (incrementally where the buffer skeleton \
+          survives), classify the outcomes, and optionally stress the \
+          degraded network with adversarial traffic and worst-case latency \
+          bounds.")
+    [
+      Cmd.v
+        (Cmd.info "sweep"
+           ~doc:
+             "Check every fault of the plan independently against the \
+              baseline (k faults, one incremental session).")
+        (term `Sweep);
+      Cmd.v
+        (Cmd.info "run"
+           ~doc:
+             "Replay the plan's timeline: faults accumulate, one re-check \
+              per tick, then traffic/latency against the end state.")
+        (term `Sequence);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* spec: user-supplied .dfr networks, no recompilation needed          *)
+
+let spec_file_arg =
+  let doc = "Network/routing specification (.dfr file; see DESIGN.md for the grammar)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
 (* `spec check --base OLD.dfr NEW.dfr`: build an incremental session on
    the base, re-derive only the destinations the edit touched, and print
@@ -1057,11 +1453,11 @@ let synth_cmd =
 let serve_run port workers queue cache cache_entry_bytes timeout_ms domains
     sessions trace metrics =
   if
-    workers < 1 || queue < 1 || domains < 1 || cache < 0 || cache_entry_bytes < 0
+    workers < 1 || queue < 1 || domains < 0 || cache < 0 || cache_entry_bytes < 0
     || timeout_ms < 0 || sessions < 0
   then begin
     prerr_endline
-      "dfcheck serve: --workers, --queue and --domains must be >= 1; --cache, \
+      "dfcheck serve: --workers and --queue must be >= 1; --domains, --cache, \
        --cache-entry-bytes, --timeout-ms and --sessions must be >= 0";
     2
   end
@@ -1126,9 +1522,11 @@ let serve_cmd =
              ~doc:"Per-request deadline in milliseconds (0 disables).")
   in
   let domains =
-    Arg.(value & opt int 1
+    Arg.(value & opt int 0
          & info [ "domains" ]
-             ~doc:"Per-check BWG/classification parallelism, as in `check'.")
+             ~doc:
+               "Per-check BWG/classification parallelism, as in `check'.  \
+                The default 0 auto-sizes from the machine's core count.")
   in
   let sessions =
     Arg.(value & opt int Engine.default_config.Engine.sessions
@@ -1290,6 +1688,7 @@ let () =
            adaptiveness_cmd;
            matrix_cmd;
            simulate_cmd;
+           scenario_cmd;
            audit_cmd;
            spec_cmd;
            fuzz_cmd;

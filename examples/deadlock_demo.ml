@@ -25,7 +25,7 @@ let () =
   match report.Checker.verdict with
   | Checker.Deadlock_possible failure ->
     print_endline "\n--- 2. replaying the configuration --------------------------";
-    (match Scenario.replay net algo failure with
+    (match Dfr_scenario.Scenario.replay net algo failure with
     | Some true ->
       print_endline "the seated configuration is dynamically stuck: deadlock confirmed"
     | Some false -> print_endline "unexpectedly drained!"

@@ -72,7 +72,7 @@ let () =
   let report = show net balanced_vc in
   (match report.Checker.verdict with
   | Checker.Deadlock_possible failure ->
-    (match Dfr_sim.Scenario.replay net balanced_vc failure with
+    (match Dfr_scenario.Scenario.replay net balanced_vc failure with
     | Some true ->
       print_endline "(simulator agrees: the witness configuration is stuck)\n"
     | _ -> print_endline "")

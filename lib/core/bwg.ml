@@ -341,14 +341,10 @@ let cycles ?limits t =
   Cycles.enumerate_checked_rows ?limits ~n:(Array.length t.witnesses)
     ~row:(succ_row t) ()
 
-let unconnected_states t =
-  let acc = ref [] in
-  State_space.iter_reachable t.space (fun ~buf ~dest ->
-      if
-        (not (State_space.arrived t.space ~buf ~dest))
-        && t.wait_sets ~buf ~dest = []
-      then acc := (buf, dest) :: !acc);
-  List.rev !acc
+let unconnected_states ?domains t =
+  State_space.filter_reachable ?domains t.space (fun ~buf ~dest ->
+      (not (State_space.arrived t.space ~buf ~dest))
+      && t.wait_sets ~buf ~dest = [])
 
 let is_wait_connected t = unconnected_states t = []
 

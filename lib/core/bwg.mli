@@ -101,10 +101,13 @@ val cycles : ?limits:Dfr_graph.Cycles.limits -> t -> int list list * bool
 (** Elementary cycles and whether enumeration was exhaustive (false = the
     cap was hit and cycles may be missing). *)
 
-val unconnected_states : t -> (int * int) list
+val unconnected_states : ?domains:int -> t -> (int * int) list
 (** Reachable, unarrived, non-delivery states whose waiting set under
     [wait_sets] is empty.  The algorithm is wait-connected for this graph
-    iff the list is empty (§3: every loss-less algorithm must be). *)
+    iff the list is empty (§3: every loss-less algorithm must be).
+    [domains] parallelizes the scan over the shared pool; the list is
+    identical to the serial scan's
+    ({!State_space.filter_reachable}). *)
 
 val is_wait_connected : t -> bool
 

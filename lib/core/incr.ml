@@ -248,18 +248,37 @@ let conclude t ~dirty_dests =
   in
   if t.rank = None then t.rank <- compute_rank t;
   let reused_dests = State_space.num_nodes t.space - dirty_dests in
-  if stuck = [] && unconnected = [] && t.rank <> None then begin
+  (* a verdict renderable from the maintained counts alone: the BWG
+     contributes only its vertex/edge numbers to these reports, so
+     replaying its emissions would recompute a graph whose only use is
+     [Digraph.num_edges] — which the session already has *)
+  let from_counts verdict =
     t.n_fast <- t.n_fast + 1;
     Obs.count "incr.fast" 1;
     let report =
       Report_json.of_counts t.net t.algo
         ~bwg_vertices:(Digraph.num_vertices t.graph)
         ~bwg_edges:(Digraph.num_edges t.graph)
-        ~bwg_cycles:None
-        ~verdict:(Checker.Deadlock_free Checker.Acyclic_bwg)
+        ~bwg_cycles:None ~verdict
     in
-    { report; exit_code = 0; path = Fast; dirty_dests; reused_dests }
-  end
+    {
+      report;
+      exit_code = Report_json.exit_code verdict;
+      path = Fast;
+      dirty_dests;
+      reused_dests;
+    }
+  in
+  if stuck = [] && unconnected = [] && t.rank <> None then
+    from_counts (Checker.Deadlock_free Checker.Acyclic_bwg)
+  else if stuck <> [] then
+    (* Checker.decide returns before touching the BWG on stuck states
+       (and the maintained list is exactly the ~stuck it would get), so
+       a fault that strands packets re-verdicts at fast-path cost — the
+       common case of a fault sweep *)
+    from_counts (Checker.Deadlock_possible (Checker.Stuck_states stuck))
+  else if unconnected <> [] then
+    from_counts (Checker.Deadlock_possible (Checker.Not_wait_connected unconnected))
   else begin
     t.n_replay <- t.n_replay + 1;
     Obs.count "incr.replay" 1;

@@ -481,12 +481,50 @@ let with_updated_dests t algo ~dests =
   List.iter (fun dest -> move_graphs.(dest) <- None) dests;
   { t with algo; storage; move_graphs }
 
-let stuck_states t =
-  let acc = ref [] in
-  iter_reachable t (fun ~buf ~dest ->
-      if (not (arrived t ~buf ~dest)) && outputs t ~buf ~dest = [] then
-        acc := (buf, dest) :: !acc);
-  List.rev !acc
+(* One destination's reachable buffers, in ascending order — the
+   per-destination strand of [iter_reachable] the parallel scans chunk
+   over. *)
+let iter_reachable_dest t ~dest f =
+  match t.storage with
+  | Dense_tab d ->
+    for buf = 0 to t.num_buffers - 1 do
+      if d.reachable.((buf * t.num_nodes) + dest) then f ~buf
+    done
+  | Sparse_tab slices -> Array.iter (fun buf -> f ~buf) slices.(dest).bufs
+
+(* Filter scan over the reachable states.  Serial it is exactly the
+   [iter_reachable] order; parallel it chunks by destination over the
+   shared pool (a destination's states never depend on another's) and a
+   final sort on the dense key restores the (buf ascending, dest
+   ascending) order — the surviving states are few (usually none), so the
+   sort costs nothing and the output is layout- and domain-count-
+   invariant. *)
+let filter_reachable ?(domains = 1) t pred =
+  if domains <= 1 then begin
+    let acc = ref [] in
+    iter_reachable t (fun ~buf ~dest ->
+        if pred ~buf ~dest then acc := (buf, dest) :: !acc);
+    List.rev !acc
+  end
+  else begin
+    let per = Array.make t.num_nodes [] in
+    Dfr_util.Domain_pool.parallel ~domains (fun k ->
+        let lo, hi = Dfr_util.Domain_pool.chunk ~n:t.num_nodes ~domains k in
+        for dest = lo to hi - 1 do
+          let acc = ref [] in
+          iter_reachable_dest t ~dest (fun ~buf ->
+              if pred ~buf ~dest then acc := (buf, dest) :: !acc);
+          per.(dest) <- List.rev !acc
+        done);
+    List.sort
+      (fun (b1, d1) (b2, d2) ->
+        compare ((b1 * t.num_nodes) + d1) ((b2 * t.num_nodes) + d2))
+      (List.concat (Array.to_list per))
+  end
+
+let stuck_states ?domains t =
+  filter_reachable ?domains t (fun ~buf ~dest ->
+      (not (arrived t ~buf ~dest)) && outputs t ~buf ~dest = [])
 
 let describe_state t (buf, dest) =
   Printf.sprintf "%s->n%d" (Net.describe_buffer t.net buf) dest

@@ -10,7 +10,7 @@
      the switching-matched simulator; any [Deadlocked] outcome refutes
      the certificate.
    - [Deadlock_possible] => the attached witness must be dynamically
-     stuck.  {!Dfr_sim.Scenario.replay} seats it (True-Cycle chains plus
+     stuck.  {!Dfr_scenario.Dfr_scenario.Scenario.replay} seats it (True-Cycle chains plus
      Theorem 2's frozen fillers, or the knot configuration) and a drain
      refutes the witness.  Wait-connectivity and stuck-state failures
      carry no seatable configuration and are only counted.
@@ -100,7 +100,7 @@ let confront ?(check = default_check) ?(sim_seeds = [ 1; 2; 3 ]) ?(count = 8)
           offender;
     }
   | Checker.Deadlock_possible failure as verdict -> (
-    match Scenario.replay ~space:report.Checker.space net algo failure with
+    match Dfr_scenario.Scenario.replay ~space:report.Checker.space net algo failure with
     | Some true -> { verdict; replay = Confirmed; disagreement = None }
     | Some false ->
       { verdict; replay = Refuted; disagreement = Some Witness_refuted }

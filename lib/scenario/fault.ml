@@ -1,0 +1,170 @@
+open Dfr_network
+open Dfr_util
+
+type fault =
+  | Kill_link of { src : int; dst : int; vc : int option }
+  | Kill_buffer of int
+  | Kill_node of int
+  | Storm of { count : int; seed : int option }
+
+type step = { at : int; fault : fault }
+
+type t = { name : string option; seed : int; steps : step list }
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+(* Whitespace-split with "->" guaranteed to be its own token, so
+   "kill link 0->1" and "kill link 0 -> 1" parse alike. *)
+let tokens line =
+  let buf = Buffer.create (String.length line + 8) in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n do
+    (if !i + 1 < n && line.[!i] = '-' && line.[!i + 1] = '>' then begin
+       Buffer.add_string buf " -> ";
+       incr i
+     end
+     else
+       match line.[!i] with
+       | '\t' | '\r' -> Buffer.add_char buf ' '
+       | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  String.split_on_char ' ' (Buffer.contents buf)
+  |> List.filter (fun s -> s <> "")
+
+let int_of ~line what s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "line %d: %s expects an integer, got %S" line what s)
+
+let ( let* ) = Result.bind
+
+let unquote s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2) else s
+
+(* One directive, already split into tokens and stripped of a leading
+   [at T] (handled by the caller). *)
+let parse_fault ~line toks =
+  match toks with
+  | [ "kill"; "link"; s; "->"; d ] ->
+    let* src = int_of ~line "link source" s in
+    let* dst = int_of ~line "link target" d in
+    Ok (Kill_link { src; dst; vc = None })
+  | [ "kill"; "link"; s; "->"; d; "vc"; v ] ->
+    let* src = int_of ~line "link source" s in
+    let* dst = int_of ~line "link target" d in
+    let* vc = int_of ~line "vc" v in
+    Ok (Kill_link { src; dst; vc = Some vc })
+  | [ "kill"; "buffer"; b ] ->
+    let* b = int_of ~line "buffer id" b in
+    Ok (Kill_buffer b)
+  | [ "kill"; "node"; n ] ->
+    let* n = int_of ~line "node id" n in
+    Ok (Kill_node n)
+  | [ "storm"; "links"; k ] ->
+    let* count = int_of ~line "storm size" k in
+    Ok (Storm { count; seed = None })
+  | [ "storm"; "links"; k; "seed"; s ] ->
+    let* count = int_of ~line "storm size" k in
+    let* seed = int_of ~line "storm seed" s in
+    Ok (Storm { count; seed = Some seed })
+  | _ ->
+    Error
+      (Printf.sprintf "line %d: cannot parse directive %S" line
+         (String.concat " " toks))
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno ~name ~seed ~prev_at acc = function
+    | [] -> Ok { name; seed; steps = List.rev acc }
+    | raw :: rest -> (
+      let toks = tokens (strip_comment raw) in
+      match toks with
+      | [] -> go (lineno + 1) ~name ~seed ~prev_at acc rest
+      | [ "plan"; n ] ->
+        go (lineno + 1) ~name:(Some (unquote n)) ~seed ~prev_at acc rest
+      | [ "seed"; s ] -> (
+        match int_of ~line:lineno "seed" s with
+        | Ok s -> go (lineno + 1) ~name ~seed:s ~prev_at acc rest
+        | Error e -> Error e)
+      | "at" :: t :: body -> (
+        match
+          let* at = int_of ~line:lineno "at" t in
+          if at < 0 then Error (Printf.sprintf "line %d: at must be >= 0" lineno)
+          else
+            let* fault = parse_fault ~line:lineno body in
+            Ok { at; fault }
+        with
+        | Ok step -> go (lineno + 1) ~name ~seed ~prev_at:step.at (step :: acc) rest
+        | Error e -> Error e)
+      | body -> (
+        match parse_fault ~line:lineno body with
+        | Ok fault ->
+          let at = match acc with [] -> 0 | _ -> prev_at + 1 in
+          go (lineno + 1) ~name ~seed ~prev_at:at ({ at; fault } :: acc) rest
+        | Error e -> Error e))
+  in
+  go 1 ~name:None ~seed:1 ~prev_at:0 [] lines
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* storm expansion                                                     *)
+
+let channel_buffer_ids net =
+  List.filter_map
+    (fun b ->
+      match Buf.kind b with Buf.Channel _ -> Some (Buf.id b) | _ -> None)
+    (Array.to_list (Net.buffers net))
+
+let expand plan net =
+  let channels = Array.of_list (channel_buffer_ids net) in
+  let rec go idx acc = function
+    | [] -> Ok (List.rev acc)
+    | { at; fault = Storm { count; seed } } :: rest ->
+      if count < 1 then Error "storm links: size must be >= 1"
+      else if count > Array.length channels then
+        Error
+          (Printf.sprintf
+             "storm links %d: the network has only %d channel buffers" count
+             (Array.length channels))
+      else begin
+        (* an unseeded storm derives from the plan seed and its position,
+           so two storms in one plan draw different kills *)
+        let seed =
+          match seed with Some s -> s | None -> plan.seed + (1009 * idx)
+        in
+        let pool = Array.copy channels in
+        Prng.shuffle (Prng.create seed) pool;
+        let kills =
+          List.init count (fun i -> { at; fault = Kill_buffer pool.(i) })
+        in
+        go (idx + 1) (List.rev_append kills acc) rest
+      end
+    | step :: rest -> go idx (step :: acc) rest
+  in
+  go 0 [] plan.steps
+
+let describe net fault =
+  match fault with
+  | Kill_link { src; dst; vc = None } -> Printf.sprintf "kill link %d->%d" src dst
+  | Kill_link { src; dst; vc = Some v } ->
+    Printf.sprintf "kill link %d->%d vc %d" src dst v
+  | Kill_buffer b ->
+    if b >= 0 && b < Net.num_buffers net then
+      Printf.sprintf "kill buffer %d (%s)" b (Net.describe_buffer net b)
+    else Printf.sprintf "kill buffer %d" b
+  | Kill_node n -> Printf.sprintf "kill node %d" n
+  | Storm { count; seed = None } -> Printf.sprintf "storm links %d" count
+  | Storm { count; seed = Some s } -> Printf.sprintf "storm links %d seed %d" count s

@@ -1,0 +1,57 @@
+(** Declarative fault plans.
+
+    A plan is a seeded, timed sequence of fault events against a checked
+    instance: kill one virtual channel of a link, kill a single buffer,
+    kill a whole node, or unleash a seeded random storm of link kills.
+    Plans are parsed from a small line-based format ([.plan] files) so
+    fault campaigns live next to the [.dfr] specs they degrade:
+
+    {v
+    # mesh: lose the east link out of node 0, then the whole node
+    plan "mesh-cut"
+    seed 7
+    kill link 0 -> 1
+    at 3 kill node 2
+    storm links 4 seed 11
+    v}
+
+    Grammar, one directive per line ([#] starts a comment):
+    - [plan "NAME"] — optional, names the campaign;
+    - [seed N] — optional (default 1), the root seed storms derive from;
+    - [[at T] kill link S -> D [vc V]] — kill every virtual channel of the
+      [S -> D] link, or just channel [V];
+    - [[at T] kill buffer B] — kill one buffer by id;
+    - [[at T] kill node N] — kill a node and every link touching it;
+    - [[at T] storm links K [seed S]] — [K] random distinct channel-buffer
+      kills drawn from the named seed (default: derived from the plan
+      seed and the storm's position).
+
+    A step without [at] fires one tick after the previous step (the first
+    at tick 0), so a bare list of kills is a sequence; sweeps ignore the
+    ticks and treat every step independently. *)
+
+type fault =
+  | Kill_link of { src : int; dst : int; vc : int option }
+  | Kill_buffer of int
+  | Kill_node of int
+  | Storm of { count : int; seed : int option }
+
+type step = { at : int; fault : fault }
+
+type t = { name : string option; seed : int; steps : step list }
+
+val parse : string -> (t, string) result
+(** Parse plan text; errors carry 1-based line numbers. *)
+
+val load_file : string -> (t, string) result
+
+val expand : t -> Dfr_network.Net.t -> (step list, string) result
+(** The plan's steps with every {!Storm} replaced by its concrete
+    [Kill_buffer] steps: [count] distinct channel buffers drawn by a
+    seeded shuffle of the network's channel list, all at the storm's
+    tick.  Deterministic in the plan.  Errors when a storm asks for more
+    channels than the network has, or the network has none. *)
+
+val describe : Dfr_network.Net.t -> fault -> string
+(** One-line label for reports, e.g. ["kill link 0->1 vc 1"] or
+    ["kill buffer 17 (B1+^0@(0,1))"]. *)

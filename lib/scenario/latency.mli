@@ -1,0 +1,47 @@
+(** Worst-case latency bounds from the buffer waiting graph.
+
+    For a deadlock-free instance whose per-destination move graphs are
+    acyclic, every packet's delivery time is bounded: a packet can be
+    delayed only by packets it shares a buffer with — directly (both can
+    occupy or wait on the buffer) or indirectly through the waiting-edge
+    closure of the BWG and through physical-link multiplexing (virtual
+    channels of one link share its flit bandwidth).  Closing the packet
+    set under that interference relation partitions the workload into
+    components, and serializing a component end to end bounds each
+    member: no schedule can make a packet wait on work outside its
+    component (nothing outside ever holds a buffer the packet, or any
+    packet it transitively waits behind, needs).
+
+    The per-packet bound is the classic trajectory-style form —
+    direct + indirect blocking, a la the buffer-aware worst-case analyses
+    of wormhole NoCs: the skew to the component's last injection, plus
+    the sum over the component of (packet length + longest route + 2)
+    cycles, the 2 covering the injection and consumption moves.  The
+    bounds are deliberately generous (they assume total serialization);
+    their value is that they are {e sound} — the benches gate analytic
+    p100 against the simulator's observed p100 — and that they are
+    buffer-aware: sparse traffic that shares no buffers decomposes into
+    singleton components and gets tight per-packet bounds. *)
+
+open Dfr_core
+open Dfr_sim
+
+type t = {
+  defined : bool;
+      (** bounds exist: every destination's move graph is acyclic (the
+          caller separately ensures the instance is deadlock-free) *)
+  reason : string option;  (** why not, when [defined] is false *)
+  packets : int;
+  components : int;  (** interference components in the workload *)
+  largest_component : int;
+  p50 : int;
+  p99 : int;
+  p100 : int;  (** nearest-rank percentiles over the per-packet bounds *)
+}
+
+val analyze : State_space.t -> Bwg.t -> Traffic.t -> t
+(** Bounds for every packet of the workload.  Packets with [src = dst]
+    or an unreachable destination make the analysis [defined = false]
+    rather than guessing. *)
+
+val to_json : t -> Dfr_util.Json.t

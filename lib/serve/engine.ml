@@ -20,7 +20,7 @@ let default_config =
     cache_capacity = 256;
     cache_entry_bytes = 1 lsl 20;
     timeout_ms = 0;
-    domains = 1;
+    domains = 0;
     sessions = 8;
   }
 
@@ -68,7 +68,14 @@ type t = {
 }
 
 let create config =
-  if config.domains < 1 then invalid_arg "Engine.create: domains >= 1";
+  if config.domains < 0 then invalid_arg "Engine.create: domains >= 0";
+  (* domains = 0 means "size from the machine": the shared pool's cap,
+     which set_cap/DFR_DOMAINS already bound to the core count *)
+  let config =
+    if config.domains = 0 then
+      { config with domains = Dfr_util.Domain_pool.cap () }
+    else config
+  in
   {
     config;
     pool = Pool.create ~workers:config.workers ~capacity:config.capacity;
@@ -84,6 +91,7 @@ let create config =
 
 let shutdown_requested t = t.stop
 let requests t = t.requests
+let domains t = t.config.domains
 let shutdown t = Pool.shutdown t.pool
 
 let stats_json t =
@@ -243,6 +251,63 @@ let check_delta t ~id ~base ~spec =
             res))
     | _ -> cold ())
 
+(* Fault campaigns run synchronously on the orchestrator, like the delta
+   path: the campaign drives its own incremental session, which must not
+   be shared with a worker.  The response embeds the campaign envelope
+   verbatim — byte-identical at any worker/domain configuration. *)
+let scenario t ~id ~spec ~algo ~topology ~plan ~sweep =
+  Obs.span "serve.scenario" @@ fun () ->
+  let instance =
+    match (spec, algo) with
+    | Some spec, _ -> (
+      match Dfr_spec.Spec.compile_string spec with
+      | Error e -> Error ("spec", Dfr_spec.Spec.error_to_string e)
+      | Ok c -> Ok (c.Dfr_spec.Spec.net, c.Dfr_spec.Spec.algo))
+    | None, Some name -> (
+      match Registry.find name with
+      | None -> Error ("bad_request", Printf.sprintf "unknown algorithm %S" name)
+      | Some e -> (
+        match
+          match topology with
+          | None -> Ok None
+          | Some s -> Result.map Option.some (Dfr_topology.Topology.of_string s)
+        with
+        | Error msg -> Error ("bad_request", msg)
+        | Ok topo -> (
+          match Registry.network_for e topo with
+          | exception Invalid_argument msg -> Error ("bad_request", msg)
+          | net -> Ok (net, e.Registry.algo))))
+    | None, None -> Error ("bad_request", "scenario needs a spec or an algo")
+  in
+  match instance with
+  | Error (kind, msg) ->
+    Obs.count "serve.errors" 1;
+    Protocol.error_response ~id ~kind msg
+  | Ok (net, algo) -> (
+    match Dfr_scenario.Fault.parse plan with
+    | Error msg ->
+      Obs.count "serve.errors" 1;
+      Protocol.error_response ~id ~kind:"bad_request" ("plan: " ^ msg)
+    | Ok plan -> (
+      let mode = if sweep then `Sweep else `Sequence in
+      match
+        Dfr_scenario.Scenario.campaign ~domains:t.config.domains ~mode net algo
+          plan
+      with
+      | exception Invalid_argument msg ->
+        Obs.count "serve.errors" 1;
+        Protocol.error_response ~id ~kind:"check" msg
+      | Error msg ->
+        Obs.count "serve.errors" 1;
+        Protocol.error_response ~id ~kind:"bad_request" msg
+      | Ok c ->
+        Obs.count "serve.scenarios" 1;
+        Protocol.ok_response ~id ~op:"scenario"
+          [
+            ("exit", Json.Int c.Dfr_scenario.Scenario.exit_code);
+            ("campaign", Dfr_scenario.Scenario.campaign_to_json c);
+          ]))
+
 let dispatch t ~id (req : Protocol.request) =
   match req with
   | Protocol.Ping -> ready (Protocol.ok_response ~id ~op:"ping" [])
@@ -297,6 +362,8 @@ let dispatch t ~id (req : Protocol.request) =
           let digest = digest_of_named t ~key net e.Registry.algo in
           submit_check t ~id ~digest net e.Registry.algo)))
   | Protocol.Check_delta { base; spec } -> ready (check_delta t ~id ~base ~spec)
+  | Protocol.Scenario { spec; algo; topology; plan; sweep } ->
+    ready (scenario t ~id ~spec ~algo ~topology ~plan ~sweep)
   | Protocol.Check_spec { spec } -> (
     match Dfr_spec.Spec.compile_string spec with
     | Error e ->

@@ -24,7 +24,10 @@ type config = {
           0 = unlimited.  Oversized reports (giant deadlock witnesses)
           are served but not cached. *)
   timeout_ms : int;  (** per-request deadline; 0 disables *)
-  domains : int;  (** per-check BWG/classification parallelism *)
+  domains : int;
+      (** per-check BWG/classification parallelism; 0 = auto-size from
+          {!Dfr_util.Domain_pool.cap} (the machine's core count, minus
+          any [set_cap]/DFR_DOMAINS override) at {!create} time *)
   sessions : int;
       (** incremental sessions kept live for [check_delta]; 0 disables
           the delta path (every delta request re-checks cold) *)
@@ -32,13 +35,17 @@ type config = {
 
 val default_config : config
 (** 1 worker, capacity 64, 256 cache entries of at most 1 MiB each, no
-    timeout, 1 domain per check, 8 incremental sessions. *)
+    timeout, auto-sized domains per check, 8 incremental sessions. *)
 
 type t
 
 val create : config -> t
-(** Spawns the worker pool.  Raises [Invalid_argument] on non-positive
-    workers/capacity/domains or negative cache capacity. *)
+(** Spawns the worker pool, resolving [domains = 0] to the pool cap.
+    Raises [Invalid_argument] on non-positive workers/capacity, negative
+    domains or negative cache capacity. *)
+
+val domains : t -> int
+(** The resolved per-check domain count (never 0). *)
 
 type slot
 (** One request's place in the response order: either already answered

@@ -6,6 +6,13 @@ type request =
   | Check_spec of { spec : string }
   | Check_named of { algo : string; topology : string option }
   | Check_delta of { base : string; spec : string }
+  | Scenario of {
+      spec : string option;
+      algo : string option;
+      topology : string option;
+      plan : string;
+      sweep : bool;
+    }
   | Catalogue
   | Stats
   | Ping
@@ -43,6 +50,27 @@ let parse line =
         | Some base, Some spec -> Ok { id; req = Check_delta { base; spec } }
         | None, _ -> err "op \"check_delta\" needs a string \"base\" digest"
         | _, None -> err "op \"check_delta\" needs a \"spec\" field")
+      | Some "scenario" -> (
+        match Option.bind (Json.member "plan" doc) Json.to_str with
+        | None -> err "op \"scenario\" needs a \"plan\" field (plan-file text)"
+        | Some plan -> (
+          let sweep =
+            match Option.bind (Json.member "mode" doc) Json.to_str with
+            | Some "sequence" -> Ok false
+            | Some "sweep" | None -> Ok true
+            | Some m ->
+              Error (Printf.sprintf "unknown scenario mode %S (sweep|sequence)" m)
+          in
+          match sweep with
+          | Error msg -> err msg
+          | Ok sweep -> (
+            let spec = Option.bind (Json.member "spec" doc) Json.to_str in
+            let algo = Option.bind (Json.member "algo" doc) Json.to_str in
+            let topology = Option.bind (Json.member "topology" doc) Json.to_str in
+            match (spec, algo) with
+            | None, None ->
+              err "op \"scenario\" needs a \"spec\" or an \"algo\" field"
+            | _ -> Ok { id; req = Scenario { spec; algo; topology; plan; sweep } })))
       | Some "catalogue" -> Ok { id; req = Catalogue }
       | Some "stats" -> Ok { id; req = Stats }
       | Some "ping" -> Ok { id; req = Ping }

@@ -6,6 +6,8 @@
     {"id": <any>, "op": "check", "spec": "<.dfr text>"}
     {"id": <any>, "op": "check", "algo": "efa", "topology": "hypercube:3"}
     {"id": <any>, "op": "check_delta", "base": "<digest>", "spec": "<.dfr text>"}
+    {"id": <any>, "op": "scenario", "spec": "<.dfr text>",
+     "plan": "<.plan text>", "mode": "sweep"}
     {"op": "catalogue"} {"op": "stats"} {"op": "ping"}
     {"op": "sleep", "ms": 250}          (testing/latency probe)
     {"op": "shutdown"}
@@ -27,6 +29,14 @@ type request =
       (** re-check an edited spec against the incremental session for
           [base] (the digest a previous check/check_delta response
           reported); falls back to a cold build on a session miss *)
+  | Scenario of {
+      spec : string option;  (** inline .dfr source, or... *)
+      algo : string option;  (** ...a registry algorithm *)
+      topology : string option;
+      plan : string;  (** inline fault-plan text ({!Dfr_scenario.Fault}) *)
+      sweep : bool;  (** ["mode"]: [true] = "sweep" (default), "sequence" *)
+    }  (** run a fault campaign; the response's ["campaign"] field is the
+           {!Dfr_scenario.Scenario.campaign_to_json} envelope *)
   | Catalogue
   | Stats
   | Ping

@@ -59,8 +59,18 @@ let pattern_dest topo pattern rng src =
   in
   if dest = src then None else Some dest
 
+(* A zero- or negative-length packet never drains in the wormhole model
+   (there is no flit to move), so the simulators would spin on it forever;
+   every generator rejects it up front and the CLI maps the rejection to a
+   usage error (exit 2). *)
+let check_length length =
+  if length < 1 then
+    invalid_arg
+      (Printf.sprintf "Traffic: packet length must be >= 1 flit (got %d)" length)
+
 let generate topo ~pattern ~rate ~length ~horizon ~seed =
   if rate < 0.0 || rate > 1.0 then invalid_arg "Traffic.generate: rate";
+  check_length length;
   let rng = Prng.create seed in
   let acc = ref [] in
   for cycle = 0 to horizon - 1 do
@@ -75,6 +85,7 @@ let generate topo ~pattern ~rate ~length ~horizon ~seed =
   List.rev !acc
 
 let batch topo ~pattern ~count ~length ~seed =
+  check_length length;
   let rng = Prng.create seed in
   let acc = ref [] in
   for src = 0 to Topology.num_nodes topo - 1 do
@@ -90,6 +101,7 @@ let batch topo ~pattern ~count ~length ~seed =
    networks, which carry no [Topology.t] to draw spatial patterns from. *)
 let batch_uniform ~num_nodes ~count ~length ~seed =
   if num_nodes < 2 then invalid_arg "Traffic.batch_uniform: need >= 2 nodes";
+  check_length length;
   let rng = Prng.create seed in
   let acc = ref [] in
   for src = 0 to num_nodes - 1 do
@@ -102,6 +114,93 @@ let batch_uniform ~num_nodes ~count ~length ~seed =
   List.rev !acc
 
 let scripted ?(inject_at = 0) ~src ~dst ~length chain =
+  check_length length;
   [ { src; dst; length; inject_at; mode = Scripted chain } ]
+
+(* ------------------------------------------------------------------ *)
+(* bursty and adversarial generators (the scenario layer's workloads)  *)
+
+(* Leaky-bucket arrivals: each node accumulates [rate] tokens per cycle
+   into a bucket of depth [burst]; a full bucket drains as one
+   back-to-back burst.  Long-run rate matches the Bernoulli generator at
+   the same [rate], but the arrivals are maximally clumped — the bursty
+   regime of the buffer-aware timing literature.  Buckets start at a
+   seeded random fill so the nodes' bursts are not phase-locked. *)
+let bursty topo ~pattern ~burst ~rate ~length ~horizon ~seed =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Traffic.bursty: rate";
+  if burst < 1 then invalid_arg "Traffic.bursty: burst must be >= 1";
+  check_length length;
+  let n = Topology.num_nodes topo in
+  let rng = Prng.create seed in
+  let bucket = Array.init n (fun _ -> Prng.float rng (float_of_int burst)) in
+  let acc = ref [] in
+  for cycle = 0 to horizon - 1 do
+    for src = 0 to n - 1 do
+      bucket.(src) <- bucket.(src) +. rate;
+      if bucket.(src) >= float_of_int burst then begin
+        bucket.(src) <- bucket.(src) -. float_of_int burst;
+        for _ = 1 to burst do
+          match pattern_dest topo pattern rng src with
+          | Some dst ->
+            acc := { src; dst; length; inject_at = cycle; mode = Adaptive } :: !acc
+          | None -> ()
+        done
+      end
+    done
+  done;
+  List.rev !acc
+
+(* Every node aims Bernoulli([rate]) traffic at an explicit destination
+   set — the multi-hotspot storm.  The set is validated up front: an
+   empty set (every candidate destination faulted away) or an
+   out-of-range node must be a hard error, not a generator that loops
+   hunting for a destination that does not exist. *)
+let storm topo ~dests ~rate ~length ~horizon ~seed =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Traffic.storm: rate";
+  check_length length;
+  let n = Topology.num_nodes topo in
+  if dests = [] then
+    invalid_arg "Traffic.storm: empty destination set (all destinations faulted?)";
+  List.iter
+    (fun d ->
+      if d < 0 || d >= n then
+        invalid_arg
+          (Printf.sprintf "Traffic.storm: destination %d out of range 0..%d" d
+             (n - 1)))
+    dests;
+  let dests = Array.of_list dests in
+  let rng = Prng.create seed in
+  let acc = ref [] in
+  for cycle = 0 to horizon - 1 do
+    for src = 0 to n - 1 do
+      if Prng.bernoulli rng rate then begin
+        let dst = dests.(Prng.int rng (Array.length dests)) in
+        if dst <> src then
+          acc := { src; dst; length; inject_at = cycle; mode = Adaptive } :: !acc
+      end
+    done
+  done;
+  List.rev !acc
+
+(* Permutation adversary: a seeded random permutation pi, [count] packets
+   from every node to pi(node), all injected at cycle 0.  Fixed points
+   send nothing.  Worst-case single-path load: no destination spreading
+   at all. *)
+let permutation topo ~count ~length ~seed =
+  if count < 1 then invalid_arg "Traffic.permutation: count must be >= 1";
+  check_length length;
+  let n = Topology.num_nodes topo in
+  let pi = Array.init n (fun i -> i) in
+  let rng = Prng.create seed in
+  Prng.shuffle rng pi;
+  let acc = ref [] in
+  for src = 0 to n - 1 do
+    if pi.(src) <> src then
+      for _ = 1 to count do
+        acc :=
+          { src; dst = pi.(src); length; inject_at = 0; mode = Adaptive } :: !acc
+      done
+  done;
+  List.rev !acc
 
 let count t = List.length t

@@ -66,4 +66,45 @@ val scripted : ?inject_at:int -> src:int -> dst:int -> length:int -> int list ->
     continuing adaptively — the scripted-schedule entry point used to
     steer a simulator into a prescribed configuration. *)
 
+(** {2 Bursty and adversarial generators}
+
+    The scenario layer's workloads.  Every generator validates its
+    arguments up front and raises [Invalid_argument] on a packet length
+    below one flit, an empty destination set, or an out-of-range
+    destination — the CLI maps these to usage errors (exit 2) instead of
+    letting a simulator spin on an undrainable packet or a generator
+    loop hunting for a destination that does not exist. *)
+
+val bursty :
+  Dfr_topology.Topology.t ->
+  pattern:pattern ->
+  burst:int ->
+  rate:float ->
+  length:int ->
+  horizon:int ->
+  seed:int ->
+  t
+(** Leaky-bucket arrivals: each node earns [rate] tokens per cycle into a
+    bucket of depth [burst] and drains a full bucket as one back-to-back
+    burst of [burst] packets.  Same long-run rate as {!generate}, maximally
+    clumped arrivals. *)
+
+val storm :
+  Dfr_topology.Topology.t ->
+  dests:int list ->
+  rate:float ->
+  length:int ->
+  horizon:int ->
+  seed:int ->
+  t
+(** Multi-hotspot storm: Bernoulli([rate]) arrivals per node per cycle,
+    each aimed at a uniform pick from the explicit destination set.
+    Raises [Invalid_argument] on an empty or out-of-range set — the
+    "every hotspot faulted away" case must fail loudly. *)
+
+val permutation : Dfr_topology.Topology.t -> count:int -> length:int -> seed:int -> t
+(** Permutation adversary: a seeded random permutation [pi], [count]
+    packets from every node to [pi(node)], all injected at cycle 0 (fixed
+    points send nothing). *)
+
 val count : t -> int

@@ -113,4 +113,40 @@ garbage
 ' serve
 expect_stdin 0 '' serve              # immediate EOF drains cleanly
 
+# scenario campaigns: 0 = every fault survived, 1 = a fault deadlocks,
+# 2 = unusable plan/instance/workload
+plans=../examples/plans
+expect 1 scenario sweep -a dimension-order -t mesh:3x3 --plan "$plans/mesh_link_cut.plan"
+expect 1 scenario run -a dimension-order -t mesh:3x3 --plan "$plans/node_failure.plan"
+expect 2 scenario run -a dimension-order --plan /no/such/file.plan
+expect 2 scenario run -a no-such-algorithm --plan "$plans/mesh_link_cut.plan"
+expect 2 scenario run --plan "$plans/mesh_link_cut.plan"   # no instance
+# a free sweep: duato-torus tolerates losing one adaptive channel
+noop=$(mktemp)
+printf 'plan "free"\nseed 1\n' > "$noop"
+expect 0 scenario sweep -a duato-mesh -t mesh:3x3 --plan "$noop"
+# adversarial generators validate up front: an unusable workload is a
+# usage error (exit 2), never a simulator spin or a wild index
+expect 2 scenario run -a duato-mesh -t mesh:3x3 --plan "$noop" --traffic storm:99
+expect 2 scenario run -a duato-mesh -t mesh:3x3 --plan "$noop" --traffic bursty:4 --length 0
+expect 2 scenario run -a duato-mesh -t mesh:3x3 --plan "$noop" --traffic bursty:0
+expect 2 scenario run -a duato-mesh -t mesh:3x3 --plan "$noop" --traffic seeking  # free verdict: nothing to seek
+expect 0 scenario run -a duato-mesh -t mesh:3x3 --plan "$noop" --traffic bursty:4 --rate 0.02 --latency
+rm -f "$noop"
+
+# campaign reports are deterministic: bit-identical across --domains and
+# across the incremental/cold checking paths
+scenario_det() {
+  a=$("$dfcheck" scenario sweep -a dimension-order -t mesh:3x3 --plan "$plans/mesh_link_cut.plan" --json --domains 1 2>/dev/null)
+  b=$("$dfcheck" scenario sweep -a dimension-order -t mesh:3x3 --plan "$plans/mesh_link_cut.plan" --json --domains 4 2>/dev/null)
+  c=$("$dfcheck" scenario sweep -a dimension-order -t mesh:3x3 --plan "$plans/mesh_link_cut.plan" --json --cold 2>/dev/null)
+  if [ "$a" = "$b" ] && [ "$a" = "$c" ] && [ -n "$a" ]; then
+    echo "ok: scenario sweep identical across --domains and --cold"
+  else
+    echo "FAIL: scenario sweep differs across --domains or --cold"
+    fail=1
+  fi
+}
+scenario_det
+
 exit $fail

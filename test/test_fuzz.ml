@@ -78,7 +78,7 @@ let confront net algo ~unknowns =
             Wormhole_sim.pp_outcome o)
       [ 1; 2 ]
   | Checker.Deadlock_possible failure -> (
-    match Scenario.replay net algo failure with
+    match Dfr_scenario.Scenario.replay net algo failure with
     | Some confirmed ->
       check Alcotest.bool (algo.Algo.name ^ " witness confirmed") true confirmed
     | None -> ())
@@ -160,7 +160,7 @@ let confront_saf net algo ~unknowns =
           Alcotest.failf "%s certified free but %a" algo.Algo.name Saf_sim.pp_outcome o)
       [ 1; 2 ]
   | Checker.Deadlock_possible failure -> (
-    match Scenario.replay net algo failure with
+    match Dfr_scenario.Scenario.replay net algo failure with
     | Some confirmed ->
       check Alcotest.bool (algo.Algo.name ^ " witness confirmed") true confirmed
     | None -> ())

@@ -121,7 +121,7 @@ let test_replay_confirms () =
     check
       (Alcotest.option Alcotest.bool)
       "dynamic confirmation" (Some true)
-      (Dfr_sim.Scenario.replay net algo failure)
+      (Dfr_scenario.Scenario.replay net algo failure)
   | _ -> Alcotest.fail "deadlock expected"
 
 let test_coherent_variant_is_free () =

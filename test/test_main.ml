@@ -20,4 +20,5 @@ let () =
       ("serve", Test_serve.suite);
       ("incr", Test_incr.suite);
       ("synth", Test_synth.suite);
+      ("scenario", Test_scenario.suite);
     ]

@@ -511,6 +511,68 @@ let test_engine_deterministic_across_domains () =
   in
   check Alcotest.string "byte-identical transcript" base parallel
 
+(* satellite: an unspecified --domains (config 0) auto-sizes from the
+   machine at create time; the stored value is the pool cap, never 0 *)
+let test_engine_default_domains_auto () =
+  check Alcotest.int "config default is auto" 0
+    Engine.default_config.Engine.domains;
+  with_engine (fun e ->
+      check Alcotest.int "resolved to the pool cap"
+        (Dfr_util.Domain_pool.cap ())
+        (Engine.domains e));
+  with_engine
+    ~config:{ Engine.default_config with Engine.domains = 3 }
+    (fun e -> check Alcotest.int "explicit setting wins" 3 (Engine.domains e));
+  Alcotest.check_raises "negative domains rejected"
+    (Invalid_argument "Engine.create: domains >= 0") (fun () ->
+      ignore (Engine.create { Engine.default_config with Engine.domains = -1 }))
+
+let test_engine_scenario_op () =
+  let plan = "plan \"t\"\nseed 1\nat 0 kill link 0 -> 1\n" in
+  let req mode =
+    J.to_string
+      (J.Obj
+         [
+           ("id", J.Int 9);
+           ("op", J.String "scenario");
+           ("algo", J.String "dimension-order");
+           ("topology", J.String "mesh:3x3");
+           ("plan", J.String plan);
+           ("mode", J.String mode);
+         ])
+  in
+  with_engine (fun e ->
+      match run_seq e [ req "sweep"; req "sequence" ] with
+      | [ sweep; seq ] ->
+        check Alcotest.bool "sweep ok" true (is_ok sweep);
+        check Alcotest.bool "sequence ok" true (is_ok seq);
+        (* one XY link cut strands sources: a deadlock exit *)
+        check Alcotest.string "exit 1" "1" (J.to_string (member "exit" sweep));
+        let faults doc =
+          match J.member "faults" (member "campaign" doc) with
+          | Some (J.List l) -> List.length l
+          | _ -> Alcotest.fail "campaign lacks faults"
+        in
+        check Alcotest.int "one fault outcome" 1 (faults sweep);
+        check Alcotest.int "sequence agrees" 1 (faults seq)
+      | _ -> Alcotest.fail "two responses expected");
+  (* a broken plan is a client error, not a crash *)
+  with_engine (fun e ->
+      let bad =
+        J.to_string
+          (J.Obj
+             [
+               ("op", J.String "scenario");
+               ("algo", J.String "dimension-order");
+               ("plan", J.String "nonsense directive\n");
+             ])
+      in
+      match run_seq e [ bad ] with
+      | [ doc ] ->
+        check Alcotest.bool "rejected" false (is_ok doc);
+        check Alcotest.string "kind" "bad_request" (error_kind doc)
+      | _ -> Alcotest.fail "one response expected")
+
 let suite =
   [
     Alcotest.test_case "cache: LRU eviction and counters" `Quick test_cache_lru;
@@ -553,4 +615,8 @@ let suite =
       test_engine_delta_sessions_disabled;
     Alcotest.test_case "engine: delta of a broken spec errors cleanly" `Quick
       test_engine_delta_bad_spec;
+    Alcotest.test_case "engine: default domains auto-size from the machine"
+      `Quick test_engine_default_domains_auto;
+    Alcotest.test_case "engine: scenario op runs a campaign" `Quick
+      test_engine_scenario_op;
   ]

@@ -255,7 +255,7 @@ let test_preloaded_knot_deadlocks () =
   | Some config -> (
     match
       Wormhole_sim.run_preloaded cube3 Hypercube_wormhole.efa_relaxed
-        (Scenario.preloads_of_knot config)
+        (Dfr_scenario.Scenario.preloads_of_knot config)
     with
     | Wormhole_sim.Deadlocked { cycle; _ } ->
       check Alcotest.bool "detected early" true (cycle < 100)
@@ -358,7 +358,7 @@ let test_replay_every_deadlocking_entry () =
           check
             (Alcotest.option Alcotest.bool)
             (e.Registry.name ^ " replay") (Some true)
-            (Scenario.replay net e.Registry.algo failure)
+            (Dfr_scenario.Scenario.replay net e.Registry.algo failure)
         | v ->
           Alcotest.failf "%s: expected deadlock verdict, got %a" e.Registry.name
             (Checker.pp_verdict net) v
